@@ -1,0 +1,98 @@
+// Command areacalc prints the paper's area cost model outputs: the
+// per-pipeline-model stage breakdown of Fig. 2(b) and the evaluated
+// microarchitectures of Fig. 3 with their deltas against the M8 baseline.
+// Arbitrary configurations can be priced with -config.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hdsmt/internal/area"
+	"hdsmt/internal/config"
+)
+
+func main() {
+	var (
+		models  = flag.Bool("models", false, "print Fig. 2a model resources")
+		fig2b   = flag.Bool("fig2b", false, "print Fig. 2b stage areas")
+		fig3    = flag.Bool("fig3", false, "print Fig. 3 configuration areas")
+		cfgName = flag.String("config", "", "price one configuration (e.g. 2M4+2M2)")
+	)
+	flag.Parse()
+	all := !*models && !*fig2b && !*fig3 && *cfgName == ""
+
+	if *models || all {
+		fmt.Println("Fig. 2a: pipeline model resources")
+		fmt.Printf("  %-6s %9s %6s %8s %7s %5s %5s %6s\n",
+			"model", "contexts", "width", "thr/cyc", "queues", "int", "fp", "ldst")
+		for _, m := range config.Models() {
+			fmt.Printf("  %-6s %9d %6d %8d %7d %5d %5d %6d\n",
+				m.Name, m.Contexts, m.Width, m.ThreadsPerCycle, m.IQ,
+				m.IntUnits, m.FPUnits, m.LdStUnits)
+		}
+		fmt.Println()
+	}
+
+	if *fig2b || all {
+		fmt.Println("Fig. 2b: area estimation per pipeline model (mm², 0.18µm)")
+		fmt.Printf("  %-6s", "model")
+		for s := area.Stage(0); s < area.NumStages; s++ {
+			fmt.Printf(" %8s", s)
+		}
+		fmt.Printf(" %9s\n", "TOTAL")
+		for _, m := range config.Models() {
+			b, err := area.SinglePipelineProcessor(m)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("  %-6s", m.Name)
+			for s := area.Stage(0); s < area.NumStages; s++ {
+				fmt.Printf(" %8.2f", b[s])
+			}
+			fmt.Printf(" %9.2f\n", b.Total())
+		}
+		fmt.Println()
+	}
+
+	if *fig3 || all {
+		fmt.Println("Fig. 3: area estimation of evaluated microarchitectures")
+		base := area.MustTotal(config.MustParse("M8"))
+		for _, cfg := range config.EvaluatedMicroarchs() {
+			b, err := area.MicroarchArea(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("  %-14s %8.2f mm²  (%+6.2f%% vs M8)\n",
+				cfg.Name, b.Total(), 100*(b.Total()-base)/base)
+		}
+		fmt.Println()
+	}
+
+	if *cfgName != "" {
+		cfg, err := config.Parse(*cfgName)
+		if err != nil {
+			fail(err)
+		}
+		b, err := area.MicroarchArea(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s:\n", cfg.Name)
+		for s := area.Stage(0); s < area.NumStages; s++ {
+			fmt.Printf("  %-4s %8.2f mm²\n", s, b[s])
+		}
+		fmt.Printf("  %-4s %8.2f mm²\n", "sum", b.Total())
+		d, err := area.DeltaVsBaseline(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  vs M8: %+.2f%%\n", 100*d)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "areacalc: %v\n", err)
+	os.Exit(1)
+}

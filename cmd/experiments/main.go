@@ -1,0 +1,159 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation: the area figures (Fig. 2b, Fig. 3), the IPC comparison
+// (Fig. 4a-c), the performance-per-area comparison (Fig. 5a-c) and the §5
+// headline summary. Budgets are scaled (the paper simulates 300M
+// instructions per thread); pass -budget to change the scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hdsmt/internal/area"
+	"hdsmt/internal/config"
+	"hdsmt/internal/sim"
+	"hdsmt/internal/workload"
+)
+
+func main() {
+	var (
+		budget    = flag.Uint64("budget", 30_000, "measured instructions per thread")
+		warmup    = flag.Uint64("warmup", 10_000, "warm-up instructions per thread")
+		oracle    = flag.Uint64("oracle", 0, "oracle search budget (0 = same as -budget)")
+		maxOracle = flag.Int("maxoracle", 96, "cap on oracle mappings searched (0 = exhaustive)")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		list      = flag.Bool("list", false, "list workloads (Tables 2-3) and exit")
+		areaOnly  = flag.Bool("area", false, "print area figures (Fig. 2b, Fig. 3) and exit")
+		only      = flag.String("figure", "", "run a single sub-figure: 4a|4b|4c (5a-c derive from the same runs)")
+		detail    = flag.Bool("detail", false, "also print per-workload measurements")
+		ablate    = flag.Bool("ablate", false, "run the design-choice ablations and exit")
+		csvDir    = flag.String("csv", "", "also write per-figure CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		printWorkloads()
+		return
+	}
+	printAreaFigures()
+	if *areaOnly {
+		return
+	}
+
+	opt := sim.Options{Budget: *budget, Warmup: *warmup, OracleBudget: *oracle, MaxOracle: *maxOracle, Parallel: *parallel}
+
+	if *ablate {
+		as, err := sim.RunAblations(workload.MustByName("4W6"), opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		for _, a := range as {
+			fmt.Println(a.Render())
+		}
+		return
+	}
+
+	types := map[string]workload.Type{"4a": workload.ILP, "4b": workload.MEM, "4c": workload.MIX}
+	order := []string{"4a", "4b", "4c"}
+	figs := map[workload.Type]sim.FigResult{}
+	for _, key := range order {
+		if *only != "" && *only != key {
+			continue
+		}
+		t := types[key]
+		fmt.Printf("running Fig. %s (%s workloads)...\n", key, t)
+		fig, err := sim.RunFigure(t, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		figs[t] = fig
+		fmt.Println(fig.Render())
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, key, fig); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		pa, err := fig.PerArea()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(pa.Render())
+		if *detail {
+			fmt.Println(fig.RenderPerWorkload())
+		}
+	}
+
+	if *only == "" && len(figs) == 3 {
+		s, err := sim.Summarize(figs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(s.Render())
+	}
+}
+
+// writeCSVs emits fig<key>.csv (aggregates) and fig<key>_workloads.csv
+// (raw measurements) into dir.
+func writeCSVs(dir, key string, fig sim.FigResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	agg, err := os.Create(filepath.Join(dir, "fig"+key+".csv"))
+	if err != nil {
+		return err
+	}
+	defer agg.Close()
+	if err := fig.WriteCSV(agg); err != nil {
+		return err
+	}
+	per, err := os.Create(filepath.Join(dir, "fig"+key+"_workloads.csv"))
+	if err != nil {
+		return err
+	}
+	defer per.Close()
+	return fig.WritePerWorkloadCSV(per)
+}
+
+func printWorkloads() {
+	fmt.Println("Tables 2-3: workloads")
+	for _, w := range workload.All() {
+		fmt.Printf("  %-4s %-4s %s\n", w.Name, w.Type, strings.Join(w.Benchmarks, ", "))
+	}
+}
+
+func printAreaFigures() {
+	fmt.Println("Fig. 2b: area per pipeline model (mm², 0.18µm; single-pipeline processor)")
+	fmt.Printf("  %-6s", "model")
+	for s := area.Stage(0); s < area.NumStages; s++ {
+		fmt.Printf(" %8s", s)
+	}
+	fmt.Printf(" %9s\n", "TOTAL")
+	for _, m := range config.Models() {
+		b, err := area.SinglePipelineProcessor(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-6s", m.Name)
+		for s := area.Stage(0); s < area.NumStages; s++ {
+			fmt.Printf(" %8.2f", b[s])
+		}
+		fmt.Printf(" %9.2f\n", b.Total())
+	}
+
+	fmt.Println("\nFig. 3: area of evaluated microarchitectures")
+	base := area.MustTotal(config.MustParse("M8"))
+	for _, cfg := range config.EvaluatedMicroarchs() {
+		total := area.MustTotal(cfg)
+		fmt.Printf("  %-14s %8.2f mm²  (%+.2f%% vs M8)\n", cfg.Name, total, 100*(total-base)/base)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,57 @@
+// Command explore searches the hdSMT design space: it enumerates every
+// multiset of M6/M4/M2 pipelines under an area budget (plus the monolithic
+// M8 baseline), evaluates each candidate over a workload set with the §2.1
+// heuristic mapping, and ranks the machines by performance per area —
+// the paper's complexity-effectiveness objective as a search.
+//
+// Examples:
+//
+//	explore                                  # defaults: MIX workloads, <= 4 pipelines
+//	explore -maxpipes 5 -areacap 150
+//	explore -workloads 2W7,4W6,4W8 -budget 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdsmt/internal/sim"
+	"hdsmt/internal/workload"
+)
+
+func main() {
+	var (
+		maxPipes = flag.Int("maxpipes", 4, "maximum pipelines per candidate")
+		areaCap  = flag.Float64("areacap", 0, "area budget in mm² (0 = unlimited)")
+		wlList   = flag.String("workloads", "2W7,4W6", "comma-separated workload set")
+		budget   = flag.Uint64("budget", 10_000, "measured instructions per thread")
+		warmup   = flag.Uint64("warmup", 5_000, "warm-up instructions per thread")
+	)
+	flag.Parse()
+
+	var wls []workload.Workload
+	for _, name := range strings.Split(*wlList, ",") {
+		w, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+			os.Exit(1)
+		}
+		wls = append(wls, w)
+	}
+
+	cands, err := sim.CandidateConfigs(*maxPipes, *areaCap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("exploring %d candidate configurations over %d workloads...\n\n", len(cands), len(wls))
+
+	rs, err := sim.Explore(wls, cands, sim.Options{Budget: *budget, Warmup: *warmup})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(sim.RenderExploration(rs))
+}

@@ -1,0 +1,162 @@
+// Command hdsmtsim runs one workload on one microarchitecture and reports
+// per-thread and combined IPC plus pipeline statistics — the simulator's
+// direct command-line front end.
+//
+// Examples:
+//
+//	hdsmtsim -config 2M4+2M2 -workload 4W6
+//	hdsmtsim -config M8 -benchmarks gzip,mcf -maxinsn 100000
+//	hdsmtsim -config 2M4+2M2 -workload 2W7 -mapping 0,2
+//	hdsmtsim -printconfig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hdsmt/internal/area"
+	"hdsmt/internal/bench"
+	"hdsmt/internal/config"
+	"hdsmt/internal/core"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/sim"
+	"hdsmt/internal/workload"
+)
+
+func main() {
+	var (
+		cfgName     = flag.String("config", "M8", "microarchitecture (M8, 3M4, 4M4, 2M4+2M2, 3M4+2M2, 1M6+2M4+2M2, ...)")
+		wlName      = flag.String("workload", "", "workload from Tables 2-3 (e.g. 4W6)")
+		benchNames  = flag.String("benchmarks", "", "comma-separated benchmark list (alternative to -workload)")
+		mapSpec     = flag.String("mapping", "", "comma-separated thread-to-pipeline mapping (default: §2.1 heuristic)")
+		maxInsn     = flag.Uint64("maxinsn", 50_000, "measured instructions per thread (paper: 300000000)")
+		warmup      = flag.Uint64("warmup", 10_000, "warm-up instructions per thread")
+		printConfig = flag.Bool("printconfig", false, "print Table 1 parameters and Fig. 2a models, then exit")
+	)
+	flag.Parse()
+
+	if *printConfig {
+		printConfiguration()
+		return
+	}
+
+	cfg, err := config.Parse(*cfgName)
+	if err != nil {
+		fail(err)
+	}
+
+	names, err := resolveNames(*wlName, *benchNames)
+	if err != nil {
+		fail(err)
+	}
+	w := workload.Workload{Name: "custom", Benchmarks: names}
+	if *wlName != "" {
+		w, err = workload.ByName(*wlName)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	var m mapping.Mapping
+	if *mapSpec != "" {
+		m, err = parseMapping(*mapSpec)
+		if err != nil {
+			fail(err)
+		}
+	} else if cfg.Monolithic {
+		m = make(mapping.Mapping, len(w.Benchmarks))
+	} else {
+		m, err = sim.HeuristicMapping(cfg, w)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	r, err := sim.Run(cfg, w, m, sim.Options{Budget: *maxInsn, Warmup: *warmup})
+	if err != nil {
+		fail(err)
+	}
+	report(cfg, w, m, r)
+}
+
+func resolveNames(wlName, benchNames string) ([]string, error) {
+	switch {
+	case wlName != "" && benchNames != "":
+		return nil, fmt.Errorf("use either -workload or -benchmarks, not both")
+	case wlName != "":
+		w, err := workload.ByName(wlName)
+		if err != nil {
+			return nil, err
+		}
+		return w.Benchmarks, nil
+	case benchNames != "":
+		names := strings.Split(benchNames, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+			if _, err := bench.ByName(names[i]); err != nil {
+				return nil, err
+			}
+		}
+		return names, nil
+	}
+	return nil, fmt.Errorf("one of -workload or -benchmarks is required")
+}
+
+func parseMapping(spec string) (mapping.Mapping, error) {
+	parts := strings.Split(spec, ",")
+	m := make(mapping.Mapping, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad mapping element %q", p)
+		}
+		m[i] = v
+	}
+	return m, nil
+}
+
+func report(cfg config.Microarch, w workload.Workload, m mapping.Mapping, r core.Results) {
+	fmt.Printf("config    %s (policy %s)\n", r.Config, r.Policy)
+	fmt.Printf("workload  %s: %s\n", w.Name, strings.Join(w.Benchmarks, ", "))
+	fmt.Printf("mapping   %v\n", m)
+	fmt.Printf("cycles    %d\n", r.Cycles)
+	fmt.Printf("IPC       %.4f combined\n", r.IPC)
+	if a, err := area.Total(cfg); err == nil {
+		fmt.Printf("area      %.2f mm² -> %.5f IPC/mm²\n", a, r.IPC/a)
+	}
+	for i, st := range r.Threads {
+		fmt.Printf("  thread %d %-8s pipe %d: committed=%d ipc=%.4f misp=%d flushes=%d l1dMiss=%d l2Miss=%d wrongpath=%d\n",
+			i, w.Benchmarks[i], m[i], st.Committed, r.PerThreadIPC[i],
+			st.Mispredicts, st.Flushes, st.LoadMisses, st.L2LoadMisses, st.WrongPath)
+	}
+}
+
+func printConfiguration() {
+	fmt.Println("Table 1: simulation parameters")
+	p := config.DefaultSimParams()
+	fmt.Printf("  fetch width/threads     %d from %d\n", p.FetchWidth, p.FetchMaxThreads)
+	fmt.Printf("  ROB (per thread)        %d entries\n", p.ROBPerThread)
+	fmt.Printf("  rename registers        %d\n", p.RenameRegs)
+	fmt.Printf("  pipeline depth          %d stages\n", p.PipelineDepth)
+	fmt.Println("  branch predictor        perceptron (4K local, 256 perceps)")
+	fmt.Println("  BTB / RAS               256 entries 4-way / 256 entries")
+	fmt.Println("  L1 I/D                  64KB 2-way 8 banks, 3 cyc (+22 miss)")
+	fmt.Println("  L2                      512KB 2-way 8 banks, 12 cyc; memory 250 cyc")
+	fmt.Println("  I-TLB/D-TLB             48/128 entries, 300 cyc miss")
+	fmt.Println("\nFig. 2a: pipeline models")
+	fmt.Printf("  %-6s %9s %6s %8s %7s %5s %5s %6s %9s\n",
+		"model", "contexts", "width", "thr/cyc", "queues", "int", "fp", "ldst", "fetchbuf")
+	for _, m := range config.Models() {
+		fmt.Printf("  %-6s %9d %6d %8d %7d %5d %5d %6d %9d\n",
+			m.Name, m.Contexts, m.Width, m.ThreadsPerCycle, m.IQ,
+			m.IntUnits, m.FPUnits, m.LdStUnits, m.FetchBuf)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "hdsmtsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Designspace: sweeps one workload across all six evaluated
+// microarchitectures (Fig. 3) and prints raw IPC next to IPC per mm² —
+// the paper's complexity-effectiveness comparison in miniature. The
+// monolithic M8 usually wins raw IPC; the heterogeneous configurations win
+// once area enters the metric.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdsmt/internal/area"
+	"hdsmt/internal/config"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/sim"
+	"hdsmt/internal/workload"
+)
+
+func main() {
+	w := workload.MustByName("4W6") // gzip, twolf, bzip2, mcf (MIX)
+	opt := sim.Options{Budget: 15_000, Warmup: 8_000}
+
+	fmt.Printf("workload %s: %v\n\n", w.Name, w.Benchmarks)
+	fmt.Printf("%-14s %10s %10s %12s %9s\n", "config", "area mm²", "IPC", "IPC/mm²", "mapping")
+
+	for _, cfg := range config.EvaluatedMicroarchs() {
+		var m mapping.Mapping
+		var err error
+		if cfg.Monolithic {
+			m = make(mapping.Mapping, w.Threads())
+		} else {
+			m, err = sim.HeuristicMapping(cfg, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		r, err := sim.Run(cfg, w, m, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := area.MustTotal(cfg)
+		fmt.Printf("%-14s %10.2f %10.3f %12.5f   %v\n", cfg.Name, a, r.IPC, r.IPC/a, m)
+	}
+}

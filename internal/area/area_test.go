@@ -1,0 +1,177 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"hdsmt/internal/config"
+)
+
+func TestStageString(t *testing.T) {
+	want := []string{"IF", "DE", "DI", "EX", "IC", "DEQ", "DIQ", "CQ"}
+	for i, w := range want {
+		if Stage(i).String() != w {
+			t.Errorf("stage %d = %q, want %q", i, Stage(i).String(), w)
+		}
+	}
+	if Stage(99).String() == "" {
+		t.Error("unknown stage name empty")
+	}
+}
+
+func TestBreakdownTotalAdd(t *testing.T) {
+	a := Breakdown{IF: 1, EX: 2}
+	b := Breakdown{EX: 3, CQ: 4}
+	a.Add(b)
+	if a[EX] != 5 || a[CQ] != 4 || a[IF] != 1 {
+		t.Errorf("Add result %v", a)
+	}
+	if a.Total() != 10 {
+		t.Errorf("Total = %v", a.Total())
+	}
+}
+
+// TestFig3Deltas pins the headline calibration: the published area deltas of
+// every evaluated configuration against the M8 baseline.
+func TestFig3Deltas(t *testing.T) {
+	cases := map[string]float64{
+		"3M4":         -0.17,
+		"4M4":         +0.1014,
+		"2M4+2M2":     -0.27,
+		"3M4+2M2":     +0.001, // paper label −1%; see package comment
+		"1M6+2M4+2M2": +0.02,
+	}
+	for name, want := range cases {
+		d, err := DeltaVsBaseline(config.MustParse(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(d-want) > 0.005 {
+			t.Errorf("%s delta = %+.4f, want %+.4f", name, d, want)
+		}
+	}
+}
+
+func TestBaselineDeltaZero(t *testing.T) {
+	d, err := DeltaVsBaseline(config.MustParse("M8"))
+	if err != nil || d != 0 {
+		t.Errorf("M8 delta = %v, %v", d, err)
+	}
+}
+
+func TestM8TotalNear170(t *testing.T) {
+	// Fig. 2b's M8 bar tops out around 170 mm² at 0.18 µm.
+	total := MustTotal(config.MustParse("M8"))
+	if total < 165 || total > 175 {
+		t.Errorf("M8 area = %.2f, want ~170", total)
+	}
+}
+
+func TestOrderingWiderIsBigger(t *testing.T) {
+	// Within multipipeline use, wider models must cost more area.
+	get := func(m config.Model) float64 {
+		b, err := PipelineArea(m, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Total()
+	}
+	b8, b6, b4, b2 := get(config.M8), get(config.M6), get(config.M4), get(config.M2)
+	if !(b8 > b6 && b6 > b4 && b4 > b2) {
+		t.Errorf("pipeline areas not monotone: M8=%.1f M6=%.1f M4=%.1f M2=%.1f", b8, b6, b4, b2)
+	}
+}
+
+func TestOverheadsApplied(t *testing.T) {
+	mono, err := PipelineArea(config.M4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := PipelineArea(config.M4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(multi[EX]-mono[EX]*1.1) > 1e-9 {
+		t.Errorf("EX overhead: mono %.3f multi %.3f", mono[EX], multi[EX])
+	}
+	for s := DE; s < NumStages; s++ {
+		if s != EX && multi[s] != mono[s] {
+			t.Errorf("stage %v must not change with multipipeline", s)
+		}
+	}
+	if FetchArea(true) != FetchArea(false)*1.2 {
+		t.Error("fetch overhead must be 20%")
+	}
+}
+
+func TestOneFetchEnginePerConfig(t *testing.T) {
+	// 3M4's IF component equals exactly one multipipeline fetch engine.
+	b, err := MicroarchArea(config.MustParse("3M4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[IF]-FetchArea(true)) > 1e-9 {
+		t.Errorf("3M4 IF area = %.3f, want %.3f", b[IF], FetchArea(true))
+	}
+}
+
+func TestSinglePipelineProcessorFig2b(t *testing.T) {
+	// The Fig. 2b bars: M8 plain; M6/M4/M2 with the 20% fetch engine and
+	// 10% EX overhead.
+	m8, err := SinglePipelineProcessor(config.M8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m8[IF]-FetchArea(false)) > 1e-9 {
+		t.Error("M8 bar must carry the baseline fetch engine")
+	}
+	m4, err := SinglePipelineProcessor(config.M4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m4[IF]-FetchArea(true)) > 1e-9 {
+		t.Error("M4 bar must carry the 20% bigger fetch engine")
+	}
+	if m4.Total() >= m8.Total() {
+		t.Error("M4 single-pipeline processor must be smaller than M8")
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	if _, err := PipelineArea(config.Model{Name: "M3"}, false); err == nil {
+		t.Error("unknown model must error")
+	}
+	bad := config.Microarch{Name: "x", Pipelines: []config.Model{{Name: "M3"}}}
+	if _, err := MicroarchArea(bad); err == nil {
+		t.Error("MicroarchArea must propagate the error")
+	}
+	if _, err := Total(bad); err == nil {
+		t.Error("Total must propagate the error")
+	}
+	if _, err := DeltaVsBaseline(bad); err == nil {
+		t.Error("DeltaVsBaseline must propagate the error")
+	}
+}
+
+func TestMustTotalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustTotal(config.Microarch{Name: "x", Pipelines: []config.Model{{Name: "M3"}}})
+}
+
+func TestAllStagesPositive(t *testing.T) {
+	for _, m := range config.Models() {
+		b, err := SinglePipelineProcessor(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := Stage(0); s < NumStages; s++ {
+			if b[s] <= 0 {
+				t.Errorf("%s stage %v = %v, want positive", m.Name, s, b[s])
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"sort"
+	"sync"
+
+	"hdsmt/internal/cache"
+	"hdsmt/internal/trace"
+)
+
+// The HEUR mapping policy (paper §2.1) is profile based: "By means of
+// profile information, the active threads are arranged by the number of
+// data cache misses". This file is that profiling pass: it runs a
+// benchmark's data-reference stream through a standalone L1 data cache and
+// counts misses. Results are memoized — a profile is a static property of a
+// benchmark, gathered once, exactly as an offline profiling run would be.
+
+// ProfileLen is the instruction count of the standard profiling run. It is
+// long enough that every benchmark's miss behaviour is past warm-up.
+const ProfileLen = 200_000
+
+// profileKey memoizes per (benchmark, length).
+type profileKey struct {
+	name string
+	n    int
+}
+
+var (
+	profileMu    sync.Mutex
+	profileCache = map[profileKey]uint64{}
+)
+
+// DCacheMisses returns the number of L1 data-cache misses benchmark b incurs
+// over an n-instruction profiling run on the paper's 64KB L1D. The result
+// is deterministic and memoized.
+func DCacheMisses(b Benchmark, n int) (uint64, error) {
+	key := profileKey{b.Name, n}
+	profileMu.Lock()
+	if v, ok := profileCache[key]; ok {
+		profileMu.Unlock()
+		return v, nil
+	}
+	profileMu.Unlock()
+
+	prog, err := b.Build(0)
+	if err != nil {
+		return 0, err
+	}
+	l1d := cache.New(cache.DefaultL1D())
+	// The profiling run uses base 0: only the miss *count ordering* across
+	// benchmarks matters to the mapping policy, and it is base independent.
+	s := trace.NewStream(prog, b.Params.Seed, 0)
+	for i := 0; i < n; i++ {
+		in, _ := s.Next()
+		if in.Class.IsMem() {
+			l1d.Access(in.EffAddr, uint64(i))
+		}
+	}
+	misses := l1d.Stats().Misses
+
+	profileMu.Lock()
+	profileCache[key] = misses
+	profileMu.Unlock()
+	return misses, nil
+}
+
+// Profile is one benchmark's profiling summary.
+type Profile struct {
+	Benchmark Benchmark
+	Misses    uint64
+}
+
+// ProfileAll profiles every given benchmark over the standard run length and
+// returns the results sorted by ascending miss count — the order of the
+// mapping policy's thread list T ("the first thread in T is the one with the
+// lesser number of misses").
+func ProfileAll(bs []Benchmark) ([]Profile, error) {
+	out := make([]Profile, len(bs))
+	for i, b := range bs {
+		m, err := DCacheMisses(b, ProfileLen)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Profile{Benchmark: b, Misses: m}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Misses < out[j].Misses })
+	return out, nil
+}

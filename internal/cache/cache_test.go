@@ -1,0 +1,355 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig() Config {
+	return Config{Name: "t", SizeBytes: 1024, LineBytes: 64, Assoc: 2, Banks: 4}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := smallConfig()
+	if err := good.check(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Name: "zero", SizeBytes: 0, LineBytes: 64, Assoc: 2, Banks: 1},
+		{Name: "line", SizeBytes: 1024, LineBytes: 48, Assoc: 2, Banks: 1},
+		{Name: "div", SizeBytes: 1000, LineBytes: 64, Assoc: 2, Banks: 1},
+		{Name: "sets", SizeBytes: 64 * 2 * 3, LineBytes: 64, Assoc: 2, Banks: 1},
+		{Name: "banks", SizeBytes: 1024, LineBytes: 64, Assoc: 2, Banks: 3},
+	}
+	for _, cfg := range bad {
+		if err := cfg.check(); err == nil {
+			t.Errorf("config %s should be rejected", cfg.Name)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New must panic on invalid geometry")
+		}
+	}()
+	New(Config{Name: "bad"})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(smallConfig())
+	if hit, _ := c.Access(0x1000, 0); hit {
+		t.Error("cold access must miss")
+	}
+	if hit, _ := c.Access(0x1000, 1); !hit {
+		t.Error("second access must hit")
+	}
+	if hit, _ := c.Access(0x1008, 2); !hit {
+		t.Error("same-line access must hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 1KB, 64B lines, 2-way: 8 sets. Three lines mapping to set 0:
+	// addresses 0, 8*64=512... set index = (addr/64) % 8.
+	c := New(smallConfig())
+	a, b, x := uint64(0), uint64(512), uint64(1024)
+	c.Access(a, 0) // miss, insert
+	c.Access(b, 1) // miss, insert
+	c.Access(a, 2) // hit: a is now MRU
+	c.Access(x, 3) // miss: must evict b (LRU)
+	if !c.Probe(a) {
+		t.Error("a should survive")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted")
+	}
+	if !c.Probe(x) {
+		t.Error("x should be resident")
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c := New(smallConfig())
+	c.Access(0, 0)
+	before := c.Stats()
+	if c.Probe(4096) {
+		t.Error("probe of absent line reported hit")
+	}
+	if got := c.Stats(); got != before {
+		t.Error("Probe changed statistics")
+	}
+}
+
+func TestBankConflicts(t *testing.T) {
+	c := New(smallConfig()) // 4 banks
+	// Two different lines in the same bank, same cycle:
+	// bank = line & 3; lines 0 and 4 share bank 0.
+	c.Access(0, 10)
+	_, delay := c.Access(4*64, 10)
+	if delay != 1 {
+		t.Errorf("same-bank same-cycle delay = %d, want 1", delay)
+	}
+	// Different bank same cycle: no delay.
+	_, delay = c.Access(1*64, 10)
+	if delay != 0 {
+		t.Errorf("different-bank delay = %d, want 0", delay)
+	}
+	// Same bank next cycle: no delay.
+	_, delay = c.Access(8*64, 11)
+	if delay != 0 {
+		t.Errorf("next-cycle delay = %d, want 0", delay)
+	}
+	if c.Stats().BankConflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", c.Stats().BankConflicts)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := New(smallConfig())
+	c.Access(0, 0)
+	c.Reset()
+	if c.Stats() != (Stats{}) {
+		t.Error("stats not cleared")
+	}
+	if c.Probe(0) {
+		t.Error("contents not cleared")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats miss rate must be 0")
+	}
+	s = Stats{Accesses: 10, Misses: 3}
+	if s.MissRate() != 0.3 {
+		t.Errorf("miss rate = %v", s.MissRate())
+	}
+}
+
+// Property: a working set that fits in the cache has no capacity misses
+// after the first pass, regardless of base address.
+func TestResidentWorkingSetProperty(t *testing.T) {
+	f := func(rawBase uint32) bool {
+		c := New(Config{Name: "p", SizeBytes: 8192, LineBytes: 64, Assoc: 2, Banks: 1})
+		base := uint64(rawBase) << 6 // line aligned
+		// 32 lines = 2KB working set in an 8KB cache.
+		for pass := 0; pass < 3; pass++ {
+			for i := uint64(0); i < 32; i++ {
+				c.Access(base+i*64, uint64(pass*32)+i)
+			}
+		}
+		return c.Stats().Misses == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: miss count never exceeds access count, and Probe agrees with a
+// repeat Access hit.
+func TestCacheInvariants(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(smallConfig())
+		for i, a := range addrs {
+			c.Access(uint64(a), uint64(i))
+			if !c.Probe(uint64(a)) {
+				return false // just-accessed line must be resident
+			}
+		}
+		st := c.Stats()
+		return st.Misses <= st.Accesses && st.Accesses == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBBasic(t *testing.T) {
+	tlb := NewTLB(4, 8192)
+	if tlb.Access(0) {
+		t.Error("cold TLB access must miss")
+	}
+	if !tlb.Access(4095) {
+		t.Error("same-page access must hit")
+	}
+	if tlb.Access(8192) {
+		t.Error("next page must miss")
+	}
+	st := tlb.Stats()
+	if st.Accesses != 3 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTLBLRU(t *testing.T) {
+	tlb := NewTLB(2, 8192)
+	p := func(n uint64) uint64 { return n * 8192 }
+	tlb.Access(p(0))
+	tlb.Access(p(1))
+	tlb.Access(p(0)) // page 0 MRU
+	tlb.Access(p(2)) // evict page 1
+	if !tlb.Probe(p(0)) {
+		t.Error("page 0 should survive")
+	}
+	if tlb.Probe(p(1)) {
+		t.Error("page 1 should be evicted")
+	}
+	if !tlb.Probe(p(2)) {
+		t.Error("page 2 should be resident")
+	}
+}
+
+func TestTLBReset(t *testing.T) {
+	tlb := NewTLB(4, 8192)
+	tlb.Access(0)
+	tlb.Reset()
+	if tlb.Stats() != (Stats{}) || tlb.Probe(0) {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestTLBPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTLB(0, 8192) },
+		func() { NewTLB(4, 1000) },
+		func() { NewTLB(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHierarchyLoadLatencies(t *testing.T) {
+	h := NewHierarchy()
+	p := h.Params
+
+	// Cold access: TLB miss + L1 miss + L2 miss.
+	r := h.Load(0x100000, 0)
+	want := p.L1HitLatency + p.TLBMissCycles + p.L1MissPenalty + p.MemLatency
+	if r.Latency != want || !r.L1Miss || !r.L2Miss || !r.TLBMiss {
+		t.Errorf("cold load = %+v, want latency %d", r, want)
+	}
+
+	// Warm access: everything hits.
+	r = h.Load(0x100000, 1)
+	if r.Latency != p.L1HitLatency || r.L1Miss || r.L2Miss || r.TLBMiss {
+		t.Errorf("warm load = %+v", r)
+	}
+}
+
+func TestHierarchyL2HitPath(t *testing.T) {
+	h := NewHierarchy()
+	p := h.Params
+	addr := uint64(0x200000)
+	h.Load(addr, 0) // warm L2 + TLB
+	// Evict addr from the 64KB 2-way L1D by touching two conflicting lines.
+	// Sets = 64KB/(64*2) = 512; conflict stride = 512*64 = 32KB.
+	h.Load(addr+32<<10, 1)
+	h.Load(addr+64<<10, 2)
+	r := h.Load(addr, 3)
+	want := p.L1HitLatency + p.L1MissPenalty
+	if r.Latency != want || !r.L1Miss || r.L2Miss {
+		t.Errorf("L2-hit load = %+v, want latency %d", r, want)
+	}
+}
+
+func TestHierarchyFetch(t *testing.T) {
+	h := NewHierarchy()
+	r := h.Fetch(0x1000, 0)
+	if !r.L1Miss || !r.L2Miss || !r.TLBMiss {
+		t.Errorf("cold fetch = %+v", r)
+	}
+	r = h.Fetch(0x1000, 1)
+	if r.Latency != h.Params.L1HitLatency {
+		t.Errorf("warm fetch latency = %d", r.Latency)
+	}
+	if h.L1D.Stats().Accesses != 0 {
+		t.Error("fetch must not touch the data cache")
+	}
+}
+
+func TestHierarchyStoreUpdatesState(t *testing.T) {
+	h := NewHierarchy()
+	h.Store(0x5000, 0)
+	r := h.Load(0x5000, 1)
+	if r.L1Miss {
+		t.Error("load after store to same line must hit")
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy()
+	h.Load(0x1000, 0)
+	h.Fetch(0x2000, 0)
+	h.Reset()
+	if h.L1D.Stats().Accesses != 0 || h.L1I.Stats().Accesses != 0 ||
+		h.L2.Stats().Accesses != 0 || h.DTLB.Stats().Accesses != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestL2DetectLatency(t *testing.T) {
+	h := NewHierarchy()
+	want := 3 + 22 + 12
+	if got := h.L2DetectLatency(); got != want {
+		t.Errorf("L2DetectLatency = %d, want %d", got, want)
+	}
+	// An L2 hit resolves within the detection window; an L2 miss does not.
+	p := h.Params
+	l2hit := p.L1HitLatency + p.L1MissPenalty
+	l2miss := l2hit + p.MemLatency
+	if l2hit > h.L2DetectLatency() {
+		t.Error("L2 hits must resolve within the detection latency")
+	}
+	if l2miss <= h.L2DetectLatency() {
+		t.Error("L2 misses must exceed the detection latency")
+	}
+}
+
+func TestDefaultGeometries(t *testing.T) {
+	// Table 1 geometries.
+	for _, tc := range []struct {
+		cfg  Config
+		size int
+	}{
+		{DefaultL1I(), 64 << 10},
+		{DefaultL1D(), 64 << 10},
+		{DefaultL2(), 512 << 10},
+	} {
+		if tc.cfg.SizeBytes != tc.size || tc.cfg.Assoc != 2 || tc.cfg.Banks != 8 {
+			t.Errorf("%s geometry %+v does not match Table 1", tc.cfg.Name, tc.cfg)
+		}
+	}
+	p := DefaultParams()
+	if p.L1HitLatency != 3 || p.L1MissPenalty != 22 || p.L2Latency != 12 ||
+		p.MemLatency != 250 || p.TLBMissCycles != 300 {
+		t.Errorf("params %+v do not match Table 1", p)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(DefaultL1D())
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*64, uint64(i))
+	}
+}
+
+func BenchmarkHierarchyLoad(b *testing.B) {
+	h := NewHierarchy()
+	for i := 0; i < b.N; i++ {
+		h.Load(uint64(i)*8%(1<<20), uint64(i))
+	}
+}

@@ -1,0 +1,158 @@
+package cache
+
+// Params carries the latency constants of paper Table 1.
+type Params struct {
+	L1HitLatency  int // L1 latency: 3 cycles
+	L1MissPenalty int // additional cycles for an L1 miss that hits L2: 22
+	L2Latency     int // L2 array access time (used by FLUSH's miss detector): 12
+	MemLatency    int // additional cycles for an L2 miss: 250
+	TLBMissCycles int // penalty added on a TLB miss: 300
+	PageBytes     int
+}
+
+// DefaultParams returns the paper's Table 1 latencies.
+func DefaultParams() Params {
+	return Params{
+		L1HitLatency:  3,
+		L1MissPenalty: 22,
+		L2Latency:     12,
+		MemLatency:    250,
+		TLBMissCycles: 300,
+		PageBytes:     DefaultPageBytes,
+	}
+}
+
+// DefaultL1I, DefaultL1D and DefaultL2 return the paper's cache geometries.
+func DefaultL1I() Config {
+	return Config{Name: "L1I", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, Banks: 8}
+}
+
+// DefaultL1D returns the 64KB 2-way 8-banked data cache configuration.
+func DefaultL1D() Config {
+	return Config{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, Banks: 8}
+}
+
+// DefaultL2 returns the 512KB 2-way 8-banked unified L2 configuration.
+func DefaultL2() Config {
+	return Config{Name: "L2", SizeBytes: 512 << 10, LineBytes: 64, Assoc: 2, Banks: 8}
+}
+
+// TLB geometries from Table 1.
+const (
+	DefaultITLBEntries = 48
+	DefaultDTLBEntries = 128
+)
+
+// Hierarchy is the shared memory subsystem: split L1s, unified L2, TLBs.
+// In both monolithic SMT and hdSMT all threads and all pipelines share it
+// (paper §2: "all the pipelines share the memory subsystem — including L1
+// caches").
+type Hierarchy struct {
+	Params Params
+	L1I    *Cache
+	L1D    *Cache
+	L2     *Cache
+	ITLB   *TLB
+	DTLB   *TLB
+}
+
+// NewHierarchy assembles the default paper configuration.
+func NewHierarchy() *Hierarchy {
+	return NewHierarchyWith(DefaultParams(), DefaultL1I(), DefaultL1D(), DefaultL2())
+}
+
+// NewHierarchyWith assembles a hierarchy from explicit configurations.
+func NewHierarchyWith(p Params, l1i, l1d, l2 Config) *Hierarchy {
+	return &Hierarchy{
+		Params: p,
+		L1I:    New(l1i),
+		L1D:    New(l1d),
+		L2:     New(l2),
+		ITLB:   NewTLB(DefaultITLBEntries, p.PageBytes),
+		DTLB:   NewTLB(DefaultDTLBEntries, p.PageBytes),
+	}
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+}
+
+// Result describes the outcome of a data access.
+type Result struct {
+	Latency int  // total cycles until the value is available
+	L1Miss  bool // missed in the L1
+	L2Miss  bool // missed in the L2 (went to memory)
+	TLBMiss bool
+}
+
+// Load performs a data-cache load at the given cycle and returns its timing.
+func (h *Hierarchy) Load(addr uint64, cycle uint64) Result {
+	return h.dataAccess(addr, cycle)
+}
+
+// Store performs a data-cache store. The paper's model (like SMTSIM) retires
+// stores through the same banked L1; a store's latency does not stall the
+// thread but the line allocation affects later loads, so state is updated
+// identically.
+func (h *Hierarchy) Store(addr uint64, cycle uint64) Result {
+	return h.dataAccess(addr, cycle)
+}
+
+func (h *Hierarchy) dataAccess(addr uint64, cycle uint64) Result {
+	var r Result
+	r.Latency = h.Params.L1HitLatency
+	if !h.DTLB.Access(addr) {
+		r.TLBMiss = true
+		r.Latency += h.Params.TLBMissCycles
+	}
+	hit, delay := h.L1D.Access(addr, cycle)
+	r.Latency += delay
+	if hit {
+		return r
+	}
+	r.L1Miss = true
+	r.Latency += h.Params.L1MissPenalty
+	l2hit, _ := h.L2.Access(addr, cycle)
+	if !l2hit {
+		r.L2Miss = true
+		r.Latency += h.Params.MemLatency
+	}
+	return r
+}
+
+// Fetch performs an instruction-cache access for the line containing addr
+// and returns its timing.
+func (h *Hierarchy) Fetch(addr uint64, cycle uint64) Result {
+	var r Result
+	r.Latency = h.Params.L1HitLatency
+	if !h.ITLB.Access(addr) {
+		r.TLBMiss = true
+		r.Latency += h.Params.TLBMissCycles
+	}
+	hit, delay := h.L1I.Access(addr, cycle)
+	r.Latency += delay
+	if hit {
+		return r
+	}
+	r.L1Miss = true
+	r.Latency += h.Params.L1MissPenalty
+	l2hit, _ := h.L2.Access(addr, cycle)
+	if !l2hit {
+		r.L2Miss = true
+		r.Latency += h.Params.MemLatency
+	}
+	return r
+}
+
+// L2DetectLatency returns the cycle count beyond which a load has evidently
+// missed in the L2. The FLUSH fetch policy (Tullsen & Brown, used by the
+// baseline) "predicts an L2 miss every time a load spends more cycles in the
+// cache hierarchy than needed to access the L2 cache".
+func (h *Hierarchy) L2DetectLatency() int {
+	return h.Params.L1HitLatency + h.Params.L1MissPenalty + h.Params.L2Latency
+}

@@ -1,0 +1,78 @@
+package cache
+
+import "fmt"
+
+// TLB is a fully associative translation lookaside buffer with true-LRU
+// replacement (paper Table 1: 48-entry I-TLB, 128-entry D-TLB, 300-cycle
+// miss penalty).
+type TLB struct {
+	entries   []way
+	pageShift uint
+	stamp     uint64
+	stats     Stats
+}
+
+// DefaultPageBytes is the page size used for translations.
+const DefaultPageBytes = 8192
+
+// NewTLB builds a TLB with the given number of entries and page size.
+func NewTLB(entries, pageBytes int) *TLB {
+	if entries <= 0 {
+		panic(fmt.Sprintf("cache: TLB entries %d must be positive", entries))
+	}
+	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: page size %d must be a positive power of two", pageBytes))
+	}
+	t := &TLB{entries: make([]way, entries)}
+	for ps := pageBytes; ps > 1; ps >>= 1 {
+		t.pageShift++
+	}
+	return t
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Reset clears contents and statistics.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = way{}
+	}
+	t.stamp = 0
+	t.stats = Stats{}
+}
+
+// Access translates addr, reporting whether the page was resident and
+// allocating the entry on a miss.
+func (t *TLB) Access(addr uint64) (hit bool) {
+	t.stats.Accesses++
+	t.stamp++
+	page := addr >> t.pageShift
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.tag == page {
+			e.lru = t.stamp
+			return true
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.stats.Misses++
+	t.entries[victim] = way{tag: page, valid: true, lru: t.stamp}
+	return false
+}
+
+// Probe reports residency without modifying state.
+func (t *TLB) Probe(addr uint64) bool {
+	page := addr >> t.pageShift
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].tag == page {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,568 @@
+package core
+
+import (
+	"fmt"
+
+	"hdsmt/internal/fetch"
+	"hdsmt/internal/isa"
+	"hdsmt/internal/pipeline"
+	"hdsmt/internal/regfile"
+	"hdsmt/internal/trace"
+)
+
+// ringSize bounds how far ahead a completion or flush event can be
+// scheduled: it must exceed the worst-case completion latency (TLB miss 300
+// + L1 miss 22 + memory 250 + execute + register write ≈ 600).
+const ringSize = 1024
+
+// step advances the processor one cycle. Stages run commit-first (reverse
+// pipeline order) so resources freed in a cycle become usable the next
+// cycle, the conventional discipline for cycle-level simulators.
+func (p *Processor) step() {
+	p.cycle++
+	p.stats.Cycles = p.cycle
+	p.maybeRemap()
+	p.commitStage()
+	p.writebackStage()
+	p.issueStage()
+	p.dispatchStage()
+	p.fetchStage()
+}
+
+// ---------------------------------------------------------------- commit --
+
+// commitStage retires completed instructions in order from each thread's
+// ROB. Each pipeline has Width total commit bandwidth per cycle, shared
+// among its threads; the starting thread rotates for fairness.
+func (p *Processor) commitStage() {
+	for _, b := range p.pipes {
+		n := len(b.Threads)
+		if n == 0 {
+			continue
+		}
+		bw := b.Model.Width
+		start := int(p.cycle) % n
+		for k := 0; k < n && bw > 0; k++ {
+			t := p.threads[b.Threads[(start+k)%n]]
+			for bw > 0 && !t.finished {
+				u, ok := t.rob.Head()
+				if !ok || u.Stage != pipeline.StageDone {
+					break
+				}
+				p.commitOne(t, u)
+				bw--
+			}
+		}
+	}
+}
+
+func (p *Processor) commitOne(t *thread, u *pipeline.UOp) {
+	if u.Inst.WrongPath {
+		panic(fmt.Sprintf("core: committing wrong-path uop pc=%#x", u.Inst.PC))
+	}
+	if u.Inst.Class.IsStore() {
+		// Stores retire their cache write at commit, so wrong-path stores
+		// never touch memory state.
+		p.hier.Store(u.Inst.EffAddr, p.cycle)
+	}
+	if u.Inst.HasDest() {
+		t.renameMap.Commit(u)
+		p.rf.Release(u.DestPhys)
+	}
+	u.Stage = pipeline.StageCommitted
+	t.rob.PopHead()
+	if p.commitHook != nil {
+		p.commitHook(t.id, u.Inst)
+	}
+	t.committed++
+	p.stats.TotalCommitted++
+	t.retireTrim(u.Inst.Seq)
+	if t.target > 0 && t.committed >= t.target {
+		t.finished = true
+	}
+	p.releaseUOp(u)
+}
+
+// ------------------------------------------------------------- writeback --
+
+// writebackStage completes executions finishing this cycle: results become
+// visible, loads stop counting as in flight, control instructions resolve
+// (training the predictor and triggering mispredict recovery), and pending
+// FLUSH events fire.
+func (p *Processor) writebackStage() {
+	c := p.cycle
+	// FLUSH events fire before completions: detection happens mid-flight,
+	// well before the load's own completion cycle.
+	slot := c % ringSize
+	for _, u := range p.flushAt[slot] {
+		if u.Stage == pipeline.StageIssued {
+			p.doFlush(u)
+		}
+	}
+	p.flushAt[slot] = p.flushAt[slot][:0]
+
+	for _, u := range p.completions[slot] {
+		if u.Stage != pipeline.StageIssued {
+			continue // squashed while executing
+		}
+		u.Stage = pipeline.StageDone
+		t := p.threads[u.Thread]
+		if u.DestPhys != regfile.None {
+			p.rf.SetReady(u.DestPhys)
+		}
+		if u.Inst.Class.IsLoad() {
+			t.inflightLoads--
+		}
+		if t.flushStalled == u {
+			// The L2-missing load the FLUSH mechanism stalled this thread
+			// on has resolved; fetch may proceed (paper: "the offending
+			// thread is stalled until the load is resolved").
+			t.flushStalled = nil
+		}
+		if u.Inst.Class.IsControl() && !u.Inst.WrongPath {
+			p.resolveControl(t, u)
+		}
+	}
+	p.completions[slot] = p.completions[slot][:0]
+}
+
+// resolveControl trains the front-end structures with a resolved
+// correct-path control instruction and performs mispredict recovery.
+func (p *Processor) resolveControl(t *thread, u *pipeline.UOp) {
+	in := &u.Inst
+	if in.Class.IsConditional() {
+		p.pred.ResolveWith(t.id, in.PC, in.Taken, u.PredTaken)
+	}
+	if in.Taken {
+		p.btb.Update(in.PC, in.Target)
+	}
+	if u.Mispredict {
+		t.stats.Mispredicts++
+		p.squashAfter(t, u.FetchSeq)
+		t.pc = in.NextPC()
+		t.wrongPath = false
+		t.wrongPathPC = false
+		// Redirect clobbers any pending fetch stall: an in-flight
+		// wrong-path I-cache miss is moot once fetch steers elsewhere.
+		t.fetchReadyAt = p.cycle + 1
+	}
+}
+
+// doFlush implements the FLUSH mechanism (Tullsen & Brown; paper §4): on a
+// detected L2 miss, the instructions after the missing load are flushed and
+// the thread stalls until the load resolves, freeing shared resources for
+// the other threads.
+func (p *Processor) doFlush(u *pipeline.UOp) {
+	t := p.threads[u.Thread]
+	u.FlushMiss = true
+	t.stats.Flushes++
+	p.squashAfter(t, u.FetchSeq)
+	t.flushStalled = u
+	// Re-fetch resumes, after the stall, at the instruction following the
+	// load; the squashed correct-path instructions replay from the buffer.
+	t.rewindTo(u.Inst.Seq + 1)
+	t.pc = u.Inst.FallThrough()
+	t.wrongPath = false
+	t.wrongPathPC = false
+	t.fetchReadyAt = p.cycle + 1 // stale wrong-path fetch stalls are moot
+}
+
+// ---------------------------------------------------------------- squash --
+
+// squashAfter removes every uop of thread t younger than fetch-order
+// boundary: ROB entries youngest-first (so rename rollback is well ordered),
+// then not-yet-dispatched fetch-buffer entries.
+func (p *Processor) squashAfter(t *thread, boundary uint64) {
+	for {
+		u, ok := t.rob.Tail()
+		if !ok || u.FetchSeq <= boundary {
+			break
+		}
+		t.rob.PopTail()
+		p.squashUOp(t, u)
+	}
+	b := p.pipes[t.pipe]
+	b.FetchBuf.Do(func(i int, u *pipeline.UOp) bool {
+		if u.Thread == t.id && u.FetchSeq > boundary && u.Stage == pipeline.StageFetched {
+			p.squashUOp(t, u)
+		}
+		return true
+	})
+}
+
+// squashUOp undoes one uop's resource holdings. Callers guarantee rename
+// rollback order (youngest writer first within the thread).
+func (p *Processor) squashUOp(t *thread, u *pipeline.UOp) {
+	switch u.Stage {
+	case pipeline.StageFetched:
+		// Still in the fetch buffer: no rename state. The buffer slot
+		// itself drains at dispatch.
+		t.icount--
+	case pipeline.StageDispatched:
+		p.pipes[u.Pipe].QueueFor(u.Inst.Class).Remove(u)
+		u.ReadSources(p.rf) // drop reader references
+		if u.Inst.HasDest() {
+			t.renameMap.Squash(u)
+			p.rf.Release(u.DestPhys)
+		}
+		t.icount--
+	case pipeline.StageIssued, pipeline.StageDone:
+		// Sources were read at issue. The completion event, if still
+		// pending, sees StageSquashed and is ignored.
+		if u.Inst.HasDest() {
+			t.renameMap.Squash(u)
+			p.rf.Release(u.DestPhys)
+		}
+	default:
+		panic(fmt.Sprintf("core: squashing uop in stage %v", u.Stage))
+	}
+	if u.Inst.Class.IsLoad() && u.Stage != pipeline.StageDone {
+		t.inflightLoads--
+	}
+	// Issued uops stay referenced by their pending completion-ring entry
+	// and must not be recycled; every other stage is safe. Fetched uops
+	// remain in the fetch buffer until dispatch drains them, so they are
+	// recycled there, not here.
+	if u.Stage == pipeline.StageDispatched || u.Stage == pipeline.StageDone {
+		p.releaseUOp(u)
+	}
+	u.Stage = pipeline.StageSquashed
+	t.stats.Squashed++
+	p.stats.TotalSquashed++
+}
+
+// allocUOp takes a recycled uop record or allocates a fresh one.
+func (p *Processor) allocUOp() *pipeline.UOp {
+	if n := len(p.freeUOps); n > 0 {
+		u := p.freeUOps[n-1]
+		p.freeUOps = p.freeUOps[:n-1]
+		return u
+	}
+	return new(pipeline.UOp)
+}
+
+// releaseUOp returns a uop record to the pool. Callers guarantee no pending
+// event-ring entry still references it.
+func (p *Processor) releaseUOp(u *pipeline.UOp) {
+	p.freeUOps = append(p.freeUOps, u)
+}
+
+// ----------------------------------------------------------------- issue --
+
+// issueStage selects ready instructions from each pipeline's queues
+// (oldest-first, IQ then LQ then FQ) and starts them on functional units,
+// up to the pipeline's width.
+func (p *Processor) issueStage() {
+	c := p.cycle
+	extraRF := uint64(p.cfg.Params.RegAccessLatency - 1)
+	var issued []*pipeline.UOp
+	for _, b := range p.pipes {
+		budget := b.Model.Width
+		for _, q := range [...]*pipeline.IssueQueue{b.IQ, b.LQ, b.FQ} {
+			if budget == 0 {
+				break
+			}
+			issued = issued[:0]
+			q.Do(func(u *pipeline.UOp) bool {
+				if budget == 0 {
+					return false
+				}
+				if u.IssueAt > c || !u.Ready(p.rf) {
+					return true
+				}
+				if !b.Units.TryIssue(u.Inst.Class, c) {
+					return true
+				}
+				p.issueOne(u, c, extraRF)
+				issued = append(issued, u)
+				budget--
+				return true
+			})
+			for _, u := range issued {
+				q.Remove(u)
+			}
+		}
+	}
+}
+
+func (p *Processor) issueOne(u *pipeline.UOp, c, extraRF uint64) {
+	t := p.threads[u.Thread]
+	u.ReadSources(p.rf)
+	lat := uint64(isa.Latency(u.Inst.Class))
+	if u.Inst.Class.IsLoad() {
+		res := p.hier.Load(u.Inst.EffAddr, c)
+		lat += uint64(res.Latency)
+		if !u.Inst.WrongPath {
+			if res.L1Miss {
+				t.stats.LoadMisses++
+			}
+			if res.L2Miss {
+				t.stats.L2LoadMisses++
+				if p.flushMech {
+					// FLUSH detects the L2 miss once the load has been in
+					// the hierarchy longer than an L2 hit could take.
+					at := (c + uint64(p.hier.L2DetectLatency())) % ringSize
+					p.flushAt[at] = append(p.flushAt[at], u)
+				}
+			}
+		}
+	}
+	u.DoneCycle = c + lat + extraRF
+	if u.DoneCycle-c >= ringSize {
+		panic(fmt.Sprintf("core: completion latency %d exceeds event ring", u.DoneCycle-c))
+	}
+	u.Stage = pipeline.StageIssued
+	p.stats.TotalIssued++
+	t.icount--
+	slot := u.DoneCycle % ringSize
+	p.completions[slot] = append(p.completions[slot], u)
+}
+
+// -------------------------------------------------------------- dispatch --
+
+// dispatchStage moves instructions from each pipeline's fetch buffer through
+// rename into the issue queues and the owning thread's ROB, in order, up to
+// the pipeline width and its threads-per-cycle limit. A blocked head stalls
+// the buffer (in-order dispatch).
+func (p *Processor) dispatchStage() {
+	var srcScratch [2]isa.Reg
+	for _, b := range p.pipes {
+		dispatched := 0
+		var seen [2]int // thread ids dispatched this cycle (ThreadsPerCycle <= 2)
+		nSeen := 0
+		for dispatched < b.Model.Width {
+			u, ok := b.FetchBuf.Head()
+			if !ok {
+				break
+			}
+			if u.Stage == pipeline.StageSquashed {
+				b.FetchBuf.PopHead()
+				p.releaseUOp(u)
+				continue
+			}
+			isNew := true
+			for i := 0; i < nSeen; i++ {
+				if seen[i] == u.Thread {
+					isNew = false
+					break
+				}
+			}
+			if isNew && nSeen >= b.Model.ThreadsPerCycle {
+				break
+			}
+			t := p.threads[u.Thread]
+			if t.rob.Full() {
+				break
+			}
+			q := b.QueueFor(u.Inst.Class)
+			if q.Full() {
+				break
+			}
+			// Rename: allocate the destination, resolve the sources.
+			if u.Inst.HasDest() {
+				ph, ok := p.rf.Alloc()
+				if !ok {
+					break // shared register file exhausted: stall
+				}
+				u.DestPhys = ph
+			}
+			srcs := u.Inst.Sources(srcScratch[:0])
+			for i, r := range srcs {
+				ph := t.renameMap.Lookup(r)
+				u.Src[i] = ph
+				p.rf.AddReader(ph)
+			}
+			if u.Inst.HasDest() {
+				t.renameMap.Rename(u)
+			}
+			u.IssueAt = u.FetchCycle + frontLatency + uint64(p.cfg.Params.RegAccessLatency-1)
+			u.Stage = pipeline.StageDispatched
+			q.Add(u)
+			if !t.rob.PushTail(u) {
+				panic("core: ROB overflow after Full check")
+			}
+			b.FetchBuf.PopHead()
+			p.stats.TotalDispatched++
+			if isNew {
+				seen[nSeen] = u.Thread
+				nSeen++
+			}
+			dispatched++
+		}
+	}
+}
+
+// ----------------------------------------------------------------- fetch --
+
+// fetchStage runs the shared fetch engine: the policy ranks threads, and up
+// to FetchMaxThreads threads supply up to FetchWidth instructions total into
+// their pipelines' decoupling buffers.
+func (p *Processor) fetchStage() {
+	c := p.cycle
+	states := p.stateScratch[:0]
+	for _, t := range p.threads {
+		states = append(states, fetch.ThreadState{
+			ID:            t.id,
+			Fetchable:     t.fetchable(c) && !p.pipes[t.pipe].FetchBuf.Full(),
+			ICount:        t.icount,
+			InflightLoads: t.inflightLoads,
+			PipeWidth:     p.pipes[t.pipe].Model.Width,
+		})
+	}
+	p.stateScratch = states
+
+	order := p.policy.Order(p.orderScratch[:0], states)
+	p.orderScratch = order
+
+	fetched, threadsUsed := 0, 0
+	for _, tid := range order {
+		if fetched >= p.cfg.Params.FetchWidth || threadsUsed >= p.cfg.Params.FetchMaxThreads {
+			break
+		}
+		t := p.threads[tid]
+		b := p.pipes[t.pipe]
+		threadsUsed++
+		line := t.pc &^ 63
+		if t.lineBuf != line {
+			res := p.hier.Fetch(t.pc, c)
+			if res.L1Miss || res.TLBMiss {
+				// The thread's fetch stalls until the line arrives in the
+				// fill buffer; the cache port was consumed regardless.
+				t.fetchReadyAt = c + uint64(res.Latency)
+				t.lineBuf = line
+				continue
+			}
+		}
+		fetched += p.fetchThread(t, b, c, p.cfg.Params.FetchWidth-fetched)
+	}
+	p.stats.TotalFetched += uint64(fetched)
+}
+
+// fetchThread fetches up to budget instructions for t into its pipeline's
+// buffer, stopping at the cache-line boundary, at a predicted-taken control
+// instruction, or when the buffer fills.
+func (p *Processor) fetchThread(t *thread, b *pipeline.Backend, c uint64, budget int) int {
+	lineEnd := (t.pc &^ 63) + 64
+	n := 0
+	for n < budget && t.pc < lineEnd && !b.FetchBuf.Full() {
+		u := p.fetchOne(t, c)
+		if u == nil {
+			break // wrong-path fetch escaped the program
+		}
+		if !b.FetchBuf.PushTail(u) {
+			panic("core: fetch buffer overflow after Full check")
+		}
+		t.icount++
+		if u.Inst.Class.IsLoad() {
+			t.inflightLoads++
+		}
+		t.stats.Fetched++
+		if u.Inst.WrongPath {
+			t.stats.WrongPath++
+		}
+		n++
+		if u.Inst.Class.IsControl() && u.PredTaken {
+			break // fetch does not follow a taken redirect within a cycle
+		}
+	}
+	return n
+}
+
+// wrongPathSeedSalt decorrelates wrong-path materializations from the
+// correct path.
+const wrongPathSeedSalt = 0x57505350 // "WPSP"
+
+// fetchOne produces the uop at t.pc, consuming the correct-path stream or
+// synthesizing a wrong-path instance, and runs branch prediction to advance
+// the fetch PC.
+func (p *Processor) fetchOne(t *thread, c uint64) *pipeline.UOp {
+	var in isa.Instruction
+	if t.wrongPath {
+		st, ok := t.spec.Program.StaticAt(t.pc)
+		if !ok {
+			// Predicted target escaped the program (e.g. an empty-RAS
+			// return prediction): fetch idles until recovery.
+			t.wrongPathPC = true
+			return nil
+		}
+		in = trace.Materialize(st, t.spec.Seed^wrongPathSeedSalt, t.spec.DataBase, t.wpCount)
+		in.WrongPath = true
+		t.wpCount++
+	} else {
+		next := t.nextCorrect()
+		if next.PC != t.pc {
+			panic(fmt.Sprintf("core: thread %d fetch desync: pc=%#x stream=%#x",
+				t.id, t.pc, next.PC))
+		}
+		in = *next
+		t.advanceCorrect()
+	}
+
+	u := p.allocUOp()
+	*u = pipeline.UOp{
+		Inst:       in,
+		Thread:     t.id,
+		Pipe:       t.pipe,
+		FetchSeq:   t.fetchSeq,
+		FetchCycle: c,
+		DestPhys:   regfile.None,
+		Src:        [2]int{regfile.None, regfile.None},
+	}
+	t.fetchSeq++
+
+	if !in.Class.IsControl() {
+		t.pc = in.FallThrough()
+		return u
+	}
+
+	predTaken, predTarget, bubble := p.predictControl(t, &in)
+	u.PredTaken = predTaken
+	u.PredTarget = predTarget
+	if !in.WrongPath {
+		u.Mispredict = predTaken != in.Taken ||
+			(predTaken && in.Taken && predTarget != in.Target)
+		if u.Mispredict {
+			t.wrongPath = true
+		}
+	}
+	if predTaken {
+		t.pc = predTarget
+	} else {
+		t.pc = in.FallThrough()
+	}
+	if bubble && t.fetchReadyAt < c+1 {
+		t.fetchReadyAt = c + 1 // BTB miss: target computed at decode
+	}
+	return u
+}
+
+// predictControl predicts the direction and target of a control instruction
+// at fetch. bubble reports a BTB miss on a predicted-taken direct target
+// (the front end loses a cycle computing it).
+func (p *Processor) predictControl(t *thread, in *isa.Instruction) (taken bool, target uint64, bubble bool) {
+	switch in.Class {
+	case isa.Branch:
+		taken = p.pred.Predict(t.id, in.PC)
+	case isa.Jump, isa.Call, isa.Return:
+		taken = true
+	}
+	if in.Class == isa.Call {
+		p.ras[t.id].Push(in.FallThrough())
+	}
+	if in.Class == isa.Return {
+		if tgt, ok := p.ras[t.id].Pop(); ok {
+			return true, tgt, false
+		}
+		// Empty RAS: no target to predict; fall through (mispredicts).
+		return true, in.FallThrough(), false
+	}
+	if !taken {
+		return false, 0, false
+	}
+	if tgt, ok := p.btb.Lookup(in.PC); ok {
+		return true, tgt, false
+	}
+	// BTB miss: decode supplies the (correct, static) direct target one
+	// cycle later.
+	return true, in.Target, true
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"hdsmt/internal/config"
+	"hdsmt/internal/pipeline"
+)
+
+// TestDebugStallDump reproduces the multi-thread stall and dumps machine
+// state for diagnosis. Kept as a regression canary: it fails loudly if any
+// thread stops committing.
+func TestDebugStallDump(t *testing.T) {
+	cfg := config.MustParse("3M4")
+	p, err := New(cfg, testSpecs(t, "gzip", "vpr", "gcc"), []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make([]uint64, 3)
+	for c := 0; c < 200_000; c++ {
+		p.step()
+		anyFinished := false
+		for _, th := range p.threads {
+			if th.finished {
+				anyFinished = true
+			}
+		}
+		if anyFinished {
+			return // Run would stop here
+		}
+		if c%50_000 == 49_999 {
+			stuck := false
+			for i, th := range p.threads {
+				if th.committed == last[i] && !th.finished {
+					stuck = true
+				}
+				last[i] = th.committed
+			}
+			if stuck {
+				for _, th := range p.threads {
+					var headStage pipeline.Stage = 99
+					var headPC uint64
+					if u, ok := th.rob.Head(); ok {
+						headStage = u.Stage
+						headPC = u.Inst.PC
+					}
+					t.Logf("thread %d (%s): committed=%d icount=%d inflight=%d rob=%d robHead=%v pc=%#x headPC=%#x wrongPath=%v wpPC=%v flush=%v fetchReady=%d cursor=%d/%d",
+						th.id, th.spec.Name, th.committed, th.icount, th.inflightLoads,
+						th.rob.Len(), headStage, th.pc, headPC, th.wrongPath, th.wrongPathPC,
+						th.flushStalled != nil, th.fetchReadyAt, th.cursor, len(th.buf))
+					b := p.pipes[th.pipe]
+					t.Logf("  pipe %d: buf=%d/%d IQ=%d/%d LQ=%d/%d FQ=%d/%d rfFree=%d",
+						b.Index, b.FetchBuf.Len(), b.FetchBuf.Cap(),
+						b.IQ.Len(), b.IQ.Cap(), b.LQ.Len(), b.LQ.Cap(),
+						b.FQ.Len(), b.FQ.Cap(), p.rf.FreeCount())
+					if u, ok := th.rob.Head(); ok {
+						t.Logf("  head uop: %v stage=%v issueAt=%d done=%d srcs=%v ready=%v",
+							&u.Inst, u.Stage, u.IssueAt, u.DoneCycle, u.Src, u.Ready(p.rf))
+					}
+				}
+				t.Fatalf("threads stalled at cycle %d", p.cycle)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package fetch implements the fetch-priority policies of paper §4.
+//
+// The shared fetch engine picks, each cycle, up to 2 threads and up to 8
+// instructions (Table 1's global limit). Which threads get picked is the
+// fetch policy:
+//
+//   - ICOUNT 2.8 (Tullsen et al.): threads with the fewest instructions in
+//     the pre-issue stages go first.
+//   - FLUSH (Tullsen & Brown): ICOUNT ordering, plus a mechanism — on a
+//     detected L2 miss the offending thread's post-load instructions are
+//     flushed and the thread is stalled until the load resolves. The
+//     mechanism lives in the core (it squashes state); this package supplies
+//     the ordering and the policy identity the core keys the mechanism on.
+//   - L1MCOUNT (a DCache-Warn variant, used by all multipipeline
+//     configurations): threads with fewer in-flight loads go first; ties
+//     break toward threads on wider pipelines; remaining ties fall back to
+//     ICOUNT.
+package fetch
+
+import "sort"
+
+// ThreadState is the per-thread information a policy ranks on. The core
+// fills one per active thread each cycle.
+type ThreadState struct {
+	ID            int
+	Fetchable     bool // mapped, not stalled, not finished, I-cache ready
+	ICount        int  // instructions in pre-issue stages (ICOUNT)
+	InflightLoads int  // loads fetched but not completed (L1MCOUNT)
+	PipeWidth     int  // width of the pipeline the thread is mapped to
+}
+
+// Policy orders threads by fetch priority.
+type Policy interface {
+	Name() string
+	// Order appends the IDs of fetchable threads, highest priority first,
+	// to dst and returns it.
+	Order(dst []int, threads []ThreadState) []int
+}
+
+// orderBy sorts fetchable thread IDs by the given less function, breaking
+// exact ties by thread ID for determinism.
+func orderBy(dst []int, threads []ThreadState, less func(a, b *ThreadState) bool) []int {
+	start := len(dst)
+	idx := make(map[int]*ThreadState, len(threads))
+	for i := range threads {
+		t := &threads[i]
+		if t.Fetchable {
+			dst = append(dst, t.ID)
+			idx[t.ID] = t
+		}
+	}
+	sel := dst[start:]
+	sort.SliceStable(sel, func(i, j int) bool {
+		a, b := idx[sel[i]], idx[sel[j]]
+		if less(a, b) {
+			return true
+		}
+		if less(b, a) {
+			return false
+		}
+		return a.ID < b.ID
+	})
+	return dst
+}
+
+// ICount is the ICOUNT 2.8 policy.
+type ICount struct{}
+
+// Name returns the paper's name for the policy.
+func (ICount) Name() string { return "ICOUNT2.8" }
+
+// Order ranks threads by ascending in-flight pre-issue instruction count.
+func (ICount) Order(dst []int, threads []ThreadState) []int {
+	return orderBy(dst, threads, func(a, b *ThreadState) bool {
+		return a.ICount < b.ICount
+	})
+}
+
+// Flush is the FLUSH policy ordering: identical to ICOUNT (the flush/stall
+// mechanism is engaged by the core when it sees this policy).
+type Flush struct{ ICount }
+
+// Name returns the paper's name for the policy.
+func (Flush) Name() string { return "FLUSH" }
+
+// L1MCount is the paper's L1MCOUNT policy, "a variant of the DCache Warn
+// fetch policy": ascending in-flight loads, then descending pipeline width,
+// then ICOUNT.
+type L1MCount struct{}
+
+// Name returns the paper's name for the policy.
+func (L1MCount) Name() string { return "L1MCOUNT" }
+
+// Order ranks threads per the L1MCOUNT rule.
+func (L1MCount) Order(dst []int, threads []ThreadState) []int {
+	return orderBy(dst, threads, func(a, b *ThreadState) bool {
+		if a.InflightLoads != b.InflightLoads {
+			return a.InflightLoads < b.InflightLoads
+		}
+		if a.PipeWidth != b.PipeWidth {
+			return a.PipeWidth > b.PipeWidth
+		}
+		return a.ICount < b.ICount
+	})
+}
+
+// ForConfig returns the paper's policy choice for a configuration:
+// FLUSH for the monolithic baseline, L1MCOUNT for every multipipeline
+// configuration (paper §4).
+func ForConfig(monolithic bool) Policy {
+	if monolithic {
+		return Flush{}
+	}
+	return L1MCount{}
+}

@@ -1,0 +1,172 @@
+package fetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ts(id, icount, loads, width int, fetchable bool) ThreadState {
+	return ThreadState{ID: id, ICount: icount, InflightLoads: loads, PipeWidth: width, Fetchable: fetchable}
+}
+
+func TestICountOrdering(t *testing.T) {
+	threads := []ThreadState{
+		ts(0, 10, 0, 8, true),
+		ts(1, 2, 0, 8, true),
+		ts(2, 5, 0, 8, true),
+	}
+	got := ICount{}.Order(nil, threads)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestICountSkipsUnfetchable(t *testing.T) {
+	threads := []ThreadState{
+		ts(0, 1, 0, 8, false),
+		ts(1, 5, 0, 8, true),
+	}
+	got := ICount{}.Order(nil, threads)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestICountTieBreaksByID(t *testing.T) {
+	threads := []ThreadState{
+		ts(3, 5, 0, 8, true),
+		ts(1, 5, 0, 8, true),
+		ts(2, 5, 0, 8, true),
+	}
+	got := ICount{}.Order(nil, threads)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestL1MCountPrimaryKey(t *testing.T) {
+	threads := []ThreadState{
+		ts(0, 0, 4, 8, true),
+		ts(1, 99, 1, 2, true), // more icount but fewer loads: wins
+	}
+	got := L1MCount{}.Order(nil, threads)
+	if got[0] != 1 {
+		t.Fatalf("order = %v: fewer in-flight loads must win", got)
+	}
+}
+
+func TestL1MCountWidthTieBreak(t *testing.T) {
+	// Paper: "In case of equal number of inflight loads, threads allocated
+	// to wider pipelines have priority."
+	threads := []ThreadState{
+		ts(0, 0, 2, 2, true),
+		ts(1, 0, 2, 6, true),
+	}
+	got := L1MCount{}.Order(nil, threads)
+	if got[0] != 1 {
+		t.Fatalf("order = %v: wider pipeline must win the tie", got)
+	}
+}
+
+func TestL1MCountICountFinalTieBreak(t *testing.T) {
+	// Paper: "in case of pipeline coincidence, the ICOUNT 2.8 policy is
+	// applied."
+	threads := []ThreadState{
+		ts(0, 9, 2, 4, true),
+		ts(1, 3, 2, 4, true),
+	}
+	got := L1MCount{}.Order(nil, threads)
+	if got[0] != 1 {
+		t.Fatalf("order = %v: lower icount must win the final tie", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (ICount{}).Name() != "ICOUNT2.8" {
+		t.Error("ICOUNT name")
+	}
+	if (Flush{}).Name() != "FLUSH" {
+		t.Error("FLUSH name")
+	}
+	if (L1MCount{}).Name() != "L1MCOUNT" {
+		t.Error("L1MCOUNT name")
+	}
+}
+
+func TestFlushOrdersLikeICount(t *testing.T) {
+	threads := []ThreadState{
+		ts(0, 10, 0, 8, true),
+		ts(1, 2, 0, 8, true),
+	}
+	a := Flush{}.Order(nil, threads)
+	b := ICount{}.Order(nil, threads)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("FLUSH must order like ICOUNT")
+		}
+	}
+}
+
+func TestForConfig(t *testing.T) {
+	if ForConfig(true).Name() != "FLUSH" {
+		t.Error("monolithic baseline uses FLUSH (paper §4)")
+	}
+	if ForConfig(false).Name() != "L1MCOUNT" {
+		t.Error("multipipeline configs use L1MCOUNT (paper §4)")
+	}
+}
+
+func TestOrderAppendsToDst(t *testing.T) {
+	dst := []int{42}
+	got := ICount{}.Order(dst, []ThreadState{ts(0, 1, 0, 8, true)})
+	if len(got) != 2 || got[0] != 42 || got[1] != 0 {
+		t.Fatalf("append semantics broken: %v", got)
+	}
+}
+
+// Property: every policy returns a permutation of the fetchable thread IDs.
+func TestPoliciesReturnPermutations(t *testing.T) {
+	policies := []Policy{ICount{}, Flush{}, L1MCount{}}
+	f := func(raw []uint16) bool {
+		threads := make([]ThreadState, len(raw))
+		fetchable := map[int]bool{}
+		for i, r := range raw {
+			threads[i] = ThreadState{
+				ID:            i,
+				Fetchable:     r&1 == 0,
+				ICount:        int(r >> 1 & 0x1f),
+				InflightLoads: int(r >> 6 & 0x7),
+				PipeWidth:     int(r>>9&0x7) + 1,
+			}
+			if threads[i].Fetchable {
+				fetchable[i] = true
+			}
+		}
+		for _, p := range policies {
+			got := p.Order(nil, threads)
+			if len(got) != len(fetchable) {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, id := range got {
+				if !fetchable[id] || seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package funit models the private functional-unit pools of each pipeline
+// (paper Fig. 2a: integer units, FP units, LD/ST units). Pipelined units
+// accept one instruction per cycle each; unpipelined operations (divides)
+// occupy their unit for the full latency.
+package funit
+
+import (
+	"fmt"
+
+	"hdsmt/internal/isa"
+)
+
+// Pool tracks the occupancy of one pipeline's functional units.
+type Pool struct {
+	counts [isa.NumUnits]int
+
+	// cycleUsed counts issues in the current cycle per unit kind.
+	cycleUsed  [isa.NumUnits]int
+	cycleStamp uint64
+
+	// busyUntil holds, per unit kind, the release cycles of units occupied
+	// by unpipelined operations.
+	busyUntil [isa.NumUnits][]uint64
+
+	stats Stats
+}
+
+// Stats aggregates pool activity.
+type Stats struct {
+	Issues      uint64
+	StructStall uint64 // issue attempts rejected for lack of a unit
+}
+
+// NewPool builds a pool with the given unit counts.
+func NewPool(intUnits, fpUnits, ldstUnits int) *Pool {
+	if intUnits < 0 || fpUnits < 0 || ldstUnits < 0 {
+		panic(fmt.Sprintf("funit: negative unit count (%d,%d,%d)", intUnits, fpUnits, ldstUnits))
+	}
+	p := &Pool{}
+	p.counts[isa.UnitInt] = intUnits
+	p.counts[isa.UnitFP] = fpUnits
+	p.counts[isa.UnitLdSt] = ldstUnits
+	return p
+}
+
+// Count returns the number of units of kind u.
+func (p *Pool) Count(u isa.Unit) int {
+	if u == isa.UnitNone {
+		return 0
+	}
+	return p.counts[u]
+}
+
+// Stats returns accumulated statistics.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// Reset clears all occupancy and statistics.
+func (p *Pool) Reset() {
+	p.cycleUsed = [isa.NumUnits]int{}
+	p.cycleStamp = 0
+	for i := range p.busyUntil {
+		p.busyUntil[i] = p.busyUntil[i][:0]
+	}
+	p.stats = Stats{}
+}
+
+// tick rolls the per-cycle issue counters forward and expires unpipelined
+// reservations that end at or before the given cycle.
+func (p *Pool) tick(cycle uint64) {
+	if cycle == p.cycleStamp {
+		return
+	}
+	p.cycleStamp = cycle
+	p.cycleUsed = [isa.NumUnits]int{}
+	for u := range p.busyUntil {
+		live := p.busyUntil[u][:0]
+		for _, until := range p.busyUntil[u] {
+			if until > cycle {
+				live = append(live, until)
+			}
+		}
+		p.busyUntil[u] = live
+	}
+}
+
+// available returns how many units of kind u can still start at cycle.
+func (p *Pool) available(u isa.Unit, cycle uint64) int {
+	p.tick(cycle)
+	return p.counts[u] - p.cycleUsed[u] - len(p.busyUntil[u])
+}
+
+// TryIssue attempts to start an instruction of class c at the given cycle.
+// It returns false (and records a structural stall) when no unit of the
+// required kind is free. Nops always succeed.
+func (p *Pool) TryIssue(c isa.Class, cycle uint64) bool {
+	u := isa.UnitFor(c)
+	if u == isa.UnitNone {
+		p.stats.Issues++
+		return true
+	}
+	if p.available(u, cycle) <= 0 {
+		p.stats.StructStall++
+		return false
+	}
+	if isa.Pipelined(c) {
+		p.cycleUsed[u]++
+	} else {
+		// Unpipelined operations occupy the unit from this cycle until
+		// completion; the busyUntil reservation covers the issue cycle
+		// too, so cycleUsed must not also count it.
+		p.busyUntil[u] = append(p.busyUntil[u], cycle+uint64(isa.Latency(c)))
+	}
+	p.stats.Issues++
+	return true
+}

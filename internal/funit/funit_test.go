@@ -1,0 +1,123 @@
+package funit
+
+import (
+	"testing"
+
+	"hdsmt/internal/isa"
+)
+
+func TestNewPoolPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPool(-1, 0, 0)
+}
+
+func TestCounts(t *testing.T) {
+	p := NewPool(6, 3, 4) // M8
+	if p.Count(isa.UnitInt) != 6 || p.Count(isa.UnitFP) != 3 || p.Count(isa.UnitLdSt) != 4 {
+		t.Error("unit counts wrong")
+	}
+	if p.Count(isa.UnitNone) != 0 {
+		t.Error("UnitNone count must be 0")
+	}
+}
+
+func TestPerCycleLimit(t *testing.T) {
+	p := NewPool(2, 1, 1)
+	if !p.TryIssue(isa.IntALU, 5) || !p.TryIssue(isa.IntALU, 5) {
+		t.Fatal("two int units must accept two issues")
+	}
+	if p.TryIssue(isa.IntALU, 5) {
+		t.Error("third int issue in one cycle must fail")
+	}
+	// Next cycle, pipelined units are free again.
+	if !p.TryIssue(isa.IntALU, 6) {
+		t.Error("pipelined unit must accept next cycle")
+	}
+	if p.Stats().StructStall != 1 {
+		t.Errorf("stalls = %d", p.Stats().StructStall)
+	}
+}
+
+func TestIndependentPools(t *testing.T) {
+	p := NewPool(1, 1, 1)
+	if !p.TryIssue(isa.IntALU, 0) || !p.TryIssue(isa.FPAdd, 0) || !p.TryIssue(isa.Load, 0) {
+		t.Error("distinct unit kinds must not contend")
+	}
+	if p.TryIssue(isa.Store, 0) {
+		t.Error("second ld/st in one cycle with one unit must fail")
+	}
+}
+
+func TestUnpipelinedDivOccupies(t *testing.T) {
+	p := NewPool(1, 0, 0)
+	if !p.TryIssue(isa.IntDiv, 10) {
+		t.Fatal("div should issue")
+	}
+	lat := uint64(isa.Latency(isa.IntDiv))
+	// While the divide executes, the single unit is busy.
+	for c := uint64(11); c < 10+lat; c++ {
+		if p.TryIssue(isa.IntALU, c) {
+			t.Fatalf("cycle %d: unit should be busy until %d", c, 10+lat)
+		}
+	}
+	if !p.TryIssue(isa.IntALU, 10+lat) {
+		t.Error("unit should free after divide completes")
+	}
+}
+
+func TestFPDivUnpipelined(t *testing.T) {
+	p := NewPool(0, 2, 0)
+	if !p.TryIssue(isa.FPDiv, 0) || !p.TryIssue(isa.FPDiv, 0) {
+		t.Fatal("two fp units, two divs")
+	}
+	if p.TryIssue(isa.FPAdd, 1) {
+		t.Error("both fp units busy with divides")
+	}
+}
+
+func TestNopAlwaysIssues(t *testing.T) {
+	p := NewPool(0, 0, 0)
+	for c := uint64(0); c < 5; c++ {
+		if !p.TryIssue(isa.Nop, c) {
+			t.Error("nop must always issue")
+		}
+	}
+	if p.Stats().Issues != 5 {
+		t.Errorf("issues = %d", p.Stats().Issues)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := NewPool(1, 0, 0)
+	p.TryIssue(isa.IntDiv, 0)
+	p.Reset()
+	if !p.TryIssue(isa.IntALU, 1) {
+		t.Error("reset should clear reservations")
+	}
+	if p.Stats().Issues != 1 {
+		t.Error("reset should clear stats")
+	}
+}
+
+func TestNonMonotonicCycleSafe(t *testing.T) {
+	// The pool is queried by multiple pipelines in one core cycle; repeated
+	// queries at the same cycle must not reset counters.
+	p := NewPool(1, 0, 0)
+	if !p.TryIssue(isa.IntALU, 3) {
+		t.Fatal("first issue failed")
+	}
+	if p.TryIssue(isa.IntALU, 3) {
+		t.Error("same-cycle second issue must fail after tick")
+	}
+}
+
+func BenchmarkTryIssue(b *testing.B) {
+	p := NewPool(6, 3, 4)
+	for i := 0; i < b.N; i++ {
+		p.TryIssue(isa.IntALU, uint64(i))
+	}
+}

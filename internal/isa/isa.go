@@ -1,0 +1,212 @@
+// Package isa defines the minimal instruction-set abstraction used by the
+// hdSMT trace-driven simulator.
+//
+// The simulator is trace driven: it never interprets instruction semantics.
+// What it needs from an instruction is its resource class (which functional
+// unit executes it and which issue queue holds it), its register names (to
+// build the dependence graph through renaming), its control-flow behaviour
+// (for branch prediction and wrong-path fetch) and its memory behaviour
+// (effective address, for the cache hierarchy). This mirrors the information
+// an SMTSIM-style Alpha trace record carries.
+package isa
+
+import "fmt"
+
+// Class identifies the resource class of an instruction. The class decides
+// which issue queue buffers the instruction (IQ for integer, FQ for floating
+// point, LQ for memory) and which functional-unit pool executes it.
+type Class uint8
+
+// Instruction classes. SPECint2000 workloads are integer dominated; the FP
+// classes exist because the pipeline models reserve FP issue queues and
+// functional units (paper Fig. 2a) and a small FP fraction keeps them warm.
+const (
+	Nop Class = iota
+	IntALU
+	IntMul
+	IntDiv
+	Branch // conditional branch
+	Jump   // unconditional direct jump
+	Call   // direct call (pushes return address)
+	Return // indirect return (pops return address)
+	Load
+	Store
+	FPAdd
+	FPMul
+	FPDiv
+	numClasses
+)
+
+// NumClasses is the number of distinct instruction classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	Nop:    "nop",
+	IntALU: "intalu",
+	IntMul: "intmul",
+	IntDiv: "intdiv",
+	Branch: "branch",
+	Jump:   "jump",
+	Call:   "call",
+	Return: "return",
+	Load:   "load",
+	Store:  "store",
+	FPAdd:  "fpadd",
+	FPMul:  "fpmul",
+	FPDiv:  "fpdiv",
+}
+
+// String returns the lower-case mnemonic for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Valid reports whether c is one of the defined instruction classes.
+func (c Class) Valid() bool { return c < numClasses }
+
+// IsControl reports whether the class changes control flow.
+func (c Class) IsControl() bool {
+	switch c {
+	case Branch, Jump, Call, Return:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the class is a conditional branch, i.e.
+// whether its direction needs predicting.
+func (c Class) IsConditional() bool { return c == Branch }
+
+// IsIndirect reports whether the instruction's target comes from a register
+// (or the return-address stack) rather than being encoded in the instruction.
+func (c Class) IsIndirect() bool { return c == Return }
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsLoad reports whether the class reads data memory.
+func (c Class) IsLoad() bool { return c == Load }
+
+// IsStore reports whether the class writes data memory.
+func (c Class) IsStore() bool { return c == Store }
+
+// IsFP reports whether the class executes on the floating-point cluster.
+func (c Class) IsFP() bool { return c == FPAdd || c == FPMul || c == FPDiv }
+
+// IsInt reports whether the class executes on an integer ALU/multiplier.
+func (c Class) IsInt() bool {
+	switch c {
+	case IntALU, IntMul, IntDiv, Branch, Jump, Call, Return:
+		return true
+	}
+	return false
+}
+
+// Queue identifies the issue queue an instruction class dispatches into.
+type Queue uint8
+
+// Issue queues, following the paper's IQ/FQ/LQ split (Fig. 2a).
+const (
+	IQ Queue = iota // integer instructions, including control flow
+	FQ              // floating-point instructions
+	LQ              // loads and stores
+	NumQueues
+)
+
+// String returns the paper's name for the queue.
+func (q Queue) String() string {
+	switch q {
+	case IQ:
+		return "IQ"
+	case FQ:
+		return "FQ"
+	case LQ:
+		return "LQ"
+	}
+	return fmt.Sprintf("queue(%d)", uint8(q))
+}
+
+// QueueFor returns the issue queue that buffers instructions of class c.
+func QueueFor(c Class) Queue {
+	switch {
+	case c.IsMem():
+		return LQ
+	case c.IsFP():
+		return FQ
+	default:
+		return IQ
+	}
+}
+
+// Unit identifies a functional-unit pool.
+type Unit uint8
+
+// Functional-unit pools (paper Fig. 2a: Integer, FP, LD/ST units).
+const (
+	UnitInt Unit = iota
+	UnitFP
+	UnitLdSt
+	UnitNone // nops consume no unit
+	NumUnits = int(UnitNone)
+)
+
+// String returns a short name for the unit pool.
+func (u Unit) String() string {
+	switch u {
+	case UnitInt:
+		return "int"
+	case UnitFP:
+		return "fp"
+	case UnitLdSt:
+		return "ldst"
+	case UnitNone:
+		return "none"
+	}
+	return fmt.Sprintf("unit(%d)", uint8(u))
+}
+
+// UnitFor returns the functional-unit pool that executes class c.
+func UnitFor(c Class) Unit {
+	switch {
+	case c == Nop:
+		return UnitNone
+	case c.IsMem():
+		return UnitLdSt
+	case c.IsFP():
+		return UnitFP
+	default:
+		return UnitInt
+	}
+}
+
+// Latency returns the execution latency, in cycles, of class c on its
+// functional unit (memory latency for loads is added by the cache model on
+// top of the address-generation cycle returned here).
+func Latency(c Class) int {
+	switch c {
+	case Nop:
+		return 1
+	case IntALU, Branch, Jump, Call, Return:
+		return 1
+	case IntMul:
+		return 3
+	case IntDiv:
+		return 20
+	case Load, Store:
+		return 1 // address generation; cache adds the rest
+	case FPAdd:
+		return 4
+	case FPMul:
+		return 4
+	case FPDiv:
+		return 16
+	}
+	return 1
+}
+
+// Pipelined reports whether the unit can accept a new instruction of class c
+// every cycle while one is in flight (divides are unpipelined).
+func Pipelined(c Class) bool { return c != IntDiv && c != FPDiv }

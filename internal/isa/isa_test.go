@@ -1,0 +1,353 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Nop:    "nop",
+		IntALU: "intalu",
+		IntMul: "intmul",
+		IntDiv: "intdiv",
+		Branch: "branch",
+		Jump:   "jump",
+		Call:   "call",
+		Return: "return",
+		Load:   "load",
+		Store:  "store",
+		FPAdd:  "fpadd",
+		FPMul:  "fpmul",
+		FPDiv:  "fpdiv",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(200).String(); got != "class(200)" {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	for c := Class(0); c < numClasses; c++ {
+		if !c.Valid() {
+			t.Errorf("class %v should be valid", c)
+		}
+	}
+	if Class(numClasses).Valid() {
+		t.Error("numClasses should not be valid")
+	}
+}
+
+func TestControlClassification(t *testing.T) {
+	control := []Class{Branch, Jump, Call, Return}
+	for _, c := range control {
+		if !c.IsControl() {
+			t.Errorf("%v should be control", c)
+		}
+		if !c.IsInt() {
+			t.Errorf("%v should use the integer cluster", c)
+		}
+	}
+	if !Branch.IsConditional() {
+		t.Error("Branch must be conditional")
+	}
+	for _, c := range []Class{Jump, Call, Return, Load, IntALU} {
+		if c.IsConditional() {
+			t.Errorf("%v must not be conditional", c)
+		}
+	}
+	if !Return.IsIndirect() {
+		t.Error("Return must be indirect")
+	}
+	if Jump.IsIndirect() || Branch.IsIndirect() {
+		t.Error("Jump/Branch must not be indirect")
+	}
+}
+
+func TestMemClassification(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Error("Load and Store are memory classes")
+	}
+	if !Load.IsLoad() || Load.IsStore() {
+		t.Error("Load classification wrong")
+	}
+	if !Store.IsStore() || Store.IsLoad() {
+		t.Error("Store classification wrong")
+	}
+	if IntALU.IsMem() || Branch.IsMem() || FPAdd.IsMem() {
+		t.Error("non-memory class reported as memory")
+	}
+}
+
+func TestFPIntPartition(t *testing.T) {
+	for c := Class(0); c < numClasses; c++ {
+		if c.IsFP() && c.IsInt() {
+			t.Errorf("%v cannot be both FP and Int", c)
+		}
+		if c != Nop && !c.IsMem() && !c.IsFP() && !c.IsInt() {
+			t.Errorf("%v belongs to no execution class", c)
+		}
+	}
+}
+
+func TestQueueFor(t *testing.T) {
+	cases := map[Class]Queue{
+		IntALU: IQ, IntMul: IQ, IntDiv: IQ,
+		Branch: IQ, Jump: IQ, Call: IQ, Return: IQ,
+		Nop:  IQ,
+		Load: LQ, Store: LQ,
+		FPAdd: FQ, FPMul: FQ, FPDiv: FQ,
+	}
+	for c, want := range cases {
+		if got := QueueFor(c); got != want {
+			t.Errorf("QueueFor(%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestQueueString(t *testing.T) {
+	if IQ.String() != "IQ" || FQ.String() != "FQ" || LQ.String() != "LQ" {
+		t.Error("queue names must match the paper's IQ/FQ/LQ")
+	}
+	if Queue(9).String() != "queue(9)" {
+		t.Error("unknown queue string")
+	}
+}
+
+func TestUnitFor(t *testing.T) {
+	cases := map[Class]Unit{
+		Nop:    UnitNone,
+		IntALU: UnitInt, IntMul: UnitInt, IntDiv: UnitInt,
+		Branch: UnitInt, Jump: UnitInt, Call: UnitInt, Return: UnitInt,
+		Load: UnitLdSt, Store: UnitLdSt,
+		FPAdd: UnitFP, FPMul: UnitFP, FPDiv: UnitFP,
+	}
+	for c, want := range cases {
+		if got := UnitFor(c); got != want {
+			t.Errorf("UnitFor(%v) = %v, want %v", c, got, want)
+		}
+	}
+	if UnitInt.String() != "int" || UnitFP.String() != "fp" || UnitLdSt.String() != "ldst" || UnitNone.String() != "none" {
+		t.Error("unit names wrong")
+	}
+	if Unit(9).String() != "unit(9)" {
+		t.Error("unknown unit string")
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for c := Class(0); c < numClasses; c++ {
+		if Latency(c) < 1 {
+			t.Errorf("Latency(%v) = %d, must be >= 1", c, Latency(c))
+		}
+	}
+	if Latency(Class(250)) != 1 {
+		t.Error("unknown class latency should default to 1")
+	}
+	if Latency(IntMul) <= Latency(IntALU) {
+		t.Error("multiply must be slower than ALU op")
+	}
+	if Latency(IntDiv) <= Latency(IntMul) {
+		t.Error("divide must be slower than multiply")
+	}
+	if Latency(FPDiv) <= Latency(FPMul) {
+		t.Error("fp divide must be slower than fp multiply")
+	}
+}
+
+func TestPipelined(t *testing.T) {
+	if Pipelined(IntDiv) || Pipelined(FPDiv) {
+		t.Error("divides must be unpipelined")
+	}
+	for _, c := range []Class{IntALU, IntMul, Load, Store, FPAdd, FPMul, Branch} {
+		if !Pipelined(c) {
+			t.Errorf("%v must be pipelined", c)
+		}
+	}
+}
+
+func TestRegConstructors(t *testing.T) {
+	if IntReg(0) != Reg(0) || IntReg(31) != Reg(31) {
+		t.Error("IntReg mapping wrong")
+	}
+	if FPReg(0) != Reg(32) || FPReg(31) != Reg(63) {
+		t.Error("FPReg mapping wrong")
+	}
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { IntReg(-1) })
+	mustPanic(func() { IntReg(32) })
+	mustPanic(func() { FPReg(-1) })
+	mustPanic(func() { FPReg(32) })
+}
+
+func TestRegClassification(t *testing.T) {
+	for n := 0; n < NumIntRegs; n++ {
+		r := IntReg(n)
+		if !r.Valid() || !r.IsInt() || r.IsFP() {
+			t.Errorf("r%d misclassified", n)
+		}
+	}
+	for n := 0; n < NumFPRegs; n++ {
+		r := FPReg(n)
+		if !r.Valid() || !r.IsFP() || r.IsInt() {
+			t.Errorf("f%d misclassified", n)
+		}
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone must be invalid")
+	}
+	if !RegZero.IsZero() || !RegZero.IsInt() {
+		t.Error("RegZero misclassified")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if IntReg(5).String() != "r5" {
+		t.Errorf("got %q", IntReg(5).String())
+	}
+	if FPReg(5).String() != "f5" {
+		t.Errorf("got %q", FPReg(5).String())
+	}
+	if RegNone.String() != "-" {
+		t.Errorf("got %q", RegNone.String())
+	}
+	if Reg(100).String() != "reg(100)" {
+		t.Errorf("got %q", Reg(100).String())
+	}
+}
+
+func TestInstructionNextPC(t *testing.T) {
+	br := &Instruction{PC: 0x1000, Class: Branch, Taken: true, Target: 0x2000}
+	if br.NextPC() != 0x2000 {
+		t.Error("taken branch must go to target")
+	}
+	br.Taken = false
+	if br.NextPC() != 0x1004 {
+		t.Error("not-taken branch must fall through")
+	}
+	alu := &Instruction{PC: 0x1000, Class: IntALU, Taken: true, Target: 0x2000}
+	if alu.NextPC() != 0x1004 {
+		t.Error("non-control instructions always fall through")
+	}
+	if br.FallThrough() != 0x1004 {
+		t.Error("fall-through must be PC+4")
+	}
+}
+
+func TestInstructionHasDest(t *testing.T) {
+	in := &Instruction{Dest: IntReg(3)}
+	if !in.HasDest() {
+		t.Error("r3 destination must rename")
+	}
+	in.Dest = RegZero
+	if in.HasDest() {
+		t.Error("zero-register destination must not rename")
+	}
+	in.Dest = RegNone
+	if in.HasDest() {
+		t.Error("missing destination must not rename")
+	}
+}
+
+func TestInstructionSources(t *testing.T) {
+	in := &Instruction{Src1: IntReg(1), Src2: IntReg(2)}
+	got := in.Sources(nil)
+	if len(got) != 2 || got[0] != IntReg(1) || got[1] != IntReg(2) {
+		t.Errorf("Sources = %v", got)
+	}
+	in.Src1 = RegZero
+	in.Src2 = RegNone
+	if got := in.Sources(nil); len(got) != 0 {
+		t.Errorf("zero/none sources must be dropped, got %v", got)
+	}
+	// Appending to an existing slice preserves prefix.
+	pre := []Reg{IntReg(9)}
+	in.Src1 = IntReg(4)
+	got = in.Sources(pre)
+	if len(got) != 2 || got[0] != IntReg(9) || got[1] != IntReg(4) {
+		t.Errorf("append semantics broken: %v", got)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	br := &Instruction{PC: 0x10, Class: Branch, Taken: true, Target: 0x40}
+	if s := br.String(); s == "" {
+		t.Error("empty branch string")
+	}
+	ld := &Instruction{PC: 0x10, Class: Load, Dest: IntReg(1), EffAddr: 0x8000}
+	if s := ld.String(); s == "" {
+		t.Error("empty load string")
+	}
+	alu := &Instruction{PC: 0x10, Class: IntALU, Dest: IntReg(1), Src1: IntReg(2), Src2: IntReg(3)}
+	if s := alu.String(); s == "" {
+		t.Error("empty alu string")
+	}
+}
+
+// Property: QueueFor and UnitFor agree on the memory/FP/integer partition for
+// every valid class.
+func TestQueueUnitAgreement(t *testing.T) {
+	f := func(raw uint8) bool {
+		c := Class(raw % uint8(numClasses))
+		q, u := QueueFor(c), UnitFor(c)
+		switch q {
+		case LQ:
+			return u == UnitLdSt
+		case FQ:
+			return u == UnitFP
+		case IQ:
+			return u == UnitInt || u == UnitNone
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NextPC is always Target or FallThrough, and Sources never emits
+// invalid registers.
+func TestInstructionProperties(t *testing.T) {
+	reg := func(raw uint8) Reg {
+		// Map raw bytes onto the space of legal operand encodings:
+		// a valid architectural register or RegNone.
+		if raw%5 == 0 {
+			return RegNone
+		}
+		return Reg(raw % NumArchRegs)
+	}
+	f := func(pc uint64, rawClass uint8, taken bool, target uint64, s1, s2 uint8) bool {
+		in := &Instruction{
+			PC:     pc,
+			Class:  Class(rawClass % uint8(numClasses)),
+			Taken:  taken,
+			Target: target,
+			Src1:   reg(s1),
+			Src2:   reg(s2),
+		}
+		next := in.NextPC()
+		if next != in.Target && next != in.FallThrough() {
+			return false
+		}
+		for _, r := range in.Sources(nil) {
+			if !r.Valid() || r.IsZero() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

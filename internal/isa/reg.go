@@ -1,0 +1,139 @@
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Integer registers occupy 0..31 and
+// floating-point registers 32..63, mirroring a RISC ISA such as Alpha.
+// RegNone marks an absent operand.
+type Reg uint8
+
+// Architectural register file geometry.
+const (
+	NumIntRegs  = 32
+	NumFPRegs   = 32
+	NumArchRegs = NumIntRegs + NumFPRegs
+
+	// RegZero is the hard-wired integer zero register (Alpha r31 idiom);
+	// it is never renamed and never creates a dependence.
+	RegZero Reg = 31
+
+	// RegNone marks a missing source or destination operand.
+	RegNone Reg = 0xFF
+)
+
+// IntReg returns the architectural name of integer register n (0..31).
+func IntReg(n int) Reg {
+	if n < 0 || n >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register %d out of range", n))
+	}
+	return Reg(n)
+}
+
+// FPReg returns the architectural name of floating-point register n (0..31).
+func FPReg(n int) Reg {
+	if n < 0 || n >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register %d out of range", n))
+	}
+	return Reg(NumIntRegs + n)
+}
+
+// Valid reports whether r names an actual architectural register.
+func (r Reg) Valid() bool { return r < NumArchRegs }
+
+// IsInt reports whether r is an integer register.
+func (r Reg) IsInt() bool { return r < NumIntRegs }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumArchRegs }
+
+// IsZero reports whether r is the hard-wired zero register.
+func (r Reg) IsZero() bool { return r == RegZero }
+
+// String formats the register in Alpha-like assembly syntax.
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", uint8(r))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", uint8(r)-NumIntRegs)
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// Instruction is one dynamic trace record: everything the timing model needs
+// to simulate one instruction, with semantics already resolved by the trace
+// generator (actual branch direction and target, actual effective address).
+type Instruction struct {
+	PC    uint64 // address of this instruction
+	Seq   uint64 // per-thread dynamic sequence number, from 0
+	Class Class
+
+	Dest Reg // destination register, RegNone if none
+	Src1 Reg // first source, RegNone if none
+	Src2 Reg // second source, RegNone if none
+
+	// Control flow (valid when Class.IsControl()).
+	Taken  bool   // resolved direction (always true for Jump/Call/Return)
+	Target uint64 // resolved target address
+
+	// Memory (valid when Class.IsMem()).
+	EffAddr uint64 // effective virtual address
+	MemSize uint8  // access size in bytes
+
+	// WrongPath marks instructions fetched past a mispredicted branch;
+	// they occupy resources until squashed but never commit.
+	WrongPath bool
+}
+
+// FallThrough returns the address of the next sequential instruction.
+// All instructions are 4 bytes, as on Alpha.
+func (in *Instruction) FallThrough() uint64 { return in.PC + InstrBytes }
+
+// InstrBytes is the fixed encoding size of one instruction.
+const InstrBytes = 4
+
+// NextPC returns the address control flow actually proceeds to after this
+// instruction (target for taken control flow, fall-through otherwise).
+func (in *Instruction) NextPC() uint64 {
+	if in.Class.IsControl() && in.Taken {
+		return in.Target
+	}
+	return in.FallThrough()
+}
+
+// HasDest reports whether the instruction writes a register that must be
+// renamed (the zero register is excluded: writes to it are discarded).
+func (in *Instruction) HasDest() bool {
+	return in.Dest != RegNone && !in.Dest.IsZero()
+}
+
+// Sources appends the register sources that create true dependences
+// (excluding RegNone and the zero register) to dst and returns it.
+func (in *Instruction) Sources(dst []Reg) []Reg {
+	if in.Src1 != RegNone && !in.Src1.IsZero() {
+		dst = append(dst, in.Src1)
+	}
+	if in.Src2 != RegNone && !in.Src2.IsZero() {
+		dst = append(dst, in.Src2)
+	}
+	return dst
+}
+
+// String renders a compact single-line disassembly-like form, useful in
+// debug logs and test failure messages.
+func (in *Instruction) String() string {
+	switch {
+	case in.Class.IsControl():
+		dir := "not-taken"
+		if in.Taken {
+			dir = "taken"
+		}
+		return fmt.Sprintf("%#x: %s -> %#x (%s)", in.PC, in.Class, in.Target, dir)
+	case in.Class.IsMem():
+		return fmt.Sprintf("%#x: %s %s, [%#x]", in.PC, in.Class, in.Dest, in.EffAddr)
+	default:
+		return fmt.Sprintf("%#x: %s %s, %s, %s", in.PC, in.Class, in.Dest, in.Src1, in.Src2)
+	}
+}

@@ -1,0 +1,188 @@
+// Package mapping implements thread-to-pipeline mapping for hdSMT
+// processors: the paper's profile-guided heuristic (§2.1) and the
+// exhaustive enumeration behind the BEST/WORST oracle measurements (§5).
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hdsmt/internal/config"
+)
+
+// Mapping assigns each thread (by index) a pipeline index.
+type Mapping []int
+
+// String renders a mapping compactly, e.g. "[0 0 1 2]".
+func (m Mapping) String() string {
+	parts := make([]string, len(m))
+	for i, p := range m {
+		parts[i] = fmt.Sprint(p)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Clone returns a copy.
+func (m Mapping) Clone() Mapping {
+	out := make(Mapping, len(m))
+	copy(out, m)
+	return out
+}
+
+// Validate checks that m maps each of n threads to an existing pipeline
+// without exceeding any pipeline's hardware contexts.
+func Validate(cfg config.Microarch, m Mapping) error {
+	used := make([]int, len(cfg.Pipelines))
+	for i, p := range m {
+		if p < 0 || p >= len(cfg.Pipelines) {
+			return fmt.Errorf("mapping: thread %d to pipeline %d of %d", i, p, len(cfg.Pipelines))
+		}
+		used[p]++
+		if used[p] > cfg.Pipelines[p].Contexts {
+			return fmt.Errorf("mapping: pipeline %d (%s) holds %d contexts, assigned %d",
+				p, cfg.Pipelines[p].Name, cfg.Pipelines[p].Contexts, used[p])
+		}
+	}
+	return nil
+}
+
+// Heuristic implements the paper's §2.1 profile-based policy. misses[i] is
+// thread i's profiled data-cache miss count. The algorithm, verbatim from
+// the paper:
+//
+//  1. Arrange all active threads by the number of data cache misses in a
+//     list T (fewest misses first).
+//  2. Arrange all pipelines by their width in a list P (widest first).
+//  3. Map the first thread in T to the first pipeline in P.
+//  4. If this is the first assignment, and there are more available
+//     hardware contexts than active threads, then remove the top of P.
+//  5. Remove the top of T.
+//  6. If all the hardware contexts of the pipeline at the top of P are
+//     busy, then remove the top of P.
+//  7. If T is not empty, continue at step 3.
+//
+// Step 4 gives the best-behaved thread a private wide pipeline whenever
+// the machine has contexts to spare.
+func Heuristic(cfg config.Microarch, misses []uint64) (Mapping, error) {
+	n := len(misses)
+	if n == 0 {
+		return nil, fmt.Errorf("mapping: no threads")
+	}
+	if cfg.TotalContexts() < n {
+		return nil, fmt.Errorf("mapping: %s has %d contexts for %d threads",
+			cfg.Name, cfg.TotalContexts(), n)
+	}
+
+	// List T: thread indexes by ascending miss count (stable on index).
+	T := make([]int, n)
+	for i := range T {
+		T[i] = i
+	}
+	sort.SliceStable(T, func(a, b int) bool { return misses[T[a]] < misses[T[b]] })
+
+	// List P: pipeline indexes by descending width. Microarch pipelines
+	// are already widest-first; keep explicit indexes for clarity.
+	P := make([]int, len(cfg.Pipelines))
+	for i := range P {
+		P[i] = i
+	}
+
+	out := make(Mapping, n)
+	used := make([]int, len(cfg.Pipelines))
+	first := true
+	for len(T) > 0 {
+		if len(P) == 0 {
+			return nil, fmt.Errorf("mapping: ran out of pipelines (internal error)")
+		}
+		thr, pipe := T[0], P[0]
+		out[thr] = pipe // step 3
+		used[pipe]++
+		// Step 4. Never retire the last pipeline: the rule is meant to
+		// give the cleanest thread a private wide pipeline, which is
+		// moot (and would strand threads) on a single-pipeline machine.
+		if first && cfg.TotalContexts() > n && len(P) > 1 {
+			P = P[1:]
+		}
+		first = false
+		T = T[1:] // step 5
+		if len(P) > 0 && used[P[0]] >= cfg.Pipelines[P[0]].Contexts {
+			P = P[1:] // step 6
+		}
+	}
+	if err := Validate(cfg, out); err != nil {
+		return nil, fmt.Errorf("mapping: heuristic produced invalid mapping: %w", err)
+	}
+	return out, nil
+}
+
+// Enumerate returns every capacity-feasible mapping of n threads onto cfg,
+// deduplicated across interchangeable pipelines (two pipelines of the same
+// model are identical hardware, so swapping their thread sets yields the
+// same machine). The result is deterministic.
+func Enumerate(cfg config.Microarch, n int) []Mapping {
+	if n == 0 || cfg.TotalContexts() < n {
+		return nil
+	}
+	var (
+		out  []Mapping
+		seen = map[string]bool{}
+		cur  = make(Mapping, n)
+		used = make([]int, len(cfg.Pipelines))
+	)
+	var rec func(thread int)
+	rec = func(thread int) {
+		if thread == n {
+			sig := canonical(cfg, cur)
+			if !seen[sig] {
+				seen[sig] = true
+				out = append(out, cur.Clone())
+			}
+			return
+		}
+		for p := range cfg.Pipelines {
+			if used[p] >= cfg.Pipelines[p].Contexts {
+				continue
+			}
+			used[p]++
+			cur[thread] = p
+			rec(thread + 1)
+			used[p]--
+		}
+	}
+	rec(0)
+	return out
+}
+
+// canonical builds a signature invariant under permutation of same-model
+// pipelines: per model, the sorted list of per-pipeline thread sets.
+func canonical(cfg config.Microarch, m Mapping) string {
+	perPipe := make([][]int, len(cfg.Pipelines))
+	for t, p := range m {
+		perPipe[p] = append(perPipe[p], t)
+	}
+	groups := map[string][]string{}
+	for p, threads := range perPipe {
+		model := cfg.Pipelines[p].Name
+		var b strings.Builder
+		for _, t := range threads { // threads appended in ascending order
+			fmt.Fprintf(&b, "%d,", t)
+		}
+		groups[model] = append(groups[model], b.String())
+	}
+	models := make([]string, 0, len(groups))
+	for m := range groups {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	var sig strings.Builder
+	for _, model := range models {
+		sets := groups[model]
+		sort.Strings(sets)
+		sig.WriteString(model)
+		sig.WriteByte('{')
+		sig.WriteString(strings.Join(sets, "|"))
+		sig.WriteByte('}')
+	}
+	return sig.String()
+}

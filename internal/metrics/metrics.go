@@ -1,0 +1,70 @@
+// Package metrics provides the evaluation arithmetic of the paper's result
+// section: harmonic means over workloads, performance per area, heuristic
+// accuracy, and relative improvements.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// HMean returns the harmonic mean of xs, the paper's aggregation over
+// workloads of the same type and size ("the harmonic mean of all workloads
+// of a same type and size is shown"). It returns 0 for an empty slice and
+// panics on non-positive values (IPC is always positive).
+func HMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			panic(fmt.Sprintf("metrics: harmonic mean of non-positive value %v", x))
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// PerArea converts a performance figure to performance per mm².
+func PerArea(ipc, areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive area %v", areaMM2))
+	}
+	return ipc / areaMM2
+}
+
+// Accuracy is the paper's mapping-policy accuracy: the heuristic result as
+// a fraction of the oracle (BEST) result. 1.0 means the heuristic found an
+// optimal mapping.
+func Accuracy(heur, best float64) float64 {
+	if best <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive oracle value %v", best))
+	}
+	return heur / best
+}
+
+// Improvement returns the relative improvement of a over b, as the fraction
+// (a-b)/b the paper quotes (e.g. +0.13 for "a 13% improvement").
+func Improvement(a, b float64) float64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive base value %v", b))
+	}
+	return (a - b) / b
+}
+
+// GeoMean returns the geometric mean, used for aggregating relative
+// improvements across workload groups.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("metrics: geometric mean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

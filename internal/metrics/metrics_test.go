@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHMean(t *testing.T) {
+	if HMean(nil) != 0 {
+		t.Error("empty hmean must be 0")
+	}
+	if got := HMean([]float64{4}); got != 4 {
+		t.Errorf("singleton hmean = %v", got)
+	}
+	// hmean(1,2,4) = 3/(1+0.5+0.25) = 12/7.
+	if got := HMean([]float64{1, 2, 4}); math.Abs(got-12.0/7.0) > 1e-12 {
+		t.Errorf("hmean = %v", got)
+	}
+}
+
+func TestHMeanPanicsOnNonPositive(t *testing.T) {
+	for _, bad := range [][]float64{{0}, {-1}, {1, math.NaN()}, {math.Inf(1)}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HMean(%v) should panic", bad)
+				}
+			}()
+			HMean(bad)
+		}()
+	}
+}
+
+func TestHMeanLeqArithmeticMean(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		sum := 0.0
+		for i, r := range raw {
+			xs[i] = float64(r)/100 + 0.01
+			sum += xs[i]
+		}
+		am := sum / float64(len(xs))
+		return HMean(xs) <= am+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHMeanDominatedBySlowest(t *testing.T) {
+	// The harmonic mean of a fast and a very slow workload is pulled
+	// toward the slow one — the reason the paper uses it.
+	got := HMean([]float64{4, 0.1})
+	if got > 0.25 {
+		t.Errorf("hmean(4, 0.1) = %v, expected < 0.25", got)
+	}
+}
+
+func TestPerArea(t *testing.T) {
+	if PerArea(3.4, 170) != 0.02 {
+		t.Errorf("PerArea = %v", PerArea(3.4, 170))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero area should panic")
+		}
+	}()
+	PerArea(1, 0)
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy(0.92, 1.0) != 0.92 {
+		t.Error("accuracy wrong")
+	}
+	if Accuracy(1.0, 1.0) != 1.0 {
+		t.Error("perfect accuracy wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero best should panic")
+		}
+	}()
+	Accuracy(1, 0)
+}
+
+func TestImprovement(t *testing.T) {
+	if math.Abs(Improvement(1.13, 1.0)-0.13) > 1e-12 {
+		t.Errorf("improvement = %v", Improvement(1.13, 1.0))
+	}
+	if Improvement(0.5, 1.0) != -0.5 {
+		t.Error("negative improvement wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero base should panic")
+		}
+	}()
+	Improvement(1, 0)
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}

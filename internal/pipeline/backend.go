@@ -1,0 +1,160 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"hdsmt/internal/config"
+	"hdsmt/internal/funit"
+	"hdsmt/internal/isa"
+	"hdsmt/internal/queue"
+)
+
+// IssueQueue is one private issue queue (IQ, FQ or LQ): a bounded set of
+// dispatched uops awaiting operands and a functional unit. Entries keep
+// dispatch order so the oldest ready instruction issues first.
+type IssueQueue struct {
+	kind  isa.Queue
+	slots []*UOp
+	cap   int
+	stats IQStats
+}
+
+// IQStats aggregates queue pressure.
+type IQStats struct {
+	Dispatches uint64
+	FullStalls uint64
+}
+
+// NewIssueQueue builds a queue with the given capacity.
+func NewIssueQueue(kind isa.Queue, capacity int) *IssueQueue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("pipeline: %v capacity %d must be positive", kind, capacity))
+	}
+	return &IssueQueue{kind: kind, slots: make([]*UOp, 0, capacity), cap: capacity}
+}
+
+// Kind returns which of IQ/FQ/LQ this queue is.
+func (q *IssueQueue) Kind() isa.Queue { return q.kind }
+
+// Len returns the number of occupied entries.
+func (q *IssueQueue) Len() int { return len(q.slots) }
+
+// Cap returns the capacity.
+func (q *IssueQueue) Cap() int { return q.cap }
+
+// Full reports whether no entry is free.
+func (q *IssueQueue) Full() bool { return len(q.slots) >= q.cap }
+
+// Stats returns accumulated statistics.
+func (q *IssueQueue) Stats() IQStats { return q.stats }
+
+// Add inserts u at the tail; it reports false (recording a stall) when full.
+func (q *IssueQueue) Add(u *UOp) bool {
+	if q.Full() {
+		q.stats.FullStalls++
+		return false
+	}
+	q.slots = append(q.slots, u)
+	q.stats.Dispatches++
+	return true
+}
+
+// Remove deletes u, preserving the order of the remaining entries.
+func (q *IssueQueue) Remove(u *UOp) {
+	for i, s := range q.slots {
+		if s == u {
+			copy(q.slots[i:], q.slots[i+1:])
+			q.slots = q.slots[:len(q.slots)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("pipeline: removing uop pc=%#x not in %v", u.Inst.PC, q.kind))
+}
+
+// Do calls fn over the entries oldest-first; fn returning false stops early.
+// fn must not add or remove entries; collect removals and apply after.
+func (q *IssueQueue) Do(fn func(u *UOp) bool) {
+	for _, s := range q.slots {
+		if !fn(s) {
+			return
+		}
+	}
+}
+
+// Clear drops all entries.
+func (q *IssueQueue) Clear() { q.slots = q.slots[:0] }
+
+// Backend is one pipeline's private back end: decoupling buffer, issue
+// queues and functional units. The pipeline's width bounds dispatch, issue
+// and commit per cycle; ThreadsPerCycle bounds how many distinct threads may
+// dispatch in one cycle (Fig. 2a "Max Threads/cycle").
+type Backend struct {
+	Model config.Model
+	Index int
+
+	// FetchBuf is the decoupling buffer between the shared fetch engine
+	// and this pipeline (paper Fig. 1). The monolithic M8 has no such
+	// buffer architecturally; it gets a fetch-width latch instead.
+	FetchBuf *queue.Deque[*UOp]
+
+	IQ, FQ, LQ *IssueQueue
+	Units      *funit.Pool
+
+	// Threads holds the global IDs of threads mapped to this pipeline.
+	Threads []int
+}
+
+// NewBackend builds the back end for one pipeline. fetchWidth sizes the
+// monolithic latch when the model declares no decoupling buffer.
+func NewBackend(index int, m config.Model, fetchWidth int) *Backend {
+	bufSize := m.FetchBuf
+	if bufSize == 0 {
+		bufSize = fetchWidth
+	}
+	return &Backend{
+		Model:    m,
+		Index:    index,
+		FetchBuf: queue.New[*UOp](bufSize),
+		IQ:       NewIssueQueue(isa.IQ, m.IQ),
+		FQ:       NewIssueQueue(isa.FQ, m.FQ),
+		LQ:       NewIssueQueue(isa.LQ, m.LQ),
+		Units:    funit.NewPool(m.IntUnits, m.FPUnits, m.LdStUnits),
+	}
+}
+
+// QueueFor returns this backend's queue for instruction class c.
+func (b *Backend) QueueFor(c isa.Class) *IssueQueue {
+	switch isa.QueueFor(c) {
+	case isa.LQ:
+		return b.LQ
+	case isa.FQ:
+		return b.FQ
+	default:
+		return b.IQ
+	}
+}
+
+// HasContextFor reports whether the pipeline has a free hardware context
+// given the number of threads already assigned.
+func (b *Backend) HasContextFor() bool {
+	return len(b.Threads) < b.Model.Contexts
+}
+
+// AssignThread maps a thread to this pipeline; it panics when no context is
+// free (mapping policies must respect capacities).
+func (b *Backend) AssignThread(tid int) {
+	if !b.HasContextFor() {
+		panic(fmt.Sprintf("pipeline %d (%s): no free context for thread %d",
+			b.Index, b.Model.Name, tid))
+	}
+	b.Threads = append(b.Threads, tid)
+}
+
+// Reset clears all per-run state but keeps the thread mapping.
+func (b *Backend) Reset() {
+	b.FetchBuf.Clear()
+	b.IQ.Clear()
+	b.FQ.Clear()
+	b.LQ.Clear()
+	b.Units.Reset()
+}

@@ -1,0 +1,129 @@
+// Package queue provides the bounded ring-buffer deque used throughout the
+// simulator for hardware FIFOs: per-pipeline fetch decoupling buffers,
+// per-thread reorder buffers, and completion lists. A deque (rather than a
+// plain FIFO) is needed because reorder buffers push and commit at the head
+// end but squash from the tail end.
+package queue
+
+import "fmt"
+
+// Deque is a fixed-capacity double-ended queue backed by a ring buffer.
+// The zero value is unusable; construct with New.
+type Deque[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int // number of live elements
+}
+
+// New returns an empty deque with the given fixed capacity.
+func New[T any](capacity int) *Deque[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: capacity %d must be positive", capacity))
+	}
+	return &Deque[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of buffered elements.
+func (d *Deque[T]) Len() int { return d.n }
+
+// Cap returns the fixed capacity.
+func (d *Deque[T]) Cap() int { return len(d.buf) }
+
+// Full reports whether no space remains.
+func (d *Deque[T]) Full() bool { return d.n == len(d.buf) }
+
+// Empty reports whether no elements are buffered.
+func (d *Deque[T]) Empty() bool { return d.n == 0 }
+
+// Space returns the number of free slots.
+func (d *Deque[T]) Space() int { return len(d.buf) - d.n }
+
+// PushTail appends x at the tail (youngest end); it reports false when full.
+func (d *Deque[T]) PushTail(x T) bool {
+	if d.Full() {
+		return false
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = x
+	d.n++
+	return true
+}
+
+// PopHead removes and returns the oldest element.
+func (d *Deque[T]) PopHead() (T, bool) {
+	var zero T
+	if d.n == 0 {
+		return zero, false
+	}
+	x := d.buf[d.head]
+	d.buf[d.head] = zero // release references for GC
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return x, true
+}
+
+// PopTail removes and returns the youngest element (used for squash).
+func (d *Deque[T]) PopTail() (T, bool) {
+	var zero T
+	if d.n == 0 {
+		return zero, false
+	}
+	i := (d.head + d.n - 1) % len(d.buf)
+	x := d.buf[i]
+	d.buf[i] = zero
+	d.n--
+	return x, true
+}
+
+// Head returns the oldest element without removing it.
+func (d *Deque[T]) Head() (T, bool) {
+	var zero T
+	if d.n == 0 {
+		return zero, false
+	}
+	return d.buf[d.head], true
+}
+
+// Tail returns the youngest element without removing it.
+func (d *Deque[T]) Tail() (T, bool) {
+	var zero T
+	if d.n == 0 {
+		return zero, false
+	}
+	return d.buf[(d.head+d.n-1)%len(d.buf)], true
+}
+
+// At returns the element at logical position i, where 0 is the oldest.
+// It panics when i is out of range, matching slice semantics.
+func (d *Deque[T]) At(i int) T {
+	if i < 0 || i >= d.n {
+		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, d.n))
+	}
+	return d.buf[(d.head+i)%len(d.buf)]
+}
+
+// SetAt replaces the element at logical position i (0 = oldest).
+func (d *Deque[T]) SetAt(i int, x T) {
+	if i < 0 || i >= d.n {
+		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, d.n))
+	}
+	d.buf[(d.head+i)%len(d.buf)] = x
+}
+
+// Clear removes all elements.
+func (d *Deque[T]) Clear() {
+	var zero T
+	for i := 0; i < d.n; i++ {
+		d.buf[(d.head+i)%len(d.buf)] = zero
+	}
+	d.head, d.n = 0, 0
+}
+
+// Do calls fn on each element from oldest to youngest, stopping early if fn
+// returns false.
+func (d *Deque[T]) Do(fn func(i int, x T) bool) {
+	for i := 0; i < d.n; i++ {
+		if !fn(i, d.buf[(d.head+i)%len(d.buf)]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", c)
+				}
+			}()
+			New[int](c)
+		}()
+	}
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	d := New[int](4)
+	for i := 1; i <= 4; i++ {
+		if !d.PushTail(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if d.PushTail(5) {
+		t.Error("push into full deque must fail")
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := d.PopHead()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopHead(); ok {
+		t.Error("pop from empty must fail")
+	}
+}
+
+func TestPopTailLIFO(t *testing.T) {
+	d := New[int](4)
+	d.PushTail(1)
+	d.PushTail(2)
+	d.PushTail(3)
+	if v, ok := d.PopTail(); !ok || v != 3 {
+		t.Errorf("PopTail = %d,%v", v, ok)
+	}
+	if v, ok := d.PopTail(); !ok || v != 2 {
+		t.Errorf("PopTail = %d,%v", v, ok)
+	}
+	if v, ok := d.PopHead(); !ok || v != 1 {
+		t.Errorf("PopHead = %d,%v", v, ok)
+	}
+	if _, ok := d.PopTail(); ok {
+		t.Error("PopTail from empty must fail")
+	}
+}
+
+func TestHeadTailPeek(t *testing.T) {
+	d := New[string](3)
+	if _, ok := d.Head(); ok {
+		t.Error("Head of empty")
+	}
+	if _, ok := d.Tail(); ok {
+		t.Error("Tail of empty")
+	}
+	d.PushTail("a")
+	d.PushTail("b")
+	if v, _ := d.Head(); v != "a" {
+		t.Errorf("Head = %q", v)
+	}
+	if v, _ := d.Tail(); v != "b" {
+		t.Errorf("Tail = %q", v)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	d := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !d.PushTail(round*10 + i) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := d.PopHead()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: pop = %d", round, v)
+			}
+		}
+	}
+}
+
+func TestAtAndSetAt(t *testing.T) {
+	d := New[int](4)
+	d.PushTail(10)
+	d.PushTail(20)
+	d.PopHead() // shift head so indices wrap
+	d.PushTail(30)
+	d.PushTail(40)
+	want := []int{20, 30, 40}
+	for i, w := range want {
+		if got := d.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	d.SetAt(1, 99)
+	if d.At(1) != 99 {
+		t.Error("SetAt failed")
+	}
+	for _, f := range []func(){
+		func() { d.At(-1) }, func() { d.At(3) },
+		func() { d.SetAt(-1, 0) }, func() { d.SetAt(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClear(t *testing.T) {
+	d := New[int](4)
+	d.PushTail(1)
+	d.PushTail(2)
+	d.Clear()
+	if !d.Empty() || d.Len() != 0 || d.Space() != 4 {
+		t.Error("Clear incomplete")
+	}
+	if !d.PushTail(7) {
+		t.Error("push after clear failed")
+	}
+	if v, _ := d.Head(); v != 7 {
+		t.Error("head after clear wrong")
+	}
+}
+
+func TestDoIteration(t *testing.T) {
+	d := New[int](5)
+	for i := 0; i < 5; i++ {
+		d.PushTail(i * 2)
+	}
+	var got []int
+	d.Do(func(i, x int) bool {
+		got = append(got, x)
+		return true
+	})
+	for i, v := range got {
+		if v != i*2 {
+			t.Errorf("Do order wrong at %d: %d", i, v)
+		}
+	}
+	count := 0
+	d.Do(func(i, x int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+// Property: a deque behaves identically to a reference slice implementation
+// under a random operation sequence.
+func TestDequeModelProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Val  int
+	}
+	f := func(ops []op) bool {
+		d := New[int](8)
+		var model []int
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0: // PushTail
+				ok := d.PushTail(o.Val)
+				if ok != (len(model) < 8) {
+					return false
+				}
+				if ok {
+					model = append(model, o.Val)
+				}
+			case 1: // PopHead
+				v, ok := d.PopHead()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2: // PopTail
+				v, ok := d.PopTail()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			case 3: // Len/At consistency
+				if d.Len() != len(model) {
+					return false
+				}
+				for i, w := range model {
+					if d.At(i) != w {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int](64)
+	for i := 0; i < b.N; i++ {
+		d.PushTail(i)
+		if d.Full() {
+			for !d.Empty() {
+				d.PopHead()
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package regfile models the physical register file that all pipelines of
+// an hdSMT processor share (paper §2: "Besides the fetch engine, all the
+// pipelines share the memory subsystem — including L1 caches — and the
+// register file"). The file holds the paper's 256 rename registers; the
+// architectural state lives in a conceptually separate architectural file,
+// so a physical register is occupied only while its value is in flight.
+//
+// Registers are reference-counted: the owner (the producing instruction)
+// releases the register at commit or squash, and each consumer holds a
+// reader reference from rename to register read. A register returns to the
+// free list only when both the owner has released it and all readers have
+// dropped their references — the R10000-style discipline that makes eager
+// commit-time release safe.
+package regfile
+
+import "fmt"
+
+// None marks "no physical register": the operand reads the architectural
+// file (always ready) or the instruction has no destination.
+const None = -1
+
+type state struct {
+	ready   bool
+	live    bool // allocated and not yet released by its owner
+	readers int32
+}
+
+// File is a pool of physical rename registers.
+type File struct {
+	regs  []state
+	free  []int32 // free-list stack
+	stats Stats
+}
+
+// Stats aggregates allocation activity.
+type Stats struct {
+	Allocs     uint64
+	AllocFails uint64 // rename stalls due to an empty free list
+}
+
+// New constructs a file with n physical registers.
+func New(n int) *File {
+	if n <= 0 {
+		panic(fmt.Sprintf("regfile: size %d must be positive", n))
+	}
+	f := &File{regs: make([]state, n), free: make([]int32, n)}
+	for i := range f.free {
+		f.free[i] = int32(n - 1 - i) // pop order: 0, 1, 2, ...
+	}
+	return f
+}
+
+// Size returns the total number of physical registers.
+func (f *File) Size() int { return len(f.regs) }
+
+// FreeCount returns the number of registers on the free list.
+func (f *File) FreeCount() int { return len(f.free) }
+
+// Stats returns accumulated statistics.
+func (f *File) Stats() Stats { return f.stats }
+
+// Reset returns every register to the free list.
+func (f *File) Reset() {
+	n := len(f.regs)
+	for i := range f.regs {
+		f.regs[i] = state{}
+	}
+	f.free = f.free[:0]
+	for i := n - 1; i >= 0; i-- {
+		f.free = append(f.free, int32(i))
+	}
+	f.stats = Stats{}
+}
+
+// Alloc takes a register from the free list, not ready, owner-held.
+// ok is false when the file is exhausted (the caller must stall rename).
+func (f *File) Alloc() (p int, ok bool) {
+	f.stats.Allocs++
+	n := len(f.free)
+	if n == 0 {
+		f.stats.Allocs--
+		f.stats.AllocFails++
+		return None, false
+	}
+	r := f.free[n-1]
+	f.free = f.free[:n-1]
+	f.regs[r] = state{live: true}
+	return int(r), true
+}
+
+// SetReady marks p's value as produced (writeback).
+func (f *File) SetReady(p int) {
+	f.check(p)
+	f.regs[p].ready = true
+}
+
+// Ready reports whether p's value has been produced. None is always ready
+// (architectural source).
+func (f *File) Ready(p int) bool {
+	if p == None {
+		return true
+	}
+	f.check(p)
+	return f.regs[p].ready
+}
+
+// AddReader registers a pending consumer of p (called at rename). Reading
+// None is free.
+func (f *File) AddReader(p int) {
+	if p == None {
+		return
+	}
+	f.check(p)
+	f.regs[p].readers++
+}
+
+// DropReader removes a pending consumer (called when the consumer reads the
+// register at issue, or when the consumer is squashed).
+func (f *File) DropReader(p int) {
+	if p == None {
+		return
+	}
+	f.check(p)
+	if f.regs[p].readers == 0 {
+		panic(fmt.Sprintf("regfile: reader underflow on p%d", p))
+	}
+	f.regs[p].readers--
+	f.maybeFree(p)
+}
+
+// Release relinquishes ownership of p (at commit, when the value moves to
+// the architectural file, or at squash). The register is recycled once all
+// readers have drained.
+func (f *File) Release(p int) {
+	if p == None {
+		return
+	}
+	f.check(p)
+	if !f.regs[p].live {
+		panic(fmt.Sprintf("regfile: double release of p%d", p))
+	}
+	f.regs[p].live = false
+	f.maybeFree(p)
+}
+
+func (f *File) maybeFree(p int) {
+	if !f.regs[p].live && f.regs[p].readers == 0 {
+		f.regs[p] = state{}
+		f.free = append(f.free, int32(p))
+	}
+}
+
+func (f *File) check(p int) {
+	if p < 0 || p >= len(f.regs) {
+		panic(fmt.Sprintf("regfile: register p%d out of range [0,%d)", p, len(f.regs)))
+	}
+}
+
+// InUse returns the number of registers not on the free list (live or
+// draining readers).
+func (f *File) InUse() int { return len(f.regs) - len(f.free) }

@@ -1,0 +1,220 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	f := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		p, ok := f.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate register p%d", p)
+		}
+		seen[p] = true
+	}
+	if _, ok := f.Alloc(); ok {
+		t.Error("alloc from empty free list must fail")
+	}
+	st := f.Stats()
+	if st.Allocs != 3 || st.AllocFails != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if f.FreeCount() != 0 || f.InUse() != 3 {
+		t.Errorf("free=%d inuse=%d", f.FreeCount(), f.InUse())
+	}
+}
+
+func TestReadiness(t *testing.T) {
+	f := New(4)
+	p, _ := f.Alloc()
+	if f.Ready(p) {
+		t.Error("fresh register must not be ready")
+	}
+	f.SetReady(p)
+	if !f.Ready(p) {
+		t.Error("SetReady did not take")
+	}
+	if !f.Ready(None) {
+		t.Error("None (architectural source) is always ready")
+	}
+}
+
+func TestReleaseRecycles(t *testing.T) {
+	f := New(1)
+	p, _ := f.Alloc()
+	f.Release(p)
+	if f.FreeCount() != 1 {
+		t.Error("release with no readers must free immediately")
+	}
+	q, ok := f.Alloc()
+	if !ok || q != p {
+		t.Errorf("recycled alloc = p%d, %v", q, ok)
+	}
+	if f.Ready(q) {
+		t.Error("recycled register must start not-ready")
+	}
+}
+
+func TestReadersDelayFree(t *testing.T) {
+	f := New(1)
+	p, _ := f.Alloc()
+	f.AddReader(p)
+	f.AddReader(p)
+	f.Release(p)
+	if f.FreeCount() != 0 {
+		t.Error("register with readers must not free")
+	}
+	f.DropReader(p)
+	if f.FreeCount() != 0 {
+		t.Error("register with one reader left must not free")
+	}
+	f.DropReader(p)
+	if f.FreeCount() != 1 {
+		t.Error("register must free when last reader drops")
+	}
+}
+
+func TestReaderBeforeRelease(t *testing.T) {
+	f := New(2)
+	p, _ := f.Alloc()
+	f.AddReader(p)
+	f.DropReader(p)
+	if f.FreeCount() != 1 {
+		t.Error("live register must stay allocated after readers drain")
+	}
+	f.Release(p)
+	if f.FreeCount() != 2 {
+		t.Error("release after reader drain must free")
+	}
+}
+
+func TestNoneIsNoop(t *testing.T) {
+	f := New(2)
+	f.AddReader(None)
+	f.DropReader(None)
+	f.Release(None)
+	if f.FreeCount() != 2 {
+		t.Error("None operations must not touch the pool")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	cases := []func(f *File){
+		func(f *File) { f.SetReady(99) },
+		func(f *File) { f.Ready(99) },
+		func(f *File) { f.AddReader(-2) },
+		func(f *File) {
+			p, _ := f.Alloc()
+			f.DropReader(p) // underflow
+		},
+		func(f *File) {
+			p, _ := f.Alloc()
+			f.Release(p)
+			f.Release(p) // double release
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn(New(4))
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(4)
+	p, _ := f.Alloc()
+	f.AddReader(p)
+	f.Reset()
+	if f.FreeCount() != 4 || f.InUse() != 0 {
+		t.Error("reset incomplete")
+	}
+	if f.Stats() != (Stats{}) {
+		t.Error("stats survived reset")
+	}
+	// All four registers allocatable again.
+	for i := 0; i < 4; i++ {
+		if _, ok := f.Alloc(); !ok {
+			t.Fatal("alloc after reset failed")
+		}
+	}
+}
+
+// Property: under any interleaving of alloc/release/reader ops, the free
+// count plus in-use count equals the pool size, and no register is ever
+// double-allocated.
+func TestConservationProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+	}
+	f := func(ops []op) bool {
+		const n = 8
+		file := New(n)
+		live := map[int]bool{}   // owner-held
+		readers := map[int]int{} // outstanding reader refs
+		var held []int           // registers we may act on
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0: // alloc
+				p, ok := file.Alloc()
+				if ok {
+					if live[p] || readers[p] > 0 {
+						return false // double allocation
+					}
+					live[p] = true
+					held = append(held, p)
+				}
+			case 1: // release an owned register
+				for _, p := range held {
+					if live[p] {
+						file.Release(p)
+						live[p] = false
+						break
+					}
+				}
+			case 2: // add reader to an owned register
+				for _, p := range held {
+					if live[p] {
+						file.AddReader(p)
+						readers[p]++
+						break
+					}
+				}
+			case 3: // drop one reader
+				for _, p := range held {
+					if readers[p] > 0 {
+						file.DropReader(p)
+						readers[p]--
+						break
+					}
+				}
+			}
+			if file.FreeCount()+file.InUse() != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

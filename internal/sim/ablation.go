@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"hdsmt/internal/config"
+	"hdsmt/internal/core"
+	"hdsmt/internal/fetch"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/workload"
+)
+
+// Ablations quantify the design choices the paper asserts but does not
+// sweep: the 2-cycle shared-register-file penalty (§4), the decoupling
+// buffer sizes (§2/§4), and the fetch-policy choice (§4).
+
+// AblationPoint is one configuration variant's result.
+type AblationPoint struct {
+	Label string
+	IPC   float64
+}
+
+// AblationResult is a named sweep.
+type AblationResult struct {
+	Name     string
+	Workload string
+	Points   []AblationPoint
+}
+
+// Render formats the sweep as an aligned table.
+func (a AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: %s (workload %s)\n", a.Name, a.Workload)
+	for _, p := range a.Points {
+		fmt.Fprintf(&b, "  %-24s IPC %.4f\n", p.Label, p.IPC)
+	}
+	return b.String()
+}
+
+// heurOrTrivial returns the mapping to use for an ablation run.
+func heurOrTrivial(cfg config.Microarch, w workload.Workload) (mapping.Mapping, error) {
+	if cfg.Monolithic {
+		return make(mapping.Mapping, w.Threads()), nil
+	}
+	return HeuristicMapping(cfg, w)
+}
+
+// AblateRFLatency sweeps the shared-register-file access latency on a
+// heterogeneous configuration. The paper charges hdSMT 2 cycles (vs the
+// baseline's 1) for multipipeline register-file sharing; the sweep shows
+// what that assumption costs.
+func AblateRFLatency(w workload.Workload, opt Options) (AblationResult, error) {
+	out := AblationResult{Name: "register-file access latency (2M4+2M2)", Workload: w.Name}
+	for _, lat := range []int{1, 2, 3} {
+		cfg := config.MustParse("2M4+2M2")
+		cfg.Params.RegAccessLatency = lat
+		m, err := heurOrTrivial(cfg, w)
+		if err != nil {
+			return out, err
+		}
+		r, err := Run(cfg, w, m, opt)
+		if err != nil {
+			return out, err
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label: fmt.Sprintf("%d-cycle RF access", lat),
+			IPC:   r.IPC,
+		})
+	}
+	return out, nil
+}
+
+// AblateFetchBuffer sweeps the per-pipeline decoupling buffer size on
+// 2M4+2M2 (the paper fixes 32 entries for M4 and 16 for M2; the sweep
+// scales both proportionally).
+func AblateFetchBuffer(w workload.Workload, opt Options) (AblationResult, error) {
+	out := AblationResult{Name: "decoupling buffer size (2M4+2M2)", Workload: w.Name}
+	for _, scale := range []int{1, 2, 4, 8} {
+		m4 := config.M4
+		m4.FetchBuf = 8 * scale
+		m2 := config.M2
+		m2.FetchBuf = 4 * scale
+		cfg := config.NewMicroarch(m4, m4, m2, m2)
+		m, err := heurOrTrivial(cfg, w)
+		if err != nil {
+			return out, err
+		}
+		r, err := Run(cfg, w, m, opt)
+		if err != nil {
+			return out, err
+		}
+		out.Points = append(out.Points, AblationPoint{
+			Label: fmt.Sprintf("M4:%d/M2:%d entries", m4.FetchBuf, m2.FetchBuf),
+			IPC:   r.IPC,
+		})
+	}
+	return out, nil
+}
+
+// AblateFetchPolicy compares the three fetch policies on the monolithic
+// baseline for one workload (the paper adopts FLUSH for the baseline and
+// L1MCOUNT for multipipeline configurations).
+func AblateFetchPolicy(w workload.Workload, opt Options) (AblationResult, error) {
+	out := AblationResult{Name: "fetch policy (M8)", Workload: w.Name}
+	cfg := config.MustParse("M8")
+	specs, err := Specs(w)
+	if err != nil {
+		return out, err
+	}
+	for _, pol := range []fetch.Policy{fetch.ICount{}, fetch.Flush{}, fetch.L1MCount{}} {
+		opts := []core.Option{core.WithPolicy(pol)}
+		if opt.Warmup > 0 {
+			opts = append(opts, core.WithWarmup(opt.Warmup))
+		}
+		p, err := core.New(cfg, specs, make(mapping.Mapping, w.Threads()), opts...)
+		if err != nil {
+			return out, err
+		}
+		r, err := p.Run(opt.Budget)
+		if err != nil {
+			return out, err
+		}
+		out.Points = append(out.Points, AblationPoint{Label: pol.Name(), IPC: r.IPC})
+	}
+	return out, nil
+}
+
+// RunAblations executes all three ablations on a representative MIX
+// workload (4W6 unless overridden).
+func RunAblations(w workload.Workload, opt Options) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, f := range []func(workload.Workload, Options) (AblationResult, error){
+		AblateRFLatency, AblateFetchBuffer, AblateFetchPolicy,
+	} {
+		a, err := f(w, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

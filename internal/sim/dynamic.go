@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"hdsmt/internal/config"
+	"hdsmt/internal/core"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/workload"
+)
+
+// DynamicResult reports a dynamic-mapping run next to its static-HEUR
+// reference.
+type DynamicResult struct {
+	StaticIPC  float64
+	DynamicIPC float64
+	Migrations uint64
+	Interval   uint64
+}
+
+// RunDynamic runs workload w on cfg twice: once under the static §2.1
+// profile-guided mapping, and once under the paper's §7 future-work
+// proposal — the same heuristic re-evaluated every interval cycles on
+// *observed* per-thread miss counts, migrating threads when the ranking
+// changes.
+func RunDynamic(cfg config.Microarch, w workload.Workload, interval uint64, opt Options) (DynamicResult, error) {
+	out := DynamicResult{Interval: interval}
+	specs, err := Specs(w)
+	if err != nil {
+		return out, err
+	}
+	initial, err := HeuristicMapping(cfg, w)
+	if err != nil {
+		return out, err
+	}
+
+	var coreOpts []core.Option
+	if opt.Warmup > 0 {
+		coreOpts = append(coreOpts, core.WithWarmup(opt.Warmup))
+	}
+
+	static, err := core.New(cfg, specs, initial, coreOpts...)
+	if err != nil {
+		return out, err
+	}
+	rs, err := static.Run(opt.Budget)
+	if err != nil {
+		return out, err
+	}
+	out.StaticIPC = rs.IPC
+
+	remapper := func(misses []uint64, current []int) []int {
+		m, err := mapping.Heuristic(cfg.ForThreads(len(misses)), misses)
+		if err != nil {
+			return current // cannot happen for valid configs; stay put
+		}
+		return m
+	}
+	dynOpts := append(coreOpts, core.WithDynamicMapping(interval, remapper))
+	dyn, err := core.New(cfg, specs, initial, dynOpts...)
+	if err != nil {
+		return out, err
+	}
+	rd, err := dyn.Run(opt.Budget)
+	if err != nil {
+		return out, err
+	}
+	out.DynamicIPC = rd.IPC
+	out.Migrations = dyn.Migrations()
+	return out, nil
+}
+
+// DefaultRemapInterval is a reasonable reconsideration period: long enough
+// to amortize the migration drain, short enough to catch phase changes.
+const DefaultRemapInterval = 2_048

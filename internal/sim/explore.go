@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hdsmt/internal/area"
+	"hdsmt/internal/config"
+	"hdsmt/internal/metrics"
+	"hdsmt/internal/workload"
+)
+
+// Design-space exploration: the paper evaluates six hand-picked
+// configurations; this extension searches the whole space of M6/M4/M2
+// multisets under an area budget for the best performance-per-area machine,
+// directly operationalizing the paper's goal of "minimizing the amount of
+// resources wasted to achieve a given performance rate".
+
+// CandidateConfigs enumerates every multiset of {M6, M4, M2} pipelines with
+// between 1 and maxPipes members whose area fits areaCap (0 = no cap),
+// plus the monolithic baseline for reference. Results are deterministic,
+// ordered by ascending area.
+func CandidateConfigs(maxPipes int, areaCap float64) ([]config.Microarch, error) {
+	if maxPipes < 1 {
+		return nil, fmt.Errorf("sim: maxPipes %d must be at least 1", maxPipes)
+	}
+	models := []config.Model{config.M6, config.M4, config.M2}
+	var out []config.Microarch
+	seen := map[string]bool{}
+
+	add := func(cfg config.Microarch) error {
+		if seen[cfg.Name] {
+			return nil
+		}
+		a, err := area.Total(cfg)
+		if err != nil {
+			return err
+		}
+		if areaCap > 0 && a > areaCap {
+			return nil
+		}
+		seen[cfg.Name] = true
+		out = append(out, cfg)
+		return nil
+	}
+
+	// Multisets via non-decreasing index sequences.
+	var rec func(start int, picked []config.Model) error
+	rec = func(start int, picked []config.Model) error {
+		if len(picked) > 0 {
+			if err := add(config.NewMicroarch(picked...)); err != nil {
+				return err
+			}
+		}
+		if len(picked) == maxPipes {
+			return nil
+		}
+		for i := start; i < len(models); i++ {
+			if err := rec(i, append(picked, models[i])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, nil); err != nil {
+		return nil, err
+	}
+	if err := add(config.MustParse("M8")); err != nil {
+		return nil, err
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		return area.MustTotal(out[i]) < area.MustTotal(out[j])
+	})
+	return out, nil
+}
+
+// ExploreResult scores one candidate over the workload set.
+type ExploreResult struct {
+	Config  string
+	Area    float64
+	IPC     float64 // harmonic mean over the workloads, HEUR mapping
+	PerArea float64
+	Skipped bool // too few hardware contexts for some workload
+}
+
+// Explore evaluates every candidate on every workload under the §2.1
+// heuristic mapping and ranks by performance per area. Candidates lacking
+// contexts for any workload are reported as skipped.
+func Explore(wls []workload.Workload, cands []config.Microarch, opt Options) ([]ExploreResult, error) {
+	if len(wls) == 0 {
+		return nil, fmt.Errorf("sim: no workloads to explore over")
+	}
+	out := make([]ExploreResult, 0, len(cands))
+	for _, cfg := range cands {
+		res := ExploreResult{Config: cfg.Name, Area: area.MustTotal(cfg)}
+		var ipcs []float64
+		for _, w := range wls {
+			eff := cfg.ForThreads(w.Threads())
+			if eff.TotalContexts() < w.Threads() {
+				res.Skipped = true
+				break
+			}
+			var m []int
+			if eff.Monolithic {
+				m = make([]int, w.Threads())
+			} else {
+				hm, err := HeuristicMapping(eff, w)
+				if err != nil {
+					return nil, fmt.Errorf("sim: %s/%s: %w", cfg.Name, w.Name, err)
+				}
+				m = hm
+			}
+			r, err := Run(eff, w, m, opt)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s/%s: %w", cfg.Name, w.Name, err)
+			}
+			ipcs = append(ipcs, r.IPC)
+		}
+		if !res.Skipped {
+			res.IPC = metrics.HMean(ipcs)
+			res.PerArea = res.IPC / res.Area
+		}
+		out = append(out, res)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Skipped != out[j].Skipped {
+			return !out[i].Skipped
+		}
+		return out[i].PerArea > out[j].PerArea
+	})
+	return out, nil
+}
+
+// RenderExploration formats the ranking.
+func RenderExploration(rs []ExploreResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %12s\n", "config", "area mm²", "IPC", "IPC/mm²")
+	for _, r := range rs {
+		if r.Skipped {
+			fmt.Fprintf(&b, "%-16s %10.2f %10s %12s\n", r.Config, r.Area, "-", "(too few contexts)")
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %10.2f %10.3f %12.5f\n", r.Config, r.Area, r.IPC, r.PerArea)
+	}
+	return b.String()
+}

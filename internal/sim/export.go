@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the figure's aggregated cells as CSV for external
+// plotting: one row per (config, group) with BEST/HEUR/WORST columns.
+func (f FigResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "type", "config", "group", "best", "heur", "worst"}); err != nil {
+		return fmt.Errorf("sim: writing CSV header: %w", err)
+	}
+	for _, cfg := range f.Configs {
+		for _, g := range f.Groups {
+			c := f.Values[cfg][g]
+			rec := []string{
+				f.Title, f.Type.String(), cfg, g,
+				formatF(c.Best), formatF(c.Heur), formatF(c.Worst),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("sim: writing CSV row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePerWorkloadCSV emits the raw per-workload measurements.
+func (f FigResult) WritePerWorkloadCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"type", "config", "workload", "best", "heur", "worst", "mappings", "heur_mapping"}); err != nil {
+		return fmt.Errorf("sim: writing CSV header: %w", err)
+	}
+	for _, cfg := range f.Configs {
+		names := make([]string, 0, len(f.PerWorkload[cfg]))
+		for n := range f.PerWorkload[cfg] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			m := f.PerWorkload[cfg][n]
+			rec := []string{
+				f.Type.String(), cfg, n,
+				formatF(m.Best), formatF(m.Heur), formatF(m.Worst),
+				strconv.Itoa(m.Mappings), m.HeurMapping.String(),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("sim: writing CSV row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"hdsmt/internal/config"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/workload"
+)
+
+// Fairness metrics standard in the SMT literature but absent from the
+// paper's evaluation (which reports only combined IPC): weighted speedup
+// (Snavely & Tullsen) normalizes each thread's shared-mode throughput by its
+// alone-mode throughput, so a policy cannot look good by starving slow
+// threads; the harmonic mean of the same ratios additionally punishes
+// imbalance.
+
+// FairnessResult reports a configuration/mapping's fairness on a workload.
+type FairnessResult struct {
+	Config   string
+	Workload string
+	// PerThread[i] is thread i's relative speedup: shared IPC / alone IPC.
+	PerThread []float64
+	// WeightedSpeedup is the sum of relative speedups (n would be perfect
+	// scaling; 1 means the machine delivers one thread's worth of work).
+	WeightedSpeedup float64
+	// HarmonicFairness is the harmonic mean of relative speedups.
+	HarmonicFairness float64
+}
+
+// Render formats the result.
+func (f FairnessResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fairness %s on %s: weighted speedup %.3f, harmonic %.3f\n",
+		f.Workload, f.Config, f.WeightedSpeedup, f.HarmonicFairness)
+	for i, v := range f.PerThread {
+		fmt.Fprintf(&b, "  thread %d relative speedup %.3f\n", i, v)
+	}
+	return b.String()
+}
+
+// Fairness measures workload w on cfg under mapping m against each thread's
+// alone-mode run. Alone mode places the single thread on the machine's
+// widest pipeline (the best case a migration policy could give it).
+func Fairness(cfg config.Microarch, w workload.Workload, m mapping.Mapping, opt Options) (FairnessResult, error) {
+	out := FairnessResult{Config: cfg.Name, Workload: w.Name}
+
+	shared, err := Run(cfg, w, m, opt)
+	if err != nil {
+		return out, err
+	}
+
+	// Alone runs get a longer warm-up: in the shared run the warm-up phase
+	// lasts until the *slowest* thread retires its quota, so fast threads
+	// enter measurement with far warmer caches and predictors than a plain
+	// single-thread warm-up would give them. Scaling the alone warm-up by
+	// the thread count keeps the two measurements comparable at scaled
+	// budgets (at the paper's 300M scale the difference vanishes).
+	aloneOpt := opt
+	aloneOpt.Warmup = opt.Warmup * uint64(w.Threads())
+
+	sumRel, sumInv := 0.0, 0.0
+	for i, name := range w.Benchmarks {
+		aloneW := workload.Workload{Name: w.Name + "/" + name, Benchmarks: []string{name}, Type: w.Type}
+		alone, err := Run(cfg, aloneW, mapping.Mapping{0}, aloneOpt)
+		if err != nil {
+			return out, fmt.Errorf("sim: alone run of %s: %w", name, err)
+		}
+		if alone.IPC <= 0 {
+			return out, fmt.Errorf("sim: alone run of %s produced no throughput", name)
+		}
+		rel := shared.PerThreadIPC[i] / alone.IPC
+		out.PerThread = append(out.PerThread, rel)
+		sumRel += rel
+		if rel > 0 {
+			sumInv += 1 / rel
+		}
+	}
+	out.WeightedSpeedup = sumRel
+	n := float64(len(out.PerThread))
+	if sumInv > 0 {
+		out.HarmonicFairness = n / sumInv
+	}
+	return out, nil
+}

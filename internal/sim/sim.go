@@ -1,0 +1,275 @@
+// Package sim is the experiment harness: it assembles processors for the
+// paper's workloads (Tables 2-3) and microarchitectures (Fig. 3), runs the
+// BEST/HEUR/WORST measurements of §5, and aggregates them into the series
+// of Figs. 4 and 5 plus the headline summary numbers.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hdsmt/internal/bench"
+	"hdsmt/internal/config"
+	"hdsmt/internal/core"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/workload"
+)
+
+// Options scales the simulation. The paper runs 300M instructions per
+// thread; the default here is a laptop-scale segment whose comparative
+// shape is stable (verified by TestBudgetInsensitivity).
+type Options struct {
+	// Budget is the measured instructions per thread; the run stops when
+	// the first thread retires this many (the paper's stopping rule).
+	Budget uint64
+	// Warmup is the per-thread instruction count retired before
+	// measurement, excluding cold-structure effects that 300M-instruction
+	// runs amortize but scaled runs would not.
+	Warmup uint64
+	// OracleBudget is the per-mapping budget of the BEST/WORST exhaustive
+	// search; 0 means Budget.
+	OracleBudget uint64
+	// MaxOracle caps the number of mappings the oracle simulates. When the
+	// enumeration is larger, a deterministic stride subsample is searched
+	// (plus the heuristic's mapping, which Evaluate always includes), so
+	// BEST becomes a lower bound and WORST an upper bound of the true
+	// extremes. 0 means unlimited (the paper's exhaustive oracle).
+	MaxOracle int
+	// Parallel bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// DefaultOptions returns the scaled defaults.
+func DefaultOptions() Options {
+	return Options{Budget: 30_000, Warmup: 10_000}
+}
+
+func (o Options) oracleBudget() uint64 {
+	if o.OracleBudget != 0 {
+		return o.OracleBudget
+	}
+	return o.Budget
+}
+
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Address-space layout: each thread gets a distinct code and data region.
+// Code bases are staggered by a non-set-aligned offset so threads do not
+// collide pathologically in the I-cache.
+const (
+	codeBase    = 0x100000
+	codeStride  = 0x4000000
+	codeStagger = 0x11040
+	dataBase    = 0x10000000
+	dataStride  = 0x40000000
+)
+
+// Specs builds the per-thread specifications for a workload.
+func Specs(w workload.Workload) ([]core.ThreadSpec, error) {
+	bs, err := w.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]core.ThreadSpec, len(bs))
+	for i, b := range bs {
+		prog, err := b.Build(uint64(codeBase + i*codeStride + i*codeStagger))
+		if err != nil {
+			return nil, fmt.Errorf("sim: building %s: %w", b.Name, err)
+		}
+		specs[i] = core.ThreadSpec{
+			Name:     b.Name,
+			Program:  prog,
+			Seed:     b.Params.Seed ^ uint64(i)<<32,
+			DataBase: uint64(dataBase + i*dataStride),
+		}
+	}
+	return specs, nil
+}
+
+// Run simulates workload w on cfg under the given thread mapping.
+func Run(cfg config.Microarch, w workload.Workload, m mapping.Mapping, opt Options) (core.Results, error) {
+	specs, err := Specs(w)
+	if err != nil {
+		return core.Results{}, err
+	}
+	return runSpecs(cfg, specs, m, opt.Warmup, opt.Budget)
+}
+
+func runSpecs(cfg config.Microarch, specs []core.ThreadSpec, m mapping.Mapping, warmup, budget uint64) (core.Results, error) {
+	var opts []core.Option
+	if warmup > 0 {
+		opts = append(opts, core.WithWarmup(warmup))
+	}
+	p, err := core.New(cfg, specs, m, opts...)
+	if err != nil {
+		return core.Results{}, err
+	}
+	return p.Run(budget)
+}
+
+// HeuristicMapping computes the §2.1 profile-guided mapping for w on cfg.
+func HeuristicMapping(cfg config.Microarch, w workload.Workload) (mapping.Mapping, error) {
+	bs, err := w.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	misses := make([]uint64, len(bs))
+	for i, b := range bs {
+		m, err := bench.DCacheMisses(b, bench.ProfileLen)
+		if err != nil {
+			return nil, err
+		}
+		misses[i] = m
+	}
+	return mapping.Heuristic(cfg.ForThreads(len(bs)), misses)
+}
+
+// WidthFitMapping computes the extension WidthFit mapping (see
+// mapping.WidthFit) from the same profile data HEUR uses.
+func WidthFitMapping(cfg config.Microarch, w workload.Workload) (mapping.Mapping, error) {
+	bs, err := w.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	misses := make([]uint64, len(bs))
+	for i, b := range bs {
+		m, err := bench.DCacheMisses(b, bench.ProfileLen)
+		if err != nil {
+			return nil, err
+		}
+		misses[i] = m
+	}
+	return mapping.WidthFit(cfg.ForThreads(len(bs)), misses)
+}
+
+// Measurement is one (configuration, workload) cell of Figs. 4/5: the
+// oracle BEST and WORST mappings' IPC and the heuristic's.
+type Measurement struct {
+	Config   string
+	Workload string
+
+	Best  float64
+	Heur  float64
+	Worst float64
+
+	BestMapping  mapping.Mapping
+	HeurMapping  mapping.Mapping
+	WorstMapping mapping.Mapping
+
+	// Mappings is the number of distinct mappings the oracle searched.
+	Mappings int
+}
+
+// Evaluate produces the Measurement for one configuration and workload:
+// monolithic configurations need no mapping (a single measurement serves
+// all three series, as in the paper); multipipeline configurations run the
+// heuristic mapping at full budget and exhaustively search all distinct
+// mappings for BEST/WORST.
+func Evaluate(cfg config.Microarch, w workload.Workload, opt Options) (Measurement, error) {
+	meas := Measurement{Config: cfg.Name, Workload: w.Name}
+	n := w.Threads()
+
+	if cfg.Monolithic {
+		m := make(mapping.Mapping, n) // all threads on the one pipeline
+		r, err := Run(cfg, w, m, opt)
+		if err != nil {
+			return meas, err
+		}
+		meas.Best, meas.Heur, meas.Worst = r.IPC, r.IPC, r.IPC
+		meas.BestMapping, meas.HeurMapping, meas.WorstMapping = m, m, m
+		meas.Mappings = 1
+		return meas, nil
+	}
+
+	hm, err := HeuristicMapping(cfg, w)
+	if err != nil {
+		return meas, err
+	}
+	hr, err := Run(cfg, w, hm, opt)
+	if err != nil {
+		return meas, fmt.Errorf("sim: %s/%s heuristic: %w", cfg.Name, w.Name, err)
+	}
+	meas.Heur = hr.IPC
+	meas.HeurMapping = hm
+
+	all := mapping.Enumerate(cfg, n)
+	if len(all) == 0 {
+		return meas, fmt.Errorf("sim: no feasible mappings for %s/%s", cfg.Name, w.Name)
+	}
+	if opt.MaxOracle > 0 && len(all) > opt.MaxOracle {
+		sampled := make([]mapping.Mapping, 0, opt.MaxOracle)
+		stride := float64(len(all)) / float64(opt.MaxOracle)
+		for i := 0; i < opt.MaxOracle; i++ {
+			sampled = append(sampled, all[int(float64(i)*stride)])
+		}
+		all = sampled
+	}
+	meas.Mappings = len(all)
+	ipcs, err := runAll(cfg, w, all, opt)
+	if err != nil {
+		return meas, err
+	}
+	best, worst := 0, 0
+	for i, ipc := range ipcs {
+		if ipc > ipcs[best] {
+			best = i
+		}
+		if ipc < ipcs[worst] {
+			worst = i
+		}
+	}
+	meas.Best, meas.BestMapping = ipcs[best], all[best]
+	meas.Worst, meas.WorstMapping = ipcs[worst], all[worst]
+
+	// The oracle search may run at a reduced budget; the heuristic runs at
+	// full budget. Clamp so reported series stay consistent (BEST is by
+	// definition at least HEUR, WORST at most).
+	if meas.Heur > meas.Best {
+		meas.Best = meas.Heur
+		meas.BestMapping = hm
+	}
+	if meas.Heur < meas.Worst {
+		meas.Worst = meas.Heur
+		meas.WorstMapping = hm
+	}
+	return meas, nil
+}
+
+// runAll simulates every mapping concurrently and returns their IPCs in
+// input order (deterministic regardless of scheduling).
+func runAll(cfg config.Microarch, w workload.Workload, ms []mapping.Mapping, opt Options) ([]float64, error) {
+	ipcs := make([]float64, len(ms))
+	errs := make([]error, len(ms))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.workers())
+	for i := range ms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := Run(cfg, w, ms[i], Options{
+				Budget: opt.oracleBudget(),
+				Warmup: opt.Warmup,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ipcs[i] = r.IPC
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s/%s mapping %v: %w", cfg.Name, w.Name, ms[i], err)
+		}
+	}
+	return ipcs, nil
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hdsmt/internal/area"
+	"hdsmt/internal/config"
+	"hdsmt/internal/workload"
+)
+
+// syntheticFig builds a FigResult with chosen HMEAN HEUR values per config
+// and consistent per-workload measurements, so Summarize can be unit tested
+// without simulation.
+func syntheticFig(t workload.Type, heur map[string]float64) FigResult {
+	fig := FigResult{
+		Type:        t,
+		Groups:      []string{"HMEAN"},
+		Values:      map[string]map[string]Cell{},
+		PerWorkload: map[string]map[string]Measurement{},
+	}
+	for cfg, v := range heur {
+		fig.Configs = append(fig.Configs, cfg)
+		fig.Values[cfg] = map[string]Cell{
+			"HMEAN": {Best: v * 1.1, Heur: v, Worst: v * 0.6},
+		}
+		fig.PerWorkload[cfg] = map[string]Measurement{
+			"W1": {Config: cfg, Workload: "W1", Best: v * 1.1, Heur: v, Worst: v * 0.6},
+		}
+	}
+	return fig
+}
+
+func TestSummarizeArithmetic(t *testing.T) {
+	// Construct figures where 2M4+2M2 is exactly 10% below M8 in IPC for
+	// every class. With areas 124.11 vs 170.00, its perf/area is then
+	// 0.9*170/124.11 - 1 = +23.3% over the baseline.
+	heur := map[string]float64{
+		"M8":          2.0,
+		"3M4":         1.7,
+		"4M4":         1.6,
+		"2M4+2M2":     1.8,
+		"3M4+2M2":     1.5,
+		"1M6+2M4+2M2": 1.6,
+	}
+	figs := map[workload.Type]FigResult{
+		workload.ILP: syntheticFig(workload.ILP, heur),
+		workload.MEM: syntheticFig(workload.MEM, heur),
+		workload.MIX: syntheticFig(workload.MIX, heur),
+	}
+	s, err := Summarize(figs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m8Area := area.MustTotal(config.MustParse("M8"))
+	hdArea := area.MustTotal(config.MustParse("2M4+2M2"))
+	wantPA := (1.8 / hdArea) / (2.0 / m8Area)
+	if math.Abs(s.PerfAreaVsMonolithic-(wantPA-1)) > 1e-9 {
+		t.Errorf("PerfAreaVsMonolithic = %.4f, want %.4f", s.PerfAreaVsMonolithic, wantPA-1)
+	}
+
+	// Raw IPC: best heterogeneous = 1.8, M8 = 2.0 → M8 +11.1%.
+	if math.Abs(s.RawPerfMonoVsHd-(2.0/1.8-1)) > 1e-9 {
+		t.Errorf("RawPerfMonoVsHd = %.4f", s.RawPerfMonoVsHd)
+	}
+	// Best heterogeneous 1.8 vs best homogeneous 1.7 → +5.88%.
+	if math.Abs(s.RawPerfHdVsHomo-(1.8/1.7-1)) > 1e-9 {
+		t.Errorf("RawPerfHdVsHomo = %.4f", s.RawPerfHdVsHomo)
+	}
+	// HEUR accuracy = heur/best = 1/1.1 everywhere.
+	for _, cfg := range []string{"2M4+2M2", "3M4+2M2", "1M6+2M4+2M2"} {
+		if math.Abs(s.HeurAccuracy[cfg]-1/1.1) > 1e-9 {
+			t.Errorf("HeurAccuracy[%s] = %.4f", cfg, s.HeurAccuracy[cfg])
+		}
+	}
+	// Per-class quotes exist for every class.
+	for _, cls := range []string{"ILP", "MEM", "MIX"} {
+		if _, ok := s.PerClassPerfArea2M4[cls]; !ok {
+			t.Errorf("missing per-class perf/area for %s", cls)
+		}
+		if _, ok := s.RawPerClassMonoVs1M6[cls]; !ok {
+			t.Errorf("missing per-class raw quote for %s", cls)
+		}
+	}
+
+	out := s.Render()
+	for _, want := range []string{"paper +13%", "paper +14%", "HEUR accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestSummarizeRealMEMFigureOnly(t *testing.T) {
+	// Summarize over a single real figure still works (one class).
+	fig := memFigure(t)
+	s, err := Summarize(map[workload.Type]FigResult{workload.MEM: fig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PerfAreaVsMonolithic <= 0 {
+		t.Errorf("hdSMT should win perf/area on MEM (got %+.3f)", s.PerfAreaVsMonolithic)
+	}
+	for _, cfg := range []string{"2M4+2M2", "3M4+2M2", "1M6+2M4+2M2"} {
+		acc := s.HeurAccuracy[cfg]
+		if acc <= 0 || acc > 1 {
+			t.Errorf("accuracy[%s] = %v out of (0,1]", cfg, acc)
+		}
+	}
+}

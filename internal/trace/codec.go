@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hdsmt/internal/isa"
+)
+
+// Trace files let cmd/tracegen materialize a stream once and replay it, the
+// way the paper collects SPEC traces offline and replays them in SMTSIM.
+// The format is a small header followed by varint-packed records.
+
+// fileMagic identifies hdSMT trace files (version embedded).
+const fileMagic = "HDSMTTR1"
+
+// Writer encodes dynamic instructions to a trace file.
+type Writer struct {
+	w     *bufio.Writer
+	buf   [binary.MaxVarintLen64]byte
+	count uint64
+	err   error
+}
+
+// NewWriter writes a trace-file header for benchmark name and returns the
+// record writer.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	tw := &Writer{w: bw}
+	tw.putUvarint(uint64(len(name)))
+	if tw.err == nil {
+		_, tw.err = bw.WriteString(name)
+	}
+	if tw.err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", tw.err)
+	}
+	return tw, nil
+}
+
+func (tw *Writer) putUvarint(v uint64) {
+	if tw.err != nil {
+		return
+	}
+	n := binary.PutUvarint(tw.buf[:], v)
+	_, tw.err = tw.w.Write(tw.buf[:n])
+}
+
+// Write appends one instruction record.
+func (tw *Writer) Write(in *isa.Instruction) error {
+	var flags uint64
+	if in.Taken {
+		flags |= 1
+	}
+	if in.WrongPath {
+		flags |= 2
+	}
+	tw.putUvarint(in.PC)
+	tw.putUvarint(uint64(in.Class))
+	tw.putUvarint(uint64(in.Dest))
+	tw.putUvarint(uint64(in.Src1))
+	tw.putUvarint(uint64(in.Src2))
+	tw.putUvarint(flags)
+	tw.putUvarint(in.Target)
+	tw.putUvarint(in.EffAddr)
+	tw.putUvarint(uint64(in.MemSize))
+	if tw.err == nil {
+		tw.count++
+	}
+	return tw.err
+}
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// FileReader decodes a trace file produced by Writer. It implements Reader.
+type FileReader struct {
+	r    *bufio.Reader
+	name string
+	seq  uint64
+}
+
+// NewFileReader validates the header and returns a record reader.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	return &FileReader{r: br, name: string(name)}, nil
+}
+
+// Name returns the benchmark name recorded in the header.
+func (fr *FileReader) Name() string { return fr.name }
+
+// Next decodes the next record; ok is false at a clean end of file.
+func (fr *FileReader) Next() (isa.Instruction, bool) {
+	var in isa.Instruction
+	pc, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return in, false // io.EOF at a record boundary: clean end
+	}
+	fields := [8]uint64{}
+	for i := range fields {
+		v, err := binary.ReadUvarint(fr.r)
+		if err != nil {
+			return in, false // truncated record: stop
+		}
+		fields[i] = v
+	}
+	in.PC = pc
+	in.Class = isa.Class(fields[0])
+	in.Dest = isa.Reg(fields[1])
+	in.Src1 = isa.Reg(fields[2])
+	in.Src2 = isa.Reg(fields[3])
+	in.Taken = fields[4]&1 != 0
+	in.WrongPath = fields[4]&2 != 0
+	in.Target = fields[5]
+	in.EffAddr = fields[6]
+	in.MemSize = uint8(fields[7])
+	in.Seq = fr.seq
+	fr.seq++
+	return in, true
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"hdsmt/internal/isa"
+)
+
+// BranchKind classifies the outcome pattern of a static conditional branch.
+// The mixture of kinds is what makes one synthetic benchmark more
+// predictable than another.
+type BranchKind uint8
+
+const (
+	// BranchBiased branches go one way with high probability (if-guards).
+	BranchBiased BranchKind = iota
+	// BranchLoop branches are taken period-1 times then fall through once
+	// (loop back-edges): perfectly predictable by history predictors.
+	BranchLoop
+	// BranchRandom branches are data-dependent coin flips with probability
+	// TakenProb: the hard case for any predictor.
+	BranchRandom
+)
+
+// String names the branch kind.
+func (k BranchKind) String() string {
+	switch k {
+	case BranchBiased:
+		return "biased"
+	case BranchLoop:
+		return "loop"
+	case BranchRandom:
+		return "random"
+	}
+	return fmt.Sprintf("branchkind(%d)", uint8(k))
+}
+
+// MemPattern classifies the address stream of a static load or store.
+type MemPattern uint8
+
+const (
+	// MemStride walks an array with a fixed stride inside a region.
+	MemStride MemPattern = iota
+	// MemRandom touches uniformly random lines inside a region
+	// (hash tables, pointer chasing): the cache-hostile case.
+	MemRandom
+	// MemStack re-touches a tiny hot region (spills, locals): near-perfect
+	// locality.
+	MemStack
+)
+
+// String names the memory pattern.
+func (p MemPattern) String() string {
+	switch p {
+	case MemStride:
+		return "stride"
+	case MemRandom:
+		return "random"
+	case MemStack:
+		return "stack"
+	}
+	return fmt.Sprintf("mempattern(%d)", uint8(p))
+}
+
+// StaticInst is one static instruction in a synthetic program: the unit the
+// basic-block dictionary stores. Dynamic instances are minted from it by a
+// Stream (correct path) or synthesized directly by fetch (wrong path).
+type StaticInst struct {
+	PC    uint64
+	Index int // dense index within the program, assigned at build time
+	Class isa.Class
+	Dest  isa.Reg
+	Src1  isa.Reg
+	Src2  isa.Reg
+
+	// Control flow.
+	Target uint64     // static target (conditional/jump/call); 0 for returns
+	Kind   BranchKind // outcome pattern for conditional branches
+	// TakenProb is the taken probability for biased/random kinds.
+	TakenProb float64
+	// Period is the iteration count for loop-kind branches.
+	Period uint32
+
+	// Memory behaviour.
+	Pattern MemPattern
+	Region  uint64 // region size in bytes the address stream stays within
+	Stride  uint32 // stride in bytes for MemStride
+	MemBase uint64 // region base offset within the thread's address space
+}
+
+// Block is a basic block: a straight-line run of instructions; only the last
+// may be control flow.
+type Block struct {
+	Insts []StaticInst
+}
+
+// Start returns the address of the block's first instruction.
+func (b *Block) Start() uint64 { return b.Insts[0].PC }
+
+// Program is a complete synthetic benchmark binary: its blocks, its
+// instruction dictionary, and the function entry points used for calls.
+// It is immutable after construction and safe for concurrent streams.
+type Program struct {
+	Name   string
+	Blocks []*Block
+	// Entries are indexes into Blocks of callable function bodies.
+	Entries []int
+
+	byPC   map[uint64]*StaticInst
+	minPC  uint64
+	maxPC  uint64
+	nInsts int
+}
+
+// finalize builds the dictionary index; called once by the builder.
+func (p *Program) finalize() {
+	p.byPC = make(map[uint64]*StaticInst)
+	first := true
+	for _, b := range p.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			in.Index = p.nInsts
+			p.byPC[in.PC] = in
+			if first || in.PC < p.minPC {
+				p.minPC = in.PC
+			}
+			if first || in.PC > p.maxPC {
+				p.maxPC = in.PC
+			}
+			first = false
+			p.nInsts++
+		}
+	}
+}
+
+// StaticAt returns the static instruction at pc, if any. Fetch uses this as
+// the paper's "basic block dictionary" to follow wrong paths: the dictionary
+// holds "information of all static instructions" (paper §4).
+func (p *Program) StaticAt(pc uint64) (*StaticInst, bool) {
+	in, ok := p.byPC[pc]
+	return in, ok
+}
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return p.nInsts }
+
+// PCBounds returns the lowest and highest instruction addresses.
+func (p *Program) PCBounds() (lo, hi uint64) { return p.minPC, p.maxPC }
+
+// BlockAt returns the basic block starting at pc, if any.
+func (p *Program) BlockAt(pc uint64) (*Block, bool) {
+	// Blocks are laid out in ascending address order; binary search.
+	i := sort.Search(len(p.Blocks), func(i int) bool {
+		return p.Blocks[i].Start() >= pc
+	})
+	if i < len(p.Blocks) && p.Blocks[i].Start() == pc {
+		return p.Blocks[i], true
+	}
+	return nil, false
+}
+
+// Validate checks structural invariants: contiguous 4-byte layout inside
+// blocks, control flow only at block ends, all static targets resolving to
+// block starts. The builder's tests and testing/quick properties use it.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("trace: program %q has no blocks", p.Name)
+	}
+	starts := make(map[uint64]bool, len(p.Blocks))
+	for _, b := range p.Blocks {
+		if len(b.Insts) == 0 {
+			return fmt.Errorf("trace: program %q has an empty block", p.Name)
+		}
+		starts[b.Start()] = true
+	}
+	for bi, b := range p.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if i > 0 && in.PC != b.Insts[i-1].PC+isa.InstrBytes {
+				return fmt.Errorf("trace: block %d not contiguous at %#x", bi, in.PC)
+			}
+			if in.Class.IsControl() && i != len(b.Insts)-1 {
+				return fmt.Errorf("trace: control instruction %#x not at block end", in.PC)
+			}
+			if in.Class.IsControl() && in.Class != isa.Return && !starts[in.Target] {
+				return fmt.Errorf("trace: %#x targets %#x which is not a block start", in.PC, in.Target)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hdsmt/internal/isa"
+)
+
+// testParams returns a small valid GenParams for tests.
+func testParams(seed uint64) GenParams {
+	return GenParams{
+		Name:      "test",
+		Seed:      seed,
+		NumBlocks: 40,
+		NumFuncs:  4,
+		BlockMin:  3,
+		BlockMax:  10,
+		CodeBase:  0x120000,
+
+		LoadFrac:  0.25,
+		StoreFrac: 0.10,
+		MulFrac:   0.03,
+		DivFrac:   0.005,
+		FPFrac:    0.02,
+
+		DepWindow: 8,
+
+		JumpFrac:        0.08,
+		CallFrac:        0.05,
+		LoopFrac:        0.45,
+		BiasedFrac:      0.35,
+		LoopPeriodMin:   4,
+		LoopPeriodMax:   64,
+		BiasProb:        0.92,
+		RandomTakenProb: 0.5,
+
+		WorkingSet: 1 << 16,
+		StrideFrac: 0.6,
+		StackFrac:  0.2,
+		StrideMin:  8,
+		StrideMax:  64,
+	}
+}
+
+func mustBuild(t testing.TB, g GenParams) *Program {
+	t.Helper()
+	p, err := BuildProgram(g)
+	if err != nil {
+		t.Fatalf("BuildProgram: %v", err)
+	}
+	return p
+}
+
+func TestBuildProgramValid(t *testing.T) {
+	p := mustBuild(t, testParams(1))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() == 0 {
+		t.Fatal("empty program")
+	}
+	if len(p.Blocks) != 44 {
+		t.Errorf("got %d blocks, want 44", len(p.Blocks))
+	}
+	if len(p.Entries) != 4 {
+		t.Errorf("got %d entries, want 4", len(p.Entries))
+	}
+}
+
+func TestBuildProgramDeterministic(t *testing.T) {
+	a := mustBuild(t, testParams(5))
+	b := mustBuild(t, testParams(5))
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Blocks {
+		for j := range a.Blocks[i].Insts {
+			if a.Blocks[i].Insts[j] != b.Blocks[i].Insts[j] {
+				t.Fatalf("block %d inst %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildProgramSeedsDiffer(t *testing.T) {
+	a := mustBuild(t, testParams(1))
+	b := mustBuild(t, testParams(2))
+	diff := false
+	for i := range a.Blocks {
+		if i >= len(b.Blocks) {
+			diff = true
+			break
+		}
+		for j := range a.Blocks[i].Insts {
+			if j < len(b.Blocks[i].Insts) && a.Blocks[i].Insts[j] != b.Blocks[i].Insts[j] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds built identical programs")
+	}
+}
+
+func TestStaticAt(t *testing.T) {
+	p := mustBuild(t, testParams(3))
+	for _, b := range p.Blocks {
+		for i := range b.Insts {
+			got, ok := p.StaticAt(b.Insts[i].PC)
+			if !ok || got.PC != b.Insts[i].PC {
+				t.Fatalf("StaticAt(%#x) failed", b.Insts[i].PC)
+			}
+		}
+	}
+	lo, hi := p.PCBounds()
+	if _, ok := p.StaticAt(lo - isa.InstrBytes); ok {
+		t.Error("found instruction below program")
+	}
+	if _, ok := p.StaticAt(hi + isa.InstrBytes); ok {
+		t.Error("found instruction above program")
+	}
+	if lo >= hi {
+		t.Error("bounds inverted")
+	}
+}
+
+func TestBlockAt(t *testing.T) {
+	p := mustBuild(t, testParams(3))
+	for _, b := range p.Blocks {
+		got, ok := p.BlockAt(b.Start())
+		if !ok || got != b {
+			t.Fatalf("BlockAt(%#x) failed", b.Start())
+		}
+	}
+	if _, ok := p.BlockAt(p.Blocks[0].Start() + isa.InstrBytes); ok {
+		t.Error("BlockAt matched a mid-block address")
+	}
+}
+
+func TestControlOnlyAtBlockEnd(t *testing.T) {
+	p := mustBuild(t, testParams(4))
+	for _, b := range p.Blocks {
+		for i, in := range b.Insts {
+			if in.Class.IsControl() && i != len(b.Insts)-1 {
+				t.Fatalf("control %v at position %d of %d", in.Class, i, len(b.Insts))
+			}
+		}
+	}
+}
+
+func TestFunctionBlocksEndWithReturn(t *testing.T) {
+	p := mustBuild(t, testParams(4))
+	for _, e := range p.Entries {
+		b := p.Blocks[e]
+		last := b.Insts[len(b.Insts)-1]
+		if last.Class != isa.Return {
+			t.Errorf("entry block %d ends with %v, want return", e, last.Class)
+		}
+	}
+}
+
+func TestStoresHaveNoDest(t *testing.T) {
+	p := mustBuild(t, testParams(6))
+	for _, b := range p.Blocks {
+		for _, in := range b.Insts {
+			if in.Class == isa.Store && in.Dest != isa.RegNone {
+				t.Fatalf("store at %#x has dest %v", in.PC, in.Dest)
+			}
+			if in.Class == isa.Load && in.Dest == isa.RegNone {
+				t.Fatalf("load at %#x has no dest", in.PC)
+			}
+		}
+	}
+}
+
+func TestMemInstHaveRegions(t *testing.T) {
+	p := mustBuild(t, testParams(7))
+	for _, b := range p.Blocks {
+		for _, in := range b.Insts {
+			if in.Class.IsMem() {
+				if in.Region == 0 {
+					t.Fatalf("mem inst at %#x has zero region", in.PC)
+				}
+				if in.Pattern == MemStride && in.Stride == 0 {
+					t.Fatalf("stride inst at %#x has zero stride", in.PC)
+				}
+			}
+		}
+	}
+}
+
+func TestGenParamsValidation(t *testing.T) {
+	bad := []func(*GenParams){
+		func(g *GenParams) { g.NumBlocks = 0 },
+		func(g *GenParams) { g.BlockMin = 0 },
+		func(g *GenParams) { g.BlockMax = g.BlockMin - 1 },
+		func(g *GenParams) { g.DepWindow = 0 },
+		func(g *GenParams) { g.WorkingSet = 0 },
+		func(g *GenParams) { g.LoopPeriodMin = 1 },
+		func(g *GenParams) { g.StrideMin = 0 },
+		func(g *GenParams) { g.LoadFrac = 0.9; g.StoreFrac = 0.9 },
+		func(g *GenParams) { g.JumpFrac = 0.6; g.CallFrac = 0.6 },
+		func(g *GenParams) { g.LoopFrac = 0.6; g.BiasedFrac = 0.6 },
+	}
+	for i, mutate := range bad {
+		g := testParams(1)
+		mutate(&g)
+		if _, err := BuildProgram(g); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// Property: programs built from random (valid) parameter variations always
+// validate and index correctly.
+func TestBuildProgramProperty(t *testing.T) {
+	f := func(seed uint64, nb, bl uint8) bool {
+		g := testParams(seed)
+		g.NumBlocks = 5 + int(nb%50)
+		g.BlockMin = 1 + int(bl%5)
+		g.BlockMax = g.BlockMin + 8
+		p, err := BuildProgram(g)
+		if err != nil {
+			return false
+		}
+		if p.Validate() != nil {
+			return false
+		}
+		// Index assignment is dense and ordered.
+		want := 0
+		for _, b := range p.Blocks {
+			for i := range b.Insts {
+				if b.Insts[i].Index != want {
+					return false
+				}
+				want++
+			}
+		}
+		return want == p.Len()
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchKindString(t *testing.T) {
+	if BranchBiased.String() != "biased" || BranchLoop.String() != "loop" || BranchRandom.String() != "random" {
+		t.Error("branch kind names wrong")
+	}
+	if BranchKind(9).String() == "" {
+		t.Error("unknown branch kind string empty")
+	}
+}
+
+func TestMemPatternString(t *testing.T) {
+	if MemStride.String() != "stride" || MemRandom.String() != "random" || MemStack.String() != "stack" {
+		t.Error("mem pattern names wrong")
+	}
+	if MemPattern(9).String() == "" {
+		t.Error("unknown mem pattern string empty")
+	}
+}

@@ -1,0 +1,104 @@
+// Package trace synthesizes the dynamic instruction streams the simulator
+// executes.
+//
+// The paper drives its simulator with 300M-instruction SPECint2000 Alpha
+// trace segments. Those traces are not redistributable, so this package
+// substitutes a deterministic synthetic equivalent: a per-benchmark
+// *program* (a synthetic control-flow graph whose static instructions form
+// the basic-block dictionary the paper uses for wrong-path fetch) plus a
+// *stream* that walks the program resolving branch outcomes and effective
+// addresses. Benchmark profiles (see package bench) control instruction mix,
+// dependence distances, branch-pattern predictability and working-set
+// locality, which are the properties the paper's evaluation depends on.
+package trace
+
+import "math/bits"
+
+// Rand is a small, fast, deterministic PRNG (xoshiro256** with a splitmix64
+// seeder). The simulator cannot use math/rand because reproducibility across
+// Go releases is required for the golden-value tests, and because streams
+// need O(1)-cost independent generators per static instruction.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a 64-bit state and returns a well-mixed value; used
+// only to expand seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRand returns a generator deterministically derived from seed. Distinct
+// seeds yield statistically independent sequences.
+func NewRand(seed uint64) *Rand {
+	var r Rand
+	r.Seed(seed)
+	return &r
+}
+
+// Seed resets the generator state from seed.
+func (r *Rand) Seed(seed uint64) {
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// xoshiro256 requires a nonzero state; splitmix64 of any seed cannot
+	// produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Mix hashes an arbitrary set of 64-bit inputs into one well-distributed
+// value. Streams use it to derive per-instance decisions (branch outcomes,
+// addresses) as pure functions of (seed, static site, execution count),
+// making every dynamic instruction reproducible in isolation.
+func Mix(vs ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, v := range vs {
+		h ^= v
+		h = splitmix64(&h)
+	}
+	return h
+}
+
+// MixFloat maps Mix(vs...) to [0,1).
+func MixFloat(vs ...uint64) float64 {
+	return float64(Mix(vs...)>>11) / (1 << 53)
+}

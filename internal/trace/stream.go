@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"hdsmt/internal/isa"
+)
+
+// Reader is a source of correct-path dynamic instructions in program order.
+type Reader interface {
+	// Next returns the next dynamic instruction. ok is false when the
+	// source is exhausted (streams over a Program never exhaust; file
+	// readers do).
+	Next() (isa.Instruction, bool)
+}
+
+// maxCallDepth bounds the stream's simulated call stack; deeper calls simply
+// drop the oldest frame, like a RAS would.
+const maxCallDepth = 64
+
+// Stream walks a Program resolving each dynamic instruction's branch outcome
+// and effective address. Outcomes are pure functions of
+// (seed, static site, execution count), so a Stream is fully deterministic
+// and two Streams with equal seeds yield identical sequences.
+type Stream struct {
+	prog *Program
+	seed uint64
+	// base is the thread's data address-space base. Different threads run
+	// in disjoint address spaces (distinct programs on an SMT), which the
+	// shared caches see as conflicting reference streams.
+	base uint64
+
+	pc        uint64
+	seq       uint64
+	counts    []uint64 // per-static-instruction execution counts
+	callStack []uint64
+	stackBase uint64
+}
+
+// NewStream returns a deterministic dynamic-instruction source over prog.
+// seed individualizes branch outcomes and address streams; base offsets all
+// data addresses (give each thread a distinct base).
+func NewStream(prog *Program, seed, base uint64) *Stream {
+	return &Stream{
+		prog:      prog,
+		seed:      seed,
+		base:      base,
+		pc:        prog.Blocks[0].Start(),
+		counts:    make([]uint64, prog.Len()),
+		stackBase: base + 0x7fff0000,
+	}
+}
+
+// Program returns the program this stream walks.
+func (s *Stream) Program() *Program { return s.prog }
+
+// Seq returns the number of instructions generated so far.
+func (s *Stream) Seq() uint64 { return s.seq }
+
+// Next generates the next correct-path instruction. A Stream never runs out.
+func (s *Stream) Next() (isa.Instruction, bool) {
+	st, ok := s.prog.StaticAt(s.pc)
+	if !ok {
+		// Control flow can only reach addresses inside the program (the
+		// builder closes the CFG); reaching here means corrupted state.
+		panic("trace: stream escaped the program")
+	}
+	count := s.counts[st.Index]
+	s.counts[st.Index]++
+
+	in := Materialize(st, s.seed, s.base, count)
+	in.Seq = s.seq
+	s.seq++
+
+	// Resolve stack-dependent control flow.
+	switch st.Class {
+	case isa.Call:
+		if len(s.callStack) == maxCallDepth {
+			copy(s.callStack, s.callStack[1:])
+			s.callStack = s.callStack[:maxCallDepth-1]
+		}
+		s.callStack = append(s.callStack, in.FallThrough())
+	case isa.Return:
+		if n := len(s.callStack); n > 0 {
+			in.Target = s.callStack[n-1]
+			s.callStack = s.callStack[:n-1]
+		} else {
+			// Underflow (stream started inside a function or deep calls
+			// were dropped): restart the main body.
+			in.Target = s.prog.Blocks[0].Start()
+		}
+	}
+
+	s.pc = in.NextPC()
+	return in, true
+}
+
+// Materialize mints a dynamic instance of st: it resolves the branch
+// direction and effective address for the count-th execution of the static
+// instruction. The fetch engine reuses it to synthesize wrong-path
+// instructions (return targets excepted: those need the stream's call
+// stack, so wrong-path returns get target 0 and resolve as mispredictions).
+func Materialize(st *StaticInst, seed, base, count uint64) isa.Instruction {
+	in := isa.Instruction{
+		PC:    st.PC,
+		Class: st.Class,
+		Dest:  st.Dest,
+		Src1:  st.Src1,
+		Src2:  st.Src2,
+	}
+	switch st.Class {
+	case isa.Branch:
+		in.Target = st.Target
+		switch st.Kind {
+		case BranchLoop:
+			in.Taken = count%uint64(st.Period) != uint64(st.Period-1)
+		default: // biased or random
+			in.Taken = MixFloat(seed, st.PC, count) < st.TakenProb
+		}
+	case isa.Jump, isa.Call:
+		in.Taken = true
+		in.Target = st.Target
+	case isa.Return:
+		in.Taken = true
+		// Target filled by the stream from its call stack.
+	case isa.Load, isa.Store:
+		in.MemSize = 8
+		in.EffAddr = memAddr(st, seed, base, count)
+	}
+	return in
+}
+
+// memAddr computes the effective address of the count-th execution of a
+// static memory instruction.
+func memAddr(st *StaticInst, seed, base, count uint64) uint64 {
+	var off uint64
+	switch st.Pattern {
+	case MemStride:
+		off = (uint64(st.Stride) * count) % st.Region
+	case MemStack:
+		off = Mix(seed, st.PC, count) % stackRegionBytes
+	default: // MemRandom
+		off = Mix(seed, st.PC, count) % st.Region
+	}
+	addr := base + st.MemBase + off
+	return addr &^ 7 // 8-byte aligned accesses
+}

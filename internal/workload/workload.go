@@ -1,0 +1,131 @@
+// Package workload defines the multiprogrammed workloads of paper Tables 2
+// and 3: nine 2-thread, nine 4-thread and four 6-thread mixes of SPECint2000
+// benchmarks, classified ILP (high instruction-level parallelism), MEM (bad
+// memory behaviour) or MIX.
+package workload
+
+import (
+	"fmt"
+
+	"hdsmt/internal/bench"
+)
+
+// Type is the paper's workload taxonomy.
+type Type uint8
+
+// Workload classes (Tables 2-3: I = ILP, M = MEM, X = MIX).
+const (
+	ILP Type = iota
+	MEM
+	MIX
+)
+
+// String returns the paper's class name.
+func (t Type) String() string {
+	switch t {
+	case ILP:
+		return "ILP"
+	case MEM:
+		return "MEM"
+	case MIX:
+		return "MIX"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Workload is one multiprogrammed mix.
+type Workload struct {
+	Name       string
+	Benchmarks []string
+	Type       Type
+}
+
+// Threads returns the number of threads in the workload.
+func (w Workload) Threads() int { return len(w.Benchmarks) }
+
+// table is Tables 2 and 3 verbatim.
+var table = []Workload{
+	// Table 2: two-threaded workloads.
+	{"2W1", []string{"eon", "gcc"}, ILP},
+	{"2W2", []string{"crafty", "bzip2"}, ILP},
+	{"2W3", []string{"gap", "vortex"}, ILP},
+	{"2W4", []string{"mcf", "twolf"}, MEM},
+	{"2W5", []string{"vpr", "perlbmk"}, MEM},
+	{"2W6", []string{"vpr", "twolf"}, MEM},
+	{"2W7", []string{"gzip", "twolf"}, MIX},
+	{"2W8", []string{"crafty", "perlbmk"}, MIX},
+	{"2W9", []string{"parser", "vpr"}, MIX},
+	// Table 2: four-threaded workloads.
+	{"4W1", []string{"eon", "gcc", "gzip", "bzip2"}, ILP},
+	{"4W2", []string{"crafty", "bzip2", "eon", "gzip"}, ILP},
+	{"4W3", []string{"gap", "vortex", "parser", "crafty"}, ILP},
+	{"4W4", []string{"mcf", "twolf", "vpr", "perlbmk"}, MEM},
+	{"4W5", []string{"vpr", "perlbmk", "mcf", "twolf"}, MEM},
+	{"4W6", []string{"gzip", "twolf", "bzip2", "mcf"}, MIX},
+	{"4W7", []string{"crafty", "perlbmk", "mcf", "bzip2"}, MIX},
+	{"4W8", []string{"parser", "vpr", "vortex", "twolf"}, MIX},
+	{"4W9", []string{"vpr", "twolf", "gap", "vortex"}, MIX},
+	// Table 3: six-threaded workloads.
+	{"6W1", []string{"gzip", "gcc", "crafty", "eon", "gap", "bzip2"}, ILP},
+	{"6W2", []string{"gcc", "crafty", "parser", "eon", "gap", "vortex"}, ILP},
+	{"6W3", []string{"gzip", "vpr", "mcf", "eon", "perlbmk", "bzip2"}, MIX},
+	{"6W4", []string{"vpr", "mcf", "crafty", "perlbmk", "vortex", "twolf"}, MIX},
+}
+
+// All returns every workload of Tables 2-3, in table order.
+func All() []Workload {
+	out := make([]Workload, len(table))
+	copy(out, table)
+	return out
+}
+
+// ByName resolves a workload identifier such as "4W6".
+func ByName(name string) (Workload, error) {
+	for _, w := range table {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// MustByName is ByName for static identifiers; it panics on error.
+func MustByName(name string) Workload {
+	w, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Select returns the workloads with the given thread count and type, in
+// table order. The paper notes MEM workloads only exist for 2 and 4 threads
+// ("due to the characteristics of SPECint2000").
+func Select(threads int, t Type) []Workload {
+	var out []Workload
+	for _, w := range table {
+		if w.Threads() == threads && w.Type == t {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ThreadCounts returns the workload sizes evaluated (2, 4, 6).
+func ThreadCounts() []int { return []int{2, 4, 6} }
+
+// Types returns the three workload classes.
+func Types() []Type { return []Type{ILP, MEM, MIX} }
+
+// Resolve returns the bench.Benchmark records for the workload's programs.
+func (w Workload) Resolve() ([]bench.Benchmark, error) {
+	out := make([]bench.Benchmark, len(w.Benchmarks))
+	for i, name := range w.Benchmarks {
+		b, err := bench.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}

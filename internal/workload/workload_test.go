@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"hdsmt/internal/bench"
+)
+
+func TestTableSizes(t *testing.T) {
+	all := All()
+	if len(all) != 22 {
+		t.Fatalf("workloads = %d, want 22 (Tables 2-3)", len(all))
+	}
+	counts := map[int]int{}
+	for _, w := range all {
+		counts[w.Threads()]++
+	}
+	if counts[2] != 9 || counts[4] != 9 || counts[6] != 4 {
+		t.Errorf("per-size counts = %v, want 9/9/4", counts)
+	}
+}
+
+func TestTable2TwoThreaded(t *testing.T) {
+	cases := map[string]struct {
+		benchmarks []string
+		typ        Type
+	}{
+		"2W1": {[]string{"eon", "gcc"}, ILP},
+		"2W4": {[]string{"mcf", "twolf"}, MEM},
+		"2W7": {[]string{"gzip", "twolf"}, MIX},
+		"2W9": {[]string{"parser", "vpr"}, MIX},
+	}
+	for name, want := range cases {
+		w := MustByName(name)
+		if w.Type != want.typ {
+			t.Errorf("%s type = %v", name, w.Type)
+		}
+		for i, b := range want.benchmarks {
+			if w.Benchmarks[i] != b {
+				t.Errorf("%s benchmarks = %v", name, w.Benchmarks)
+			}
+		}
+	}
+}
+
+func TestTable3SixThreaded(t *testing.T) {
+	w := MustByName("6W4")
+	want := []string{"vpr", "mcf", "crafty", "perlbmk", "vortex", "twolf"}
+	if len(w.Benchmarks) != 6 || w.Type != MIX {
+		t.Fatalf("6W4 = %+v", w)
+	}
+	for i := range want {
+		if w.Benchmarks[i] != want[i] {
+			t.Errorf("6W4 benchmarks = %v", w.Benchmarks)
+		}
+	}
+}
+
+func TestNoSixThreadMEM(t *testing.T) {
+	// Paper: "MEM workloads are only feasible for 2 and 4 threads."
+	if got := Select(6, MEM); len(got) != 0 {
+		t.Errorf("6-thread MEM workloads = %v", got)
+	}
+	if len(Select(2, MEM)) != 3 || len(Select(4, MEM)) != 2 {
+		t.Error("2/4-thread MEM counts wrong")
+	}
+}
+
+func TestSelectCoversTable(t *testing.T) {
+	total := 0
+	for _, n := range ThreadCounts() {
+		for _, ty := range Types() {
+			total += len(Select(n, ty))
+		}
+	}
+	if total != 22 {
+		t.Errorf("Select covers %d workloads, want 22", total)
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("9W9"); err == nil {
+		t.Error("unknown workload should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName should panic")
+		}
+	}()
+	MustByName("9W9")
+}
+
+func TestAllBenchmarksResolve(t *testing.T) {
+	for _, w := range All() {
+		bs, err := w.Resolve()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if len(bs) != w.Threads() {
+			t.Errorf("%s resolved %d of %d", w.Name, len(bs), w.Threads())
+		}
+	}
+}
+
+func TestNoDuplicateBenchmarksWithinWorkload(t *testing.T) {
+	for _, w := range All() {
+		seen := map[string]bool{}
+		for _, b := range w.Benchmarks {
+			if seen[b] {
+				t.Errorf("%s repeats %s", w.Name, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestWorkloadClassesMatchBenchmarkClasses(t *testing.T) {
+	// ILP workloads contain only ILP benchmarks; MEM only MEM; MIX both.
+	for _, w := range All() {
+		bs, err := w.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasILP, hasMEM := false, false
+		for _, b := range bs {
+			if b.Class == bench.ILP {
+				hasILP = true
+			} else {
+				hasMEM = true
+			}
+		}
+		switch w.Type {
+		case ILP:
+			if hasMEM {
+				t.Errorf("%s is ILP but contains a MEM benchmark", w.Name)
+			}
+		case MEM:
+			if hasILP {
+				t.Errorf("%s is MEM but contains an ILP benchmark", w.Name)
+			}
+		case MIX:
+			if !hasILP || !hasMEM {
+				t.Errorf("%s is MIX but is not mixed", w.Name)
+			}
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if ILP.String() != "ILP" || MEM.String() != "MEM" || MIX.String() != "MIX" {
+		t.Error("type names wrong")
+	}
+	if Type(9).String() == "" {
+		t.Error("unknown type empty")
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	a[0].Name = "mutated"
+	if All()[0].Name == "mutated" {
+		t.Error("All must return a copy")
+	}
+}
