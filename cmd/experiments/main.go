@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 
 	"hdsmt/internal/area"
 	"hdsmt/internal/config"
+	"hdsmt/internal/engine"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/workload"
 )
@@ -45,8 +47,18 @@ func main() {
 
 	opt := sim.Options{Budget: *budget, Warmup: *warmup, OracleBudget: *oracle, MaxOracle: *maxOracle, Parallel: *parallel}
 
+	// One shared runner for every sweep below, so cells common to several
+	// figures (and the ablations) are simulated once.
+	runner, err := sim.NewRunner(engine.Options{Workers: *parallel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer runner.Close()
+	ctx := context.Background()
+
 	if *ablate {
-		as, err := sim.RunAblations(workload.MustByName("4W6"), opt)
+		as, err := runner.RunAblations(ctx, workload.MustByName("4W6"), opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
@@ -66,7 +78,7 @@ func main() {
 		}
 		t := types[key]
 		fmt.Printf("running Fig. %s (%s workloads)...\n", key, t)
-		fig, err := sim.RunFigure(t, opt)
+		fig, err := runner.RunFigure(ctx, t, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)

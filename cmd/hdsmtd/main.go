@@ -1,0 +1,70 @@
+// Command hdsmtd serves the hdSMT batch-simulation engine over HTTP:
+// submit runs, evaluations or whole BEST/HEUR/WORST sweeps as async jobs,
+// poll their progress, and fetch aggregated results. All jobs share one
+// engine and one memoization store; with -cache or -journal, results also
+// persist across restarts.
+//
+//	hdsmtd -addr :8080 -workers 8 -cache /var/tmp/hdsmt-cache
+//
+//	curl -s localhost:8080/jobs -d '{"kind":"sweep","configs":["M8","2M4+2M2"],"workloads":["2W7","4W6"],"budget":20000}'
+//	curl -s localhost:8080/jobs/job-000001
+//	curl -s localhost:8080/jobs/job-000001/result
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hdsmt/internal/engine"
+	"hdsmt/internal/server"
+	"hdsmt/internal/sim"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cache   = flag.String("cache", "", "on-disk memoization store directory (optional)")
+		journal = flag.String("journal", "", "JSONL checkpoint journal path (optional)")
+	)
+	flag.Parse()
+
+	runner, err := sim.NewRunner(engine.Options{
+		Workers:     *workers,
+		CacheDir:    *cache,
+		JournalPath: *journal,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdsmtd: %v\n", err)
+		os.Exit(1)
+	}
+	defer runner.Close()
+	if st := runner.Stats(); st.Restored > 0 {
+		log.Printf("restored %d results from journal %s", st.Restored, *journal)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(runner).Handler()}
+	go func() {
+		log.Printf("hdsmtd listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("hdsmtd: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}

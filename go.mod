@@ -1,0 +1,3 @@
+module hdsmt
+
+go 1.24

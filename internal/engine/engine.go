@@ -1,0 +1,450 @@
+// Package engine is the batch-simulation engine behind every sweep in this
+// repository: a bounded worker pool that executes content-addressed
+// simulation jobs asynchronously, memoizes their results in a sharded
+// in-memory store (optionally backed by disk), and journals completions to
+// a JSONL checkpoint so an interrupted sweep resumes without redoing
+// finished work.
+//
+// The paper's evaluation (BEST/HEUR/WORST oracles over every mapping ×
+// microarchitecture × workload) is embarrassingly parallel and heavily
+// redundant — the same (config, workload, mapping, budget) cell recurs
+// across figures, ablations and explorations. The engine exploits both
+// properties: fan-out is bounded by a fixed worker pool, and redundancy is
+// eliminated by a single content-addressed store that every caller shares.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hdsmt/internal/core"
+)
+
+// Runner executes one simulation request. It must be deterministic: the
+// engine serves repeated requests from cache, so a nondeterministic runner
+// would make results depend on cache state.
+type Runner func(ctx context.Context, req Request) (core.Results, error)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrently executing simulations; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Shards is the number of memoization-store shards (lock striping for
+	// the in-memory cache and in-flight index); 0 picks a default.
+	Shards int
+	// QueueDepth bounds the pending-task queue; a full queue applies
+	// backpressure to Submit. 0 means a generous default.
+	QueueDepth int
+	// CacheDir, when non-empty, enables the on-disk memoization store:
+	// one JSON file per completed job, content-addressed by request key,
+	// shared across processes.
+	CacheDir string
+	// JournalPath, when non-empty, enables the JSONL checkpoint journal:
+	// every completed job appends one line, and a new engine pointed at
+	// the same path preloads all completed results, resuming the sweep.
+	JournalPath string
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) shards() int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return 8
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 1024
+}
+
+// Stats counts engine activity since construction. A warm re-run of a
+// sweep shows Hits advancing while Executed stays put — the memoization
+// guarantee the tests pin down.
+type Stats struct {
+	// Submitted counts Submit calls.
+	Submitted uint64
+	// Hits counts submissions served from the in-memory store (including
+	// results preloaded from the journal).
+	Hits uint64
+	// DiskHits counts executions avoided by the on-disk store.
+	DiskHits uint64
+	// Coalesced counts submissions attached to an identical in-flight job.
+	Coalesced uint64
+	// Executed counts simulations actually run.
+	Executed uint64
+	// Errors counts failed executions.
+	Errors uint64
+	// Restored counts journal entries preloaded at construction.
+	Restored uint64
+}
+
+// task is one scheduled execution of a request. Coalesced submissions
+// share the task and wait on its done channel.
+type task struct {
+	req  Request
+	key  string
+	done chan struct{}
+	res  core.Results
+	err  error
+	// engineDone unblocks waiters if the engine closes before the task
+	// ever executes (a Submit can race Close and enqueue into a queue no
+	// worker will drain again). Nil for pre-resolved cache-hit tickets.
+	engineDone <-chan struct{}
+	// waiters holds every submitter's context, guarded by the shard
+	// mutex. The task is skipped only when all of them are canceled, so
+	// one caller canceling its sweep cannot poison a coalesced job that
+	// another caller still wants.
+	waiters []context.Context
+}
+
+func (t *task) resolve(res core.Results, err error) {
+	t.res, t.err = res, err
+	close(t.done)
+}
+
+// shard owns a segment of the memoization store and its in-flight index
+// (lock striping, so concurrent submissions rarely contend). Requests
+// route to shards by key hash, so two submissions of the same job always
+// meet in the same shard and coalesce. Execution itself uses one shared
+// bounded queue: any free worker takes the next task, whatever its shard.
+type shard struct {
+	mu       sync.Mutex
+	memo     map[string]core.Results
+	inflight map[string]*task
+}
+
+// Engine is the sharded batch-simulation engine. Create one with New;
+// Close it when done.
+type Engine struct {
+	runner  Runner
+	opts    Options
+	shards  []*shard
+	queue   chan *task
+	store   *diskStore
+	journal *journal
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	closed atomic.Bool
+
+	submitted, hits, diskHits, coalesced, executed, errors, restored atomic.Uint64
+}
+
+// New builds an engine executing requests with runner under opts. If a
+// journal path is given and the file exists, previously completed results
+// are preloaded into the in-memory store (the resume path).
+func New(runner Runner, opts Options) (*Engine, error) {
+	if runner == nil {
+		return nil, fmt.Errorf("engine: nil runner")
+	}
+	e := &Engine{runner: runner, opts: opts}
+	e.ctx, e.cancel = context.WithCancel(context.Background())
+
+	if opts.CacheDir != "" {
+		st, err := newDiskStore(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.store = st
+	}
+
+	e.queue = make(chan *task, opts.queueDepth())
+	e.shards = make([]*shard, opts.shards())
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			memo:     map[string]core.Results{},
+			inflight: map[string]*task{},
+		}
+	}
+
+	if opts.JournalPath != "" {
+		j, entries, err := openJournal(opts.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		e.journal = j
+		for _, ent := range entries {
+			sh := e.shardFor(ent.Key)
+			sh.memo[ent.Key] = ent.Result
+			e.restored.Add(1)
+		}
+	}
+
+	for w := 0; w < opts.workers(); w++ {
+		e.wg.Add(1)
+		go e.work()
+	}
+	return e, nil
+}
+
+// Close stops the workers and waits for in-flight simulations to settle.
+// Pending queued tasks resolve with a cancellation error.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.cancel()
+	e.wg.Wait()
+	// Drain the queue so no waiter blocks forever on an unprocessed task.
+	for {
+		select {
+		case t := <-e.queue:
+			e.finish(e.shardFor(t.key), t, core.Results{}, context.Canceled)
+			continue
+		default:
+		}
+		break
+	}
+	if e.journal != nil {
+		e.journal.Close()
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Submitted: e.submitted.Load(),
+		Hits:      e.hits.Load(),
+		DiskHits:  e.diskHits.Load(),
+		Coalesced: e.coalesced.Load(),
+		Executed:  e.executed.Load(),
+		Errors:    e.errors.Load(),
+		Restored:  e.restored.Load(),
+	}
+}
+
+func (e *Engine) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// Ticket is a handle on a submitted job. Wait blocks until the job
+// resolves (possibly instantly, on a cache hit) or ctx is done.
+type Ticket struct {
+	t *task
+}
+
+// Wait returns the job's result.
+func (tk *Ticket) Wait(ctx context.Context) (core.Results, error) {
+	select {
+	case <-tk.t.done:
+		return tk.t.res, tk.t.err
+	default:
+	}
+	select {
+	case <-tk.t.done:
+		return tk.t.res, tk.t.err
+	case <-ctx.Done():
+		return core.Results{}, ctx.Err()
+	case <-tk.t.engineDone:
+		// The engine closed under the task; it may still have resolved
+		// (the Close drain) a moment ago.
+		select {
+		case <-tk.t.done:
+			return tk.t.res, tk.t.err
+		default:
+			return core.Results{}, fmt.Errorf("engine: closed before %s completed", tk.t.req)
+		}
+	}
+}
+
+// Submit schedules req and returns a ticket for its result. A memoized
+// result resolves the ticket immediately; a request identical to one
+// already queued or running shares its execution. Submit blocks only when
+// the task queue is full (bounded backpressure) and returns
+// ctx's error if ctx is done first.
+func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("engine: submit on closed engine")
+	}
+	e.submitted.Add(1)
+	key := req.Key()
+	sh := e.shardFor(key)
+
+	sh.mu.Lock()
+	if res, ok := sh.memo[key]; ok {
+		sh.mu.Unlock()
+		e.hits.Add(1)
+		t := &task{done: make(chan struct{})}
+		t.resolve(res, nil)
+		return &Ticket{t}, nil
+	}
+	if t, ok := sh.inflight[key]; ok {
+		t.waiters = append(t.waiters, ctx)
+		sh.mu.Unlock()
+		e.coalesced.Add(1)
+		return &Ticket{t}, nil
+	}
+	t := &task{
+		req:        req,
+		key:        key,
+		done:       make(chan struct{}),
+		engineDone: e.ctx.Done(),
+		waiters:    []context.Context{ctx},
+	}
+	sh.inflight[key] = t
+	sh.mu.Unlock()
+
+	select {
+	case e.queue <- t:
+		return &Ticket{t}, nil
+	case <-ctx.Done():
+		e.abandon(sh, t)
+		return nil, ctx.Err()
+	case <-e.ctx.Done():
+		e.abandon(sh, t)
+		return nil, fmt.Errorf("engine: closed while submitting")
+	}
+}
+
+// abandon handles a task whose enqueue failed after it was published to
+// the in-flight index. A coalesced waiter may have attached meanwhile; if
+// any is still live, the enqueue is completed on its behalf — blocking if
+// the queue is full, since a worker frees a slot within one task — so a
+// live waiter is never handed another caller's cancellation. Only a task
+// nobody wants (or an engine shutting down) is withdrawn and resolved
+// canceled; the inflight delete and the liveness decision share one lock
+// hold, so a new waiter either attaches before (and keeps the task alive)
+// or finds no entry and starts a fresh task.
+func (e *Engine) abandon(sh *shard, t *task) {
+	if e.withdrawIfUnwanted(sh, t) {
+		return
+	}
+	select {
+	case e.queue <- t:
+	case <-e.ctx.Done():
+		e.finish(sh, t, core.Results{}, context.Canceled)
+	}
+}
+
+// withdrawIfUnwanted resolves a not-yet-executed task with a cancellation
+// when every waiter's context is already canceled, reporting whether it
+// did. The liveness decision and the in-flight withdrawal share one lock
+// hold — the invariant that makes coalescing onto a dying task safe: a
+// live waiter either attaches before the withdrawal (and is seen here,
+// keeping the task alive) or finds no in-flight entry and starts fresh.
+func (e *Engine) withdrawIfUnwanted(sh *shard, t *task) bool {
+	sh.mu.Lock()
+	for _, ctx := range t.waiters {
+		if ctx.Err() == nil {
+			sh.mu.Unlock()
+			return false
+		}
+	}
+	delete(sh.inflight, t.key)
+	sh.mu.Unlock()
+	t.resolve(core.Results{}, context.Canceled)
+	return true
+}
+
+// RunBatch submits every request and waits for all of them, returning
+// results in input order — deterministic regardless of worker count or
+// scheduling. The first error encountered (in input order) is returned.
+func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]core.Results, error) {
+	tickets := make([]*Ticket, len(reqs))
+	var firstErr error
+	for i, req := range reqs {
+		tk, err := e.Submit(ctx, req)
+		if err != nil {
+			firstErr = fmt.Errorf("engine: submitting %s: %w", req, err)
+			break
+		}
+		tickets[i] = tk
+	}
+	out := make([]core.Results, len(reqs))
+	for i, tk := range tickets {
+		if tk == nil {
+			continue
+		}
+		res, err := tk.Wait(ctx)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: %s: %w", reqs[i], err)
+		}
+		out[i] = res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// work is one worker's loop on the shared queue.
+func (e *Engine) work() {
+	defer e.wg.Done()
+	for {
+		select {
+		case t := <-e.queue:
+			e.execute(e.shardFor(t.key), t)
+		case <-e.ctx.Done():
+			return
+		}
+	}
+}
+
+// execute runs one task: disk store first, then the runner; successes are
+// stored, journaled and handed to every waiter. The simulation itself runs
+// under the engine's context — a submitter's cancellation skips the task
+// only when every coalesced waiter has canceled.
+func (e *Engine) execute(sh *shard, t *task) {
+	if e.withdrawIfUnwanted(sh, t) {
+		return
+	}
+	if e.store != nil {
+		if res, ok, err := e.store.load(t.key); err == nil && ok {
+			e.diskHits.Add(1)
+			if e.journal != nil {
+				// A cache-served job still completes this sweep's cell;
+				// journal it so the checkpoint stays self-contained even
+				// if the cache directory later disappears.
+				_ = e.journal.append(t.key, res)
+			}
+			e.finish(sh, t, res, nil)
+			return
+		}
+	}
+
+	res, err := e.runner(e.ctx, t.req)
+	e.executed.Add(1)
+	if err != nil {
+		e.errors.Add(1)
+		e.finish(sh, t, core.Results{}, err)
+		return
+	}
+	if e.store != nil {
+		// Best effort: a failed disk write degrades to memory-only caching.
+		_ = e.store.save(t.key, res)
+	}
+	if e.journal != nil {
+		_ = e.journal.append(t.key, res)
+	}
+	e.finish(sh, t, res, nil)
+}
+
+// finish publishes a task's outcome: successful results enter the memo
+// store, the in-flight entry is cleared, and waiters are released.
+func (e *Engine) finish(sh *shard, t *task, res core.Results, err error) {
+	sh.mu.Lock()
+	if err == nil {
+		sh.memo[t.key] = res
+	}
+	delete(sh.inflight, t.key)
+	sh.mu.Unlock()
+	t.resolve(res, err)
+}

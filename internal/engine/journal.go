@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"hdsmt/internal/core"
+)
+
+// The checkpoint journal is an append-only JSONL file: one line per
+// completed job, {"key": <request key>, "result": <core.Results>}. A sweep
+// killed mid-flight loses at most the simulations that had not yet
+// completed; pointing a new engine at the same path preloads every
+// journaled result, so the re-run only executes the remainder. A torn
+// final line (the process died mid-write) is skipped on load.
+
+type journalEntry struct {
+	Key    string       `json:"key"`
+	Result core.Results `json:"result"`
+}
+
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal opens (creating if needed) the journal at path and returns
+// it along with every well-formed entry already present.
+func openJournal(path string) (*journal, []journalEntry, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: opening journal: %w", err)
+	}
+	var entries []journalEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ent journalEntry
+		if err := json.Unmarshal(line, &ent); err != nil {
+			continue // torn or corrupt line: the job simply re-runs
+		}
+		entries = append(entries, ent)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("engine: reading journal: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("engine: seeking journal: %w", err)
+	}
+	return &journal{f: f}, entries, nil
+}
+
+// append journals one completed job. Each entry is written in a single
+// Write call so concurrent completions never interleave bytes.
+func (j *journal) append(key string, res core.Results) error {
+	b, err := json.Marshal(journalEntry{Key: key, Result: res})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(b)
+	return err
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"hdsmt/internal/config"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/workload"
+)
+
+// Request describes one processor simulation: a microarchitecture, a
+// workload, a thread-to-pipeline mapping and an instruction budget. It is
+// the engine's unit of work and of memoization — two Requests with the
+// same content are the same job.
+type Request struct {
+	// Cfg is the full microarchitecture, parameters included, so variants
+	// that share a name but differ in parameters (ablation sweeps mutate
+	// RegAccessLatency and FetchBuf) key differently.
+	Cfg config.Microarch `json:"cfg"`
+	// Workload names the benchmark mix. Benchmarks are identified by name;
+	// their traces are deterministic functions of the name and seed, so the
+	// name list fully identifies the inputs.
+	Workload workload.Workload `json:"workload"`
+	// Mapping assigns each thread a pipeline.
+	Mapping mapping.Mapping `json:"mapping"`
+	// Budget is the measured instructions per thread (the stopping rule).
+	Budget uint64 `json:"budget"`
+	// Warmup is the unmeasured per-thread instruction count run first.
+	Warmup uint64 `json:"warmup"`
+	// Policy optionally overrides the fetch policy by name (as reported by
+	// fetch.Policy.Name); "" means the configuration's default.
+	Policy string `json:"policy,omitempty"`
+}
+
+// Key returns the request's content-addressed identity: a hex SHA-256 of
+// the canonical JSON encoding. Struct fields marshal in declaration order,
+// so equal requests produce equal keys across processes — the property the
+// on-disk store and the checkpoint journal rely on.
+func (r Request) Key() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Request is plain data (strings, ints, slices); Marshal cannot
+		// fail on it. Guard anyway so a future field cannot corrupt keys
+		// silently.
+		panic(fmt.Sprintf("engine: marshaling request key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// String describes the request compactly for logs and errors.
+func (r Request) String() string {
+	return fmt.Sprintf("%s/%s map=%v budget=%d", r.Cfg.Name, r.Workload.Name, r.Mapping, r.Budget)
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hdsmt/internal/core"
+)
+
+// diskStore is the on-disk half of the memoization store: one JSON file
+// per completed job, named by the request's content-addressed key. Unlike
+// the journal (which checkpoints one sweep), the store is a shared,
+// unbounded cache: any process pointed at the same directory reuses any
+// simulation ever run there.
+type diskStore struct {
+	dir string
+}
+
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: creating cache dir: %w", err)
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+func (s *diskStore) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// load fetches a cached result; ok reports whether the key was present
+// and well formed.
+func (s *diskStore) load(key string) (res core.Results, ok bool, err error) {
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return core.Results{}, false, nil
+		}
+		return core.Results{}, false, err
+	}
+	if err := json.Unmarshal(b, &res); err != nil {
+		// A torn write from a killed process: treat as absent and let the
+		// job re-run (the rewrite heals the entry).
+		return core.Results{}, false, nil
+	}
+	return res, true, nil
+}
+
+// save persists a result atomically (temp file + rename) so concurrent
+// readers never observe a partial entry.
+func (s *diskStore) save(key string, res core.Results) error {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(key))
+}

@@ -1,0 +1,395 @@
+// Package server exposes the batch-simulation engine over HTTP: clients
+// submit runs, evaluations or whole sweeps as asynchronous jobs, poll
+// their progress, and fetch aggregated results. All jobs on one server
+// share one sim.Runner — and therefore one memoization store, so a client
+// resubmitting an overlapping sweep only pays for the cells nobody has
+// simulated yet.
+//
+//	POST   /jobs             submit a job; returns {"id": ...}
+//	GET    /jobs             list all jobs
+//	GET    /jobs/{id}        job status and progress
+//	GET    /jobs/{id}/result aggregated result JSON (once done)
+//	DELETE /jobs/{id}        cancel a running job, or evict a finished one
+//	GET    /stats            engine counters (hits, executed, ...)
+//	GET    /healthz          liveness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hdsmt/internal/config"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/sim"
+	"hdsmt/internal/workload"
+)
+
+// JobSpec is the body of POST /jobs.
+type JobSpec struct {
+	// Kind selects the job type:
+	//   "run"      — one simulation: Config, Workload, optional Mapping
+	//                (default: §2.1 heuristic). Result: core.Results.
+	//   "evaluate" — BEST/HEUR/WORST measurement for Config × Workload.
+	//                Result: sim.Measurement.
+	//   "sweep"    — evaluate every Configs × Workloads cell (defaults:
+	//                the paper's six configurations × all workloads).
+	//                Result: {"measurements": [...]}.
+	Kind string `json:"kind"`
+
+	Config    string   `json:"config,omitempty"`
+	Configs   []string `json:"configs,omitempty"`
+	Workload  string   `json:"workload,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	Mapping   []int    `json:"mapping,omitempty"`
+
+	// Budget/Warmup default to sim.DefaultOptions; OracleBudget defaults
+	// to Budget; MaxOracle 0 means exhaustive.
+	Budget       uint64 `json:"budget,omitempty"`
+	Warmup       uint64 `json:"warmup,omitempty"`
+	OracleBudget uint64 `json:"oracle_budget,omitempty"`
+	MaxOracle    int    `json:"max_oracle,omitempty"`
+}
+
+func (s JobSpec) options() sim.Options {
+	opt := sim.DefaultOptions()
+	if s.Budget > 0 {
+		opt.Budget = s.Budget
+	}
+	if s.Warmup > 0 {
+		opt.Warmup = s.Warmup
+	}
+	opt.OracleBudget = s.OracleBudget
+	opt.MaxOracle = s.MaxOracle
+	return opt
+}
+
+// Progress counts a job's completed cells (one cell = one evaluation or
+// run; a cell may expand to many simulations inside the engine).
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Status is the body of GET /jobs/{id}.
+type Status struct {
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	State    string   `json:"state"` // pending|running|done|failed|canceled
+	Error    string   `json:"error,omitempty"`
+	Progress Progress `json:"progress"`
+	Created  string   `json:"created,omitempty"`
+	Finished string   `json:"finished,omitempty"`
+}
+
+// SweepResult is the result payload of a "sweep" job: one measurement per
+// (config, workload) cell, configs outer, workloads inner.
+type SweepResult struct {
+	Measurements []sim.Measurement `json:"measurements"`
+}
+
+type job struct {
+	id     string
+	spec   JobSpec
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	errmsg   string
+	result   any
+	done     int
+	total    int
+	created  time.Time
+	finished time.Time
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:       j.id,
+		Kind:     j.spec.Kind,
+		State:    j.state,
+		Error:    j.errmsg,
+		Progress: Progress{Done: j.done, Total: j.total},
+		Created:  j.created.UTC().Format(time.RFC3339),
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339)
+	}
+	return st
+}
+
+// Server is the HTTP job server. Create one with New and mount Handler.
+type Server struct {
+	runner *sim.Runner
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+}
+
+// New builds a Server executing jobs on r. The caller keeps ownership of
+// r (and closes it after shutting the HTTP listener down).
+func New(r *sim.Runner) *Server {
+	return &Server{runner: r, jobs: map[string]*job{}}
+}
+
+// Handler returns the server's route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// resolveCells expands a spec into its (config, workload) cells at submit
+// time, so malformed specs fail synchronously with 400 rather than
+// asynchronously.
+func resolveCells(spec JobSpec) ([]sim.SweepCell, error) {
+	switch spec.Kind {
+	case "run", "evaluate":
+		if spec.Config == "" || spec.Workload == "" {
+			return nil, fmt.Errorf("%s job needs config and workload", spec.Kind)
+		}
+		cfg, err := config.Parse(spec.Config)
+		if err != nil {
+			return nil, err
+		}
+		w, err := workload.ByName(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		return []sim.SweepCell{{Cfg: cfg, W: w}}, nil
+	case "sweep":
+		var cfgs []config.Microarch
+		if len(spec.Configs) == 0 {
+			cfgs = config.EvaluatedMicroarchs()
+		} else {
+			for _, name := range spec.Configs {
+				cfg, err := config.Parse(name)
+				if err != nil {
+					return nil, err
+				}
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		var wls []workload.Workload
+		if len(spec.Workloads) == 0 {
+			wls = workload.All()
+		} else {
+			for _, name := range spec.Workloads {
+				w, err := workload.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				wls = append(wls, w)
+			}
+		}
+		cells := make([]sim.SweepCell, 0, len(cfgs)*len(wls))
+		for _, cfg := range cfgs {
+			for _, w := range wls {
+				cells = append(cells, sim.SweepCell{Cfg: cfg, W: w})
+			}
+		}
+		return cells, nil
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (want run, evaluate or sweep)", spec.Kind)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	cells, err := resolveCells(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Kind == "run" && spec.Mapping != nil {
+		// Validate against the thread-stretched configuration: the
+		// monolithic baseline accepts up to 6 threads (paper §3).
+		cfg := cells[0].Cfg.ForThreads(cells[0].W.Threads())
+		if got, want := len(spec.Mapping), cells[0].W.Threads(); got != want {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("mapping covers %d threads, workload has %d", got, want))
+			return
+		}
+		if err := mapping.Validate(cfg, spec.Mapping); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{spec: spec, cancel: cancel, state: "pending", total: len(cells), created: time.Now()}
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("job-%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	go s.execute(ctx, j, cells)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// execute runs a job to completion. One goroutine per job coordinates;
+// all simulation fan-out happens inside the shared engine, which bounds
+// total concurrency across every job on the server.
+func (s *Server) execute(ctx context.Context, j *job, cells []sim.SweepCell) {
+	j.mu.Lock()
+	j.state = "running"
+	j.mu.Unlock()
+
+	opt := j.spec.options()
+	var result any
+	var err error
+	switch j.spec.Kind {
+	case "run":
+		result, err = s.executeRun(ctx, cells[0], j.spec.Mapping, opt)
+		if err == nil {
+			j.mu.Lock()
+			j.done = 1
+			j.mu.Unlock()
+		}
+	case "evaluate":
+		result, err = s.runner.Evaluate(ctx, cells[0].Cfg, cells[0].W, opt)
+		if err == nil {
+			j.mu.Lock()
+			j.done = 1
+			j.mu.Unlock()
+		}
+	case "sweep":
+		var ms []sim.Measurement
+		ms, err = s.runner.EvaluateAll(ctx, cells, opt, func(done int) {
+			j.mu.Lock()
+			j.done = done
+			j.mu.Unlock()
+		})
+		result = SweepResult{Measurements: ms}
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = "done"
+		j.result = result
+	case ctx.Err() != nil:
+		j.state = "canceled"
+		j.errmsg = ctx.Err().Error()
+	default:
+		j.state = "failed"
+		j.errmsg = err.Error()
+	}
+}
+
+func (s *Server) executeRun(ctx context.Context, c sim.SweepCell, m mapping.Mapping, opt sim.Options) (any, error) {
+	if m == nil {
+		dm, err := sim.DefaultMapping(c.Cfg, c.W)
+		if err != nil {
+			return nil, err
+		}
+		m = dm
+	}
+	return s.runner.Run(ctx, c.Cfg, c.W, m, opt)
+}
+
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.status())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	state, result, errmsg := j.state, j.result, j.errmsg
+	j.mu.Unlock()
+	switch state {
+	case "done":
+		writeJSON(w, http.StatusOK, result)
+	case "failed", "canceled":
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("job %s: %s", state, errmsg))
+	default:
+		httpError(w, http.StatusConflict, fmt.Errorf("job still %s", state))
+	}
+}
+
+// handleCancel cancels a pending or running job; a job already settled is
+// evicted instead, so long-lived daemons have a way to release finished
+// jobs' result payloads.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	settled := j.state == "done" || j.state == "failed" || j.state == "canceled"
+	j.mu.Unlock()
+	if settled {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+	} else {
+		j.cancel()
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.runner.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

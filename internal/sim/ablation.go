@@ -1,11 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"hdsmt/internal/config"
-	"hdsmt/internal/core"
+	"hdsmt/internal/engine"
 	"hdsmt/internal/fetch"
 	"hdsmt/internal/mapping"
 	"hdsmt/internal/workload"
@@ -13,7 +14,10 @@ import (
 
 // Ablations quantify the design choices the paper asserts but does not
 // sweep: the 2-cycle shared-register-file penalty (§4), the decoupling
-// buffer sizes (§2/§4), and the fetch-policy choice (§4).
+// buffer sizes (§2/§4), and the fetch-policy choice (§4). Every variant
+// is an engine job — parameter mutations (RegAccessLatency, FetchBuf) and
+// policy overrides are part of the request, so each variant keys and
+// caches separately.
 
 // AblationPoint is one configuration variant's result.
 type AblationPoint struct {
@@ -38,12 +42,16 @@ func (a AblationResult) Render() string {
 	return b.String()
 }
 
-// heurOrTrivial returns the mapping to use for an ablation run.
-func heurOrTrivial(cfg config.Microarch, w workload.Workload) (mapping.Mapping, error) {
-	if cfg.Monolithic {
-		return make(mapping.Mapping, w.Threads()), nil
+// runSweep batches a labeled list of requests and collects their IPCs.
+func (r *Runner) runSweep(ctx context.Context, out *AblationResult, labels []string, reqs []engine.Request) error {
+	results, err := r.eng.RunBatch(ctx, reqs)
+	if err != nil {
+		return err
 	}
-	return HeuristicMapping(cfg, w)
+	for i, res := range results {
+		out.Points = append(out.Points, AblationPoint{Label: labels[i], IPC: res.IPC})
+	}
+	return nil
 }
 
 // AblateRFLatency sweeps the shared-register-file access latency on a
@@ -51,89 +59,105 @@ func heurOrTrivial(cfg config.Microarch, w workload.Workload) (mapping.Mapping, 
 // baseline's 1) for multipipeline register-file sharing; the sweep shows
 // what that assumption costs.
 func AblateRFLatency(w workload.Workload, opt Options) (AblationResult, error) {
+	return ephemeral(opt, func(r *Runner) (AblationResult, error) {
+		return r.AblateRFLatency(context.Background(), w, opt)
+	})
+}
+
+// AblateRFLatency is AblateRFLatency on this Runner's engine.
+func (r *Runner) AblateRFLatency(ctx context.Context, w workload.Workload, opt Options) (AblationResult, error) {
 	out := AblationResult{Name: "register-file access latency (2M4+2M2)", Workload: w.Name}
+	var labels []string
+	var reqs []engine.Request
 	for _, lat := range []int{1, 2, 3} {
 		cfg := config.MustParse("2M4+2M2")
 		cfg.Params.RegAccessLatency = lat
-		m, err := heurOrTrivial(cfg, w)
+		m, err := DefaultMapping(cfg, w)
 		if err != nil {
 			return out, err
 		}
-		r, err := Run(cfg, w, m, opt)
-		if err != nil {
-			return out, err
-		}
-		out.Points = append(out.Points, AblationPoint{
-			Label: fmt.Sprintf("%d-cycle RF access", lat),
-			IPC:   r.IPC,
-		})
+		labels = append(labels, fmt.Sprintf("%d-cycle RF access", lat))
+		reqs = append(reqs, newRequest(cfg, w, m, opt.Budget, opt.Warmup))
 	}
-	return out, nil
+	err := r.runSweep(ctx, &out, labels, reqs)
+	return out, err
 }
 
 // AblateFetchBuffer sweeps the per-pipeline decoupling buffer size on
 // 2M4+2M2 (the paper fixes 32 entries for M4 and 16 for M2; the sweep
 // scales both proportionally).
 func AblateFetchBuffer(w workload.Workload, opt Options) (AblationResult, error) {
+	return ephemeral(opt, func(r *Runner) (AblationResult, error) {
+		return r.AblateFetchBuffer(context.Background(), w, opt)
+	})
+}
+
+// AblateFetchBuffer is AblateFetchBuffer on this Runner's engine.
+func (r *Runner) AblateFetchBuffer(ctx context.Context, w workload.Workload, opt Options) (AblationResult, error) {
 	out := AblationResult{Name: "decoupling buffer size (2M4+2M2)", Workload: w.Name}
+	var labels []string
+	var reqs []engine.Request
 	for _, scale := range []int{1, 2, 4, 8} {
 		m4 := config.M4
 		m4.FetchBuf = 8 * scale
 		m2 := config.M2
 		m2.FetchBuf = 4 * scale
 		cfg := config.NewMicroarch(m4, m4, m2, m2)
-		m, err := heurOrTrivial(cfg, w)
+		m, err := DefaultMapping(cfg, w)
 		if err != nil {
 			return out, err
 		}
-		r, err := Run(cfg, w, m, opt)
-		if err != nil {
-			return out, err
-		}
-		out.Points = append(out.Points, AblationPoint{
-			Label: fmt.Sprintf("M4:%d/M2:%d entries", m4.FetchBuf, m2.FetchBuf),
-			IPC:   r.IPC,
-		})
+		labels = append(labels, fmt.Sprintf("M4:%d/M2:%d entries", m4.FetchBuf, m2.FetchBuf))
+		reqs = append(reqs, newRequest(cfg, w, m, opt.Budget, opt.Warmup))
 	}
-	return out, nil
+	err := r.runSweep(ctx, &out, labels, reqs)
+	return out, err
 }
 
 // AblateFetchPolicy compares the three fetch policies on the monolithic
 // baseline for one workload (the paper adopts FLUSH for the baseline and
 // L1MCOUNT for multipipeline configurations).
 func AblateFetchPolicy(w workload.Workload, opt Options) (AblationResult, error) {
+	return ephemeral(opt, func(r *Runner) (AblationResult, error) {
+		return r.AblateFetchPolicy(context.Background(), w, opt)
+	})
+}
+
+// AblateFetchPolicy is AblateFetchPolicy on this Runner's engine.
+func (r *Runner) AblateFetchPolicy(ctx context.Context, w workload.Workload, opt Options) (AblationResult, error) {
 	out := AblationResult{Name: "fetch policy (M8)", Workload: w.Name}
 	cfg := config.MustParse("M8")
-	specs, err := Specs(w)
-	if err != nil {
-		return out, err
-	}
+	var labels []string
+	var reqs []engine.Request
 	for _, pol := range []fetch.Policy{fetch.ICount{}, fetch.Flush{}, fetch.L1MCount{}} {
-		opts := []core.Option{core.WithPolicy(pol)}
-		if opt.Warmup > 0 {
-			opts = append(opts, core.WithWarmup(opt.Warmup))
+		req := newRequest(cfg, w, make(mapping.Mapping, w.Threads()), opt.Budget, opt.Warmup)
+		// The configuration's own default policy keeps Policy empty so
+		// this point shares its cache key with plain runs of cfg.
+		if pol.Name() != defaultPolicyName(cfg) {
+			req.Policy = pol.Name()
 		}
-		p, err := core.New(cfg, specs, make(mapping.Mapping, w.Threads()), opts...)
-		if err != nil {
-			return out, err
-		}
-		r, err := p.Run(opt.Budget)
-		if err != nil {
-			return out, err
-		}
-		out.Points = append(out.Points, AblationPoint{Label: pol.Name(), IPC: r.IPC})
+		labels = append(labels, pol.Name())
+		reqs = append(reqs, req)
 	}
-	return out, nil
+	err := r.runSweep(ctx, &out, labels, reqs)
+	return out, err
 }
 
 // RunAblations executes all three ablations on a representative MIX
 // workload (4W6 unless overridden).
 func RunAblations(w workload.Workload, opt Options) ([]AblationResult, error) {
+	return ephemeral(opt, func(r *Runner) ([]AblationResult, error) {
+		return r.RunAblations(context.Background(), w, opt)
+	})
+}
+
+// RunAblations is RunAblations on this Runner's engine.
+func (r *Runner) RunAblations(ctx context.Context, w workload.Workload, opt Options) ([]AblationResult, error) {
 	var out []AblationResult
-	for _, f := range []func(workload.Workload, Options) (AblationResult, error){
-		AblateRFLatency, AblateFetchBuffer, AblateFetchPolicy,
+	for _, f := range []func(context.Context, workload.Workload, Options) (AblationResult, error){
+		r.AblateRFLatency, r.AblateFetchBuffer, r.AblateFetchPolicy,
 	} {
-		a, err := f(w, opt)
+		a, err := f(ctx, w, opt)
 		if err != nil {
 			return nil, err
 		}

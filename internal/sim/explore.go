@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"hdsmt/internal/area"
 	"hdsmt/internal/config"
+	"hdsmt/internal/engine"
 	"hdsmt/internal/metrics"
 	"hdsmt/internal/workload"
 )
@@ -89,40 +91,58 @@ type ExploreResult struct {
 // heuristic mapping and ranks by performance per area. Candidates lacking
 // contexts for any workload are reported as skipped.
 func Explore(wls []workload.Workload, cands []config.Microarch, opt Options) ([]ExploreResult, error) {
+	return ephemeral(opt, func(r *Runner) ([]ExploreResult, error) {
+		return r.Explore(context.Background(), wls, cands, opt)
+	})
+}
+
+// Explore is Explore on this Runner's engine: every feasible
+// (candidate, workload) run is planned up front and submitted as one
+// batch.
+func (r *Runner) Explore(ctx context.Context, wls []workload.Workload, cands []config.Microarch, opt Options) ([]ExploreResult, error) {
 	if len(wls) == 0 {
 		return nil, fmt.Errorf("sim: no workloads to explore over")
 	}
 	out := make([]ExploreResult, 0, len(cands))
+	var reqs []engine.Request
+	owner := make([]int, 0, len(cands)*len(wls)) // reqs[i] belongs to out[owner[i]]
 	for _, cfg := range cands {
 		res := ExploreResult{Config: cfg.Name, Area: area.MustTotal(cfg)}
-		var ipcs []float64
+		var cellReqs []engine.Request
 		for _, w := range wls {
 			eff := cfg.ForThreads(w.Threads())
 			if eff.TotalContexts() < w.Threads() {
 				res.Skipped = true
 				break
 			}
-			var m []int
-			if eff.Monolithic {
-				m = make([]int, w.Threads())
-			} else {
-				hm, err := HeuristicMapping(eff, w)
-				if err != nil {
-					return nil, fmt.Errorf("sim: %s/%s: %w", cfg.Name, w.Name, err)
-				}
-				m = hm
-			}
-			r, err := Run(eff, w, m, opt)
+			m, err := DefaultMapping(eff, w)
 			if err != nil {
 				return nil, fmt.Errorf("sim: %s/%s: %w", cfg.Name, w.Name, err)
 			}
-			ipcs = append(ipcs, r.IPC)
+			cellReqs = append(cellReqs, newRequest(eff, w, m, opt.Budget, opt.Warmup))
 		}
 		if !res.Skipped {
-			res.IPC = metrics.HMean(ipcs)
-			res.PerArea = res.IPC / res.Area
+			for range cellReqs {
+				owner = append(owner, len(out))
+			}
+			reqs = append(reqs, cellReqs...)
 		}
 		out = append(out, res)
+	}
+
+	results, err := r.eng.RunBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	ipcs := make([][]float64, len(out))
+	for i, res := range results {
+		ipcs[owner[i]] = append(ipcs[owner[i]], res.IPC)
+	}
+	for i := range out {
+		if !out[i].Skipped {
+			out[i].IPC = metrics.HMean(ipcs[i])
+			out[i].PerArea = out[i].IPC / out[i].Area
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Skipped != out[j].Skipped {

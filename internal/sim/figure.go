@@ -1,10 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"hdsmt/internal/area"
 	"hdsmt/internal/config"
@@ -58,6 +58,16 @@ func groupsFor(t workload.Type) []string {
 // across all six evaluated microarchitectures. Fig. 5's per-area variant
 // derives from the same measurements via PerArea.
 func RunFigure(t workload.Type, opt Options) (FigResult, error) {
+	return ephemeral(opt, func(r *Runner) (FigResult, error) {
+		return r.RunFigure(context.Background(), t, opt)
+	})
+}
+
+// RunFigure is RunFigure on this Runner's engine: every cell's heuristic
+// run and oracle search is planned up front and submitted as one batch, so
+// the engine's worker pool is the only fan-out and its cache deduplicates
+// cells shared with earlier sweeps.
+func (r *Runner) RunFigure(ctx context.Context, t workload.Type, opt Options) (FigResult, error) {
 	configs := config.EvaluatedMicroarchs()
 	fig := FigResult{
 		Title:       fmt.Sprintf("Fig. 4: IPC, %s workloads", t),
@@ -71,45 +81,20 @@ func RunFigure(t workload.Type, opt Options) (FigResult, error) {
 		wls = append(wls, workload.Select(n, t)...)
 	}
 
-	type job struct {
-		cfg config.Microarch
-		w   workload.Workload
-	}
-	var jobs []job
+	var cells []SweepCell
 	for _, cfg := range configs {
 		fig.Configs = append(fig.Configs, cfg.Name)
 		for _, w := range wls {
-			jobs = append(jobs, job{cfg, w})
+			cells = append(cells, SweepCell{Cfg: cfg, W: w})
 		}
 	}
 
-	results := make([]Measurement, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.workers())
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// Evaluate itself parallelizes its oracle runs; serialize the
-			// inner fan-out by giving it one worker to keep total
-			// parallelism bounded by opt.workers.
-			inner := opt
-			inner.Parallel = 1
-			results[i], errs[i] = Evaluate(jobs[i].cfg, jobs[i].w, inner)
-		}(i)
+	ms, err := r.EvaluateAll(ctx, cells, opt, nil)
+	if err != nil {
+		return fig, err
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fig, fmt.Errorf("sim: %s on %s: %w", jobs[i].w.Name, jobs[i].cfg.Name, err)
-		}
-	}
-
-	for i, m := range results {
-		cfgName := jobs[i].cfg.Name
+	for i, m := range ms {
+		cfgName := cells[i].Cfg.Name
 		if fig.PerWorkload[cfgName] == nil {
 			fig.PerWorkload[cfgName] = map[string]Measurement{}
 		}

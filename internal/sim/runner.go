@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"hdsmt/internal/config"
+	"hdsmt/internal/core"
+	"hdsmt/internal/engine"
+	"hdsmt/internal/fetch"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/workload"
+)
+
+// Runner executes this package's sweeps on a shared engine.Engine: every
+// simulation — heuristic runs, oracle searches, ablation sweeps,
+// design-space exploration — is submitted as a content-addressed job, so
+// concurrency is bounded in one place and any simulation repeated across
+// sweeps (or across re-runs, with a cache directory or journal) is served
+// from the memoization store instead of being executed again.
+//
+// The package-level Evaluate/RunFigure/Explore/RunAblations helpers remain
+// for one-shot use; they run on a private short-lived Runner. Long-lived
+// callers (cmd/hdsmtd, repeated sweeps) should construct one Runner and
+// share it.
+type Runner struct {
+	eng *engine.Engine
+}
+
+// NewRunner builds a Runner on a fresh engine. opts.Workers bounds
+// concurrent simulations (0 = GOMAXPROCS); CacheDir and JournalPath enable
+// the on-disk store and the checkpoint journal.
+func NewRunner(opts engine.Options) (*Runner, error) {
+	eng, err := engine.New(simulate, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{eng: eng}, nil
+}
+
+// Close releases the engine's workers.
+func (r *Runner) Close() { r.eng.Close() }
+
+// Stats exposes the engine's hit/miss/executed counters.
+func (r *Runner) Stats() engine.Stats { return r.eng.Stats() }
+
+// Engine returns the underlying engine (for direct Submit access).
+func (r *Runner) Engine() *engine.Engine { return r.eng }
+
+// simulate is the engine's runner function: it executes one request with
+// the core simulator. It is deterministic — a requirement of the engine's
+// memoization — because the core is (fixed seeds, no wall-clock input).
+func simulate(ctx context.Context, req engine.Request) (core.Results, error) {
+	if err := ctx.Err(); err != nil {
+		return core.Results{}, err
+	}
+	specs, err := Specs(req.Workload)
+	if err != nil {
+		return core.Results{}, err
+	}
+	var opts []core.Option
+	if req.Warmup > 0 {
+		opts = append(opts, core.WithWarmup(req.Warmup))
+	}
+	if req.Policy != "" {
+		pol, err := policyByName(req.Policy)
+		if err != nil {
+			return core.Results{}, err
+		}
+		opts = append(opts, core.WithPolicy(pol))
+	}
+	p, err := core.New(req.Cfg, specs, req.Mapping, opts...)
+	if err != nil {
+		return core.Results{}, err
+	}
+	return p.Run(req.Budget)
+}
+
+// defaultPolicyName is the policy core.New picks when none is overridden,
+// so callers can avoid keying the default policy explicitly.
+func defaultPolicyName(cfg config.Microarch) string {
+	return fetch.ForConfig(cfg.Monolithic).Name()
+}
+
+// policyByName resolves a fetch.Policy from its Name().
+func policyByName(name string) (fetch.Policy, error) {
+	for _, p := range []fetch.Policy{fetch.ICount{}, fetch.Flush{}, fetch.L1MCount{}} {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("sim: unknown fetch policy %q", name)
+}
+
+// newRequest assembles the engine job for one simulation. The
+// configuration is normalized with ForThreads (idempotent) so every
+// caller keys the same simulation identically — the core applies the same
+// stretch internally, and a divergent key would defeat cross-sweep
+// memoization for monolithic cells.
+func newRequest(cfg config.Microarch, w workload.Workload, m mapping.Mapping, budget, warmup uint64) engine.Request {
+	return engine.Request{
+		Cfg:      cfg.ForThreads(w.Threads()),
+		Workload: w,
+		Mapping:  m,
+		Budget:   budget,
+		Warmup:   warmup,
+	}
+}
+
+// Run simulates one (configuration, workload, mapping) cell through the
+// engine, so repeated runs hit the cache.
+func (r *Runner) Run(ctx context.Context, cfg config.Microarch, w workload.Workload, m mapping.Mapping, opt Options) (core.Results, error) {
+	results, err := r.eng.RunBatch(ctx, []engine.Request{newRequest(cfg, w, m, opt.Budget, opt.Warmup)})
+	if err != nil {
+		return core.Results{}, err
+	}
+	return results[0], nil
+}
+
+// Evaluate is Evaluate on this Runner's engine.
+func (r *Runner) Evaluate(ctx context.Context, cfg config.Microarch, w workload.Workload, opt Options) (Measurement, error) {
+	ms, err := r.EvaluateAll(ctx, []SweepCell{{Cfg: cfg, W: w}}, opt, nil)
+	if err != nil {
+		return Measurement{Config: cfg.Name, Workload: w.Name}, err
+	}
+	return ms[0], nil
+}
+
+// SweepCell is one (configuration, workload) evaluation of a sweep.
+type SweepCell struct {
+	Cfg config.Microarch
+	W   workload.Workload
+}
+
+// EvaluateAll evaluates every cell through one engine batch: all cells'
+// simulations — heuristic runs and oracle searches alike — are submitted
+// up front, so the worker pool stays saturated across cell boundaries
+// (a lone monolithic cell cannot serialize the sweep). Cells finish in
+// input order; progress, when non-nil, is called after each completed
+// cell with the count done so far.
+func (r *Runner) EvaluateAll(ctx context.Context, cells []SweepCell, opt Options, progress func(done int)) ([]Measurement, error) {
+	plans := make([]*evalPlan, len(cells))
+	offsets := make([]int, len(cells))
+	var tickets []*engine.Ticket
+	for i, c := range cells {
+		p, err := planEvaluate(c.Cfg, c.W, opt)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s on %s: %w", c.W.Name, c.Cfg.Name, err)
+		}
+		plans[i] = p
+		offsets[i] = len(tickets)
+		for _, req := range p.reqs {
+			tk, err := r.eng.Submit(ctx, req)
+			if err != nil {
+				return nil, fmt.Errorf("sim: submitting %s: %w", req, err)
+			}
+			tickets = append(tickets, tk)
+		}
+	}
+
+	out := make([]Measurement, len(cells))
+	for i, p := range plans {
+		results := make([]core.Results, len(p.reqs))
+		for k := range p.reqs {
+			res, err := tickets[offsets[i]+k].Wait(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", p.reqs[k], err)
+			}
+			results[k] = res
+		}
+		out[i] = p.finish(results)
+		if progress != nil {
+			progress(i + 1)
+		}
+	}
+	return out, nil
+}
+
+// ephemeral runs f on a short-lived Runner sized by opt — the engine
+// behind the package-level convenience functions.
+func ephemeral[T any](opt Options, f func(*Runner) (T, error)) (T, error) {
+	r, err := NewRunner(engine.Options{Workers: opt.workers()})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	defer r.Close()
+	return f(r)
+}

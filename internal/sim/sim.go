@@ -5,13 +5,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"hdsmt/internal/bench"
 	"hdsmt/internal/config"
 	"hdsmt/internal/core"
+	"hdsmt/internal/engine"
 	"hdsmt/internal/mapping"
 	"hdsmt/internal/workload"
 )
@@ -36,7 +37,11 @@ type Options struct {
 	// BEST becomes a lower bound and WORST an upper bound of the true
 	// extremes. 0 means unlimited (the paper's exhaustive oracle).
 	MaxOracle int
-	// Parallel bounds concurrent simulations; 0 means GOMAXPROCS.
+	// Parallel bounds concurrent simulations for the package-level
+	// one-shot helpers (Evaluate, RunFigure, Explore, RunAblations),
+	// which size their private engine from it; 0 means GOMAXPROCS.
+	// Runner methods ignore it — a shared Runner's concurrency is fixed
+	// by engine.Options.Workers at construction.
 	Parallel int
 }
 
@@ -113,6 +118,16 @@ func runSpecs(cfg config.Microarch, specs []core.ThreadSpec, m mapping.Mapping, 
 	return p.Run(budget)
 }
 
+// DefaultMapping returns the mapping used when the caller supplies none:
+// the trivial all-zero mapping for monolithic configurations (every thread
+// on the one pipeline), the §2.1 profile-guided heuristic otherwise.
+func DefaultMapping(cfg config.Microarch, w workload.Workload) (mapping.Mapping, error) {
+	if cfg.Monolithic {
+		return make(mapping.Mapping, w.Threads()), nil
+	}
+	return HeuristicMapping(cfg, w)
+}
+
 // HeuristicMapping computes the §2.1 profile-guided mapping for w on cfg.
 func HeuristicMapping(cfg config.Microarch, w workload.Workload) (mapping.Mapping, error) {
 	bs, err := w.Resolve()
@@ -170,37 +185,49 @@ type Measurement struct {
 // monolithic configurations need no mapping (a single measurement serves
 // all three series, as in the paper); multipipeline configurations run the
 // heuristic mapping at full budget and exhaustively search all distinct
-// mappings for BEST/WORST.
+// mappings for BEST/WORST. All simulations fan out through a short-lived
+// engine; use Runner.Evaluate to share an engine (and its cache) across
+// calls.
 func Evaluate(cfg config.Microarch, w workload.Workload, opt Options) (Measurement, error) {
-	meas := Measurement{Config: cfg.Name, Workload: w.Name}
+	return ephemeral(opt, func(r *Runner) (Measurement, error) {
+		return r.Evaluate(context.Background(), cfg, w, opt)
+	})
+}
+
+// evalPlan is the batch of engine jobs behind one Measurement: the
+// heuristic mapping at full budget plus every oracle mapping at the oracle
+// budget (or the single trivial run, for monolithic configurations).
+// Planning is separated from finishing so callers can concatenate many
+// cells' jobs into a single engine batch (see Runner.RunFigure).
+type evalPlan struct {
+	cfg  config.Microarch
+	w    workload.Workload
+	mono bool
+	hm   mapping.Mapping
+	all  []mapping.Mapping // oracle mappings; reqs[1+i] simulates all[i]
+	reqs []engine.Request
+}
+
+func planEvaluate(cfg config.Microarch, w workload.Workload, opt Options) (*evalPlan, error) {
+	p := &evalPlan{cfg: cfg, w: w}
 	n := w.Threads()
 
 	if cfg.Monolithic {
-		m := make(mapping.Mapping, n) // all threads on the one pipeline
-		r, err := Run(cfg, w, m, opt)
-		if err != nil {
-			return meas, err
-		}
-		meas.Best, meas.Heur, meas.Worst = r.IPC, r.IPC, r.IPC
-		meas.BestMapping, meas.HeurMapping, meas.WorstMapping = m, m, m
-		meas.Mappings = 1
-		return meas, nil
+		p.mono = true
+		p.hm = make(mapping.Mapping, n) // all threads on the one pipeline
+		p.reqs = []engine.Request{newRequest(cfg, w, p.hm, opt.Budget, opt.Warmup)}
+		return p, nil
 	}
 
 	hm, err := HeuristicMapping(cfg, w)
 	if err != nil {
-		return meas, err
+		return nil, err
 	}
-	hr, err := Run(cfg, w, hm, opt)
-	if err != nil {
-		return meas, fmt.Errorf("sim: %s/%s heuristic: %w", cfg.Name, w.Name, err)
-	}
-	meas.Heur = hr.IPC
-	meas.HeurMapping = hm
+	p.hm = hm
 
 	all := mapping.Enumerate(cfg, n)
 	if len(all) == 0 {
-		return meas, fmt.Errorf("sim: no feasible mappings for %s/%s", cfg.Name, w.Name)
+		return nil, fmt.Errorf("sim: no feasible mappings for %s/%s", cfg.Name, w.Name)
 	}
 	if opt.MaxOracle > 0 && len(all) > opt.MaxOracle {
 		sampled := make([]mapping.Mapping, 0, opt.MaxOracle)
@@ -210,66 +237,53 @@ func Evaluate(cfg config.Microarch, w workload.Workload, opt Options) (Measureme
 		}
 		all = sampled
 	}
-	meas.Mappings = len(all)
-	ipcs, err := runAll(cfg, w, all, opt)
-	if err != nil {
-		return meas, err
+	p.all = all
+	p.reqs = make([]engine.Request, 0, 1+len(all))
+	p.reqs = append(p.reqs, newRequest(cfg, w, hm, opt.Budget, opt.Warmup))
+	for _, m := range all {
+		p.reqs = append(p.reqs, newRequest(cfg, w, m, opt.oracleBudget(), opt.Warmup))
 	}
+	return p, nil
+}
+
+// finish folds the batch's results (in p.reqs order) into the Measurement.
+func (p *evalPlan) finish(results []core.Results) Measurement {
+	meas := Measurement{Config: p.cfg.Name, Workload: p.w.Name}
+	if p.mono {
+		r := results[0]
+		meas.Best, meas.Heur, meas.Worst = r.IPC, r.IPC, r.IPC
+		meas.BestMapping, meas.HeurMapping, meas.WorstMapping = p.hm, p.hm, p.hm
+		meas.Mappings = 1
+		return meas
+	}
+
+	meas.Heur = results[0].IPC
+	meas.HeurMapping = p.hm
+	meas.Mappings = len(p.all)
+
+	oracle := results[1:]
 	best, worst := 0, 0
-	for i, ipc := range ipcs {
-		if ipc > ipcs[best] {
+	for i := range oracle {
+		if oracle[i].IPC > oracle[best].IPC {
 			best = i
 		}
-		if ipc < ipcs[worst] {
+		if oracle[i].IPC < oracle[worst].IPC {
 			worst = i
 		}
 	}
-	meas.Best, meas.BestMapping = ipcs[best], all[best]
-	meas.Worst, meas.WorstMapping = ipcs[worst], all[worst]
+	meas.Best, meas.BestMapping = oracle[best].IPC, p.all[best]
+	meas.Worst, meas.WorstMapping = oracle[worst].IPC, p.all[worst]
 
 	// The oracle search may run at a reduced budget; the heuristic runs at
 	// full budget. Clamp so reported series stay consistent (BEST is by
 	// definition at least HEUR, WORST at most).
 	if meas.Heur > meas.Best {
 		meas.Best = meas.Heur
-		meas.BestMapping = hm
+		meas.BestMapping = p.hm
 	}
 	if meas.Heur < meas.Worst {
 		meas.Worst = meas.Heur
-		meas.WorstMapping = hm
+		meas.WorstMapping = p.hm
 	}
-	return meas, nil
-}
-
-// runAll simulates every mapping concurrently and returns their IPCs in
-// input order (deterministic regardless of scheduling).
-func runAll(cfg config.Microarch, w workload.Workload, ms []mapping.Mapping, opt Options) ([]float64, error) {
-	ipcs := make([]float64, len(ms))
-	errs := make([]error, len(ms))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.workers())
-	for i := range ms {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := Run(cfg, w, ms[i], Options{
-				Budget: opt.oracleBudget(),
-				Warmup: opt.Warmup,
-			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ipcs[i] = r.IPC
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: %s/%s mapping %v: %w", cfg.Name, w.Name, ms[i], err)
-		}
-	}
-	return ipcs, nil
+	return meas
 }

@@ -128,6 +128,9 @@ var memFig = struct {
 
 func memFigure(t *testing.T) FigResult {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("full MEM sub-figure sweep (tens of seconds); run without -short for it")
+	}
 	memFig.once.Do(func() {
 		memFig.fig, memFig.err = RunFigure(workload.MEM, tinyOptions())
 	})
