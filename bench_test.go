@@ -14,6 +14,7 @@ import (
 	"hdsmt/internal/config"
 	"hdsmt/internal/mapping"
 	"hdsmt/internal/metrics"
+	"hdsmt/internal/perf"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/workload"
 )
@@ -183,6 +184,77 @@ func BenchmarkHeuristicMapping(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCoreStep measures the cycle-level hot path itself: one
+// multipipeline processor stepped over a fixed budget, reported as
+// simulated MIPS (millions of simulated instructions per wall second) and
+// ns per simulated cycle. With b.ReportAllocs the steady-state allocation
+// behaviour of step() is visible directly (it must stay at ~0 allocs/op).
+func BenchmarkCoreStep(b *testing.B) {
+	cfg := config.MustParse("2M4+2M2")
+	w := workload.MustByName("4W6")
+	const budget = 20_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	var committed, cycles uint64
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(cfg, w, mapping.Mapping{0, 1, 2, 3}, sim.Options{Budget: budget})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range r.Committed {
+			committed += c
+		}
+		cycles += r.Cycles
+	}
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(float64(committed)/secs/1e6, "MIPS")
+	b.ReportMetric(secs*1e9/float64(cycles), "ns/cycle")
+}
+
+// BenchmarkEvaluateHEUR measures the throughput of the paper's central
+// operation — evaluating the §2.1 HEUR mapping on the flagship
+// heterogeneous configuration — in simulated MIPS. Like the Fig. 4
+// sweeps, it covers one workload of each type (ILP, MEM, MIX), so the
+// metric reflects the mix a real evaluation simulates: memory-bound cells
+// dominate wall-clock, exactly where idle-cycle fast-forward pays. This
+// is the quantity the perf trajectory in BENCH_PR2.json tracks across
+// PRs. Profiles are warmed before timing (they are offline, memoized
+// inputs to HEUR, not part of the simulation being measured).
+func BenchmarkEvaluateHEUR(b *testing.B) {
+	cfg := config.MustParse(perf.BasketConfig)
+	cells := []struct {
+		w workload.Workload
+		m mapping.Mapping
+	}{}
+	for _, name := range perf.BasketWorkloads() {
+		w := workload.MustByName(name)
+		m, err := sim.HeuristicMapping(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = append(cells, struct {
+			w workload.Workload
+			m mapping.Mapping
+		}{w, m})
+	}
+	opt := sim.Options{Budget: perf.BasketBudget, Warmup: perf.BasketWarmup, Parallel: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		for _, c := range cells {
+			r, err := sim.Run(cfg, c.w, c.m, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, n := range r.Committed {
+				committed += n
+			}
+		}
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds()/1e6, "MIPS")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed in simulated

@@ -16,6 +16,8 @@ import (
 	"hdsmt/internal/area"
 	"hdsmt/internal/config"
 	"hdsmt/internal/engine"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/perf"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/workload"
 )
@@ -33,11 +35,20 @@ func main() {
 		detail    = flag.Bool("detail", false, "also print per-workload measurements")
 		ablate    = flag.Bool("ablate", false, "run the design-choice ablations and exit")
 		csvDir    = flag.String("csv", "", "also write per-figure CSV files into this directory")
+		perfOut   = flag.String("perf", "", "measure simulator throughput (optimized vs reference stepping), write a perf trajectory report to this JSON file, and exit")
+		perfReps  = flag.Int("perfreps", 5, "repetitions per cell for -perf")
 	)
 	flag.Parse()
 
 	if *list {
 		printWorkloads()
+		return
+	}
+	if *perfOut != "" {
+		if err := writePerfReport(*perfOut, *perfReps); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	printAreaFigures()
@@ -132,6 +143,69 @@ func writeCSVs(dir, key string, fig sim.FigResult) error {
 	}
 	defer per.Close()
 	return fig.WritePerWorkloadCSV(per)
+}
+
+// writePerfReport measures the perf trajectory: the standard basket
+// (perf.BasketConfig × perf.BasketWorkloads, shared with
+// BenchmarkEvaluateHEUR) timed on the naive reference stepping path and
+// on the optimized (event-driven wakeup + idle fast-forward) path,
+// written as a machine-readable report. Both modes produce bit-identical
+// simulation results, so the report carries its own machine-independent
+// baseline.
+func writePerfReport(path string, reps int) error {
+	opt := sim.Options{Budget: perf.BasketBudget, Warmup: perf.BasketWarmup, Parallel: 1}
+	cfg := config.MustParse(perf.BasketConfig)
+	type cell struct {
+		w workload.Workload
+		m mapping.Mapping
+	}
+	var cells []cell
+	for _, name := range perf.BasketWorkloads() {
+		w := workload.MustByName(name)
+		m, err := sim.HeuristicMapping(cfg, w) // also warms the profile cache
+		if err != nil {
+			return err
+		}
+		cells = append(cells, cell{w, m})
+	}
+
+	report := perf.NewReport(fmt.Sprintf("evaluate-HEUR/%s/%v", perf.BasketConfig, perf.BasketWorkloads()))
+	for _, mode := range []string{"reference", "optimized"} {
+		run := sim.Run
+		if mode == "reference" {
+			run = sim.RunReference
+		}
+		s, err := report.Measure("evaluate-HEUR", mode, func() (uint64, uint64, error) {
+			var instructions, cycles uint64
+			for rep := 0; rep < reps; rep++ {
+				for _, c := range cells {
+					r, err := run(cfg, c.w, c.m, opt)
+					if err != nil {
+						return 0, 0, err
+					}
+					for _, n := range r.Committed {
+						instructions += n
+					}
+					cycles += r.Cycles
+				}
+			}
+			return instructions, cycles, nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("perf: %-10s %8.3f MIPS  %8.1f ns/cycle  %6.3f allocs/cycle\n",
+			mode, s.MIPS, s.NsPerCycle, s.AllocsPerCycle)
+	}
+	report.ComputeSpeedups()
+	if sp, ok := report.Speedup["evaluate-HEUR"]; ok {
+		fmt.Printf("perf: optimized/reference speedup = %.2fx\n", sp)
+	}
+	if err := report.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("perf: report written to %s\n", path)
+	return nil
 }
 
 func printWorkloads() {

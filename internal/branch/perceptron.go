@@ -91,19 +91,17 @@ func (p *Predictor) output(tid int, pc uint64) int32 {
 	sum := int32(w[0]) // bias
 	lh := uint32(p.local[localIndex(pc)])
 	gh := p.global[tid]
+	// Branchless accumulation: a history bit of 1 adds the weight, 0
+	// subtracts it ((w ^ m) - m negates w when m is -1). History bits are
+	// near-random, so data-dependent host branches here mispredict
+	// constantly; this loop runs twice per simulated conditional.
 	for i := 0; i < localHistBits; i++ {
-		if lh&(1<<i) != 0 {
-			sum += int32(w[1+i])
-		} else {
-			sum -= int32(w[1+i])
-		}
+		m := int32(lh>>i&1) - 1
+		sum += (int32(w[1+i]) ^ m) - m
 	}
 	for i := 0; i < globalHistBits; i++ {
-		if gh&(1<<i) != 0 {
-			sum += int32(w[1+localHistBits+i])
-		} else {
-			sum -= int32(w[1+localHistBits+i])
-		}
+		m := int32(gh>>i&1) - 1
+		sum += (int32(w[1+localHistBits+i]) ^ m) - m
 	}
 	return sum
 }

@@ -93,8 +93,11 @@ func New(cfg Config) *Cache {
 		bankCycle: make([]uint64, cfg.Banks),
 		bankUsed:  make([]int, cfg.Banks),
 	}
+	// One backing array for all sets: thousands of tiny per-set
+	// allocations would otherwise dominate processor construction.
+	backing := make([]way, nsets*cfg.Assoc)
 	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Assoc)
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
 		c.lineShift++

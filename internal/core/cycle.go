@@ -17,8 +17,13 @@ const ringSize = 1024
 
 // step advances the processor one cycle. Stages run commit-first (reverse
 // pipeline order) so resources freed in a cycle become usable the next
-// cycle, the conventional discipline for cycle-level simulators.
+// cycle, the conventional discipline for cycle-level simulators. When the
+// machine is provably idle, the clock first fast-forwards over the cycles
+// in which no stage could make progress (see fastForward).
 func (p *Processor) step() {
+	if !p.reference {
+		p.fastForward()
+	}
 	p.cycle++
 	p.stats.Cycles = p.cycle
 	p.maybeRemap()
@@ -29,21 +34,111 @@ func (p *Processor) step() {
 	p.fetchStage()
 }
 
+// fastForward jumps the clock to just before the next scheduled event when
+// the coming cycles cannot change machine state:
+//
+//   - no issue-queue ready list has an entry (nothing to issue),
+//   - no pipeline can dispatch: its fetch buffer is empty, or the head is
+//     provably blocked — owning thread's ROB full, target queue full, or
+//     the shared register file exhausted,
+//   - no ROB head has completed (nothing to commit),
+//   - no thread is fetchable until some known future cycle.
+//
+// Every one of those blockers is lifted only by an event already on the
+// books — a completion, a FLUSH detection, an issue timer, an I-cache fill
+// arriving, or a dynamic-remap boundary — so the intermediate cycles are
+// exactly those the reference stepping would grind through without
+// effect, and skipping them is accounting-identical for every simulated
+// quantity. (The single exception is per-cycle stall-attempt polling
+// counters — regfile.Stats.AllocFails — which by construction count
+// skipped polls; nothing in Results derives from them.) Typical win: a
+// 250-cycle memory stall costs one ring scan instead of 250 full stage
+// sweeps.
+func (p *Processor) fastForward() {
+	// Fast fail for busy cycles: anything issuable or completed-but-
+	// uncommitted means next cycle has work (doneCount == 0 also implies
+	// no ROB head is completed, sparing the per-thread check below).
+	if p.readyCount != 0 || p.doneCount != 0 {
+		return
+	}
+	c := p.cycle
+	for _, b := range p.pipes {
+		if u, ok := b.FetchBuf.Head(); ok {
+			if u.Stage == pipeline.StageSquashed {
+				return // dispatch drains it next cycle
+			}
+			t := p.threads[u.Thread]
+			if !t.rob.Full() && !b.QueueFor(u.Inst.Class).Full() &&
+				(!u.Inst.HasDest() || p.rf.FreeCount() > 0) {
+				return // head dispatches next cycle
+			}
+		}
+	}
+	// limit is the nearest non-ring event; start at the ring horizon (ring
+	// slots only hold events less than ringSize ahead).
+	limit := c + ringSize
+	for _, t := range p.threads {
+		if t.finished {
+			continue
+		}
+		if t.pipe >= 0 && t.flushStalled == nil && !t.wrongPathPC &&
+			!p.pipes[t.pipe].FetchBuf.Full() {
+			if t.fetchReadyAt <= c+1 {
+				return // fetch engine can pick this thread next cycle
+			}
+			if t.fetchReadyAt < limit {
+				limit = t.fetchReadyAt
+			}
+		}
+	}
+	if p.remapInterval != 0 {
+		if next := (c/p.remapInterval + 1) * p.remapInterval; next < limit {
+			limit = next
+		}
+	}
+	target := limit
+	for cc := c + 1; cc < limit; cc++ {
+		s := cc % ringSize
+		if len(p.completions[s]) != 0 || len(p.flushAt[s]) != 0 || len(p.issueTimers[s]) != 0 {
+			target = cc
+			break
+		}
+	}
+	if target > c+1 {
+		p.cycle = target - 1
+	}
+}
+
 // ---------------------------------------------------------------- commit --
 
 // commitStage retires completed instructions in order from each thread's
 // ROB. Each pipeline has Width total commit bandwidth per cycle, shared
 // among its threads; the starting thread rotates for fairness.
 func (p *Processor) commitStage() {
+	if !p.reference && p.doneCount == 0 {
+		return // nothing has completed since the last commit
+	}
 	for _, b := range p.pipes {
 		n := len(b.Threads)
 		if n == 0 {
 			continue
 		}
 		bw := b.Model.Width
-		start := int(p.cycle) % n
+		// Rotation without integer division: n is 1 or 2 in practice, and
+		// the divisions ran every cycle per pipeline.
+		start := 0
+		if n > 1 {
+			start = int(p.cycle % uint64(n))
+		}
 		for k := 0; k < n && bw > 0; k++ {
-			t := p.threads[b.Threads[(start+k)%n]]
+			idx := start + k
+			if idx >= n {
+				idx -= n
+			}
+			t := p.threads[b.Threads[idx]]
+			if !p.reference && t.doneUops == 0 {
+				continue // ROB head cannot be completed
+			}
 			for bw > 0 && !t.finished {
 				u, ok := t.rob.Head()
 				if !ok || u.Stage != pipeline.StageDone {
@@ -70,6 +165,8 @@ func (p *Processor) commitOne(t *thread, u *pipeline.UOp) {
 		p.rf.Release(u.DestPhys)
 	}
 	u.Stage = pipeline.StageCommitted
+	p.doneCount--
+	t.doneUops--
 	t.rob.PopHead()
 	if p.commitHook != nil {
 		p.commitHook(t.id, u.Inst)
@@ -79,6 +176,7 @@ func (p *Processor) commitOne(t *thread, u *pipeline.UOp) {
 	t.retireTrim(u.Inst.Seq)
 	if t.target > 0 && t.committed >= t.target {
 		t.finished = true
+		p.anyFinished = true
 	}
 	p.releaseUOp(u)
 }
@@ -103,12 +201,21 @@ func (p *Processor) writebackStage() {
 
 	for _, u := range p.completions[slot] {
 		if u.Stage != pipeline.StageIssued {
-			continue // squashed while executing
+			// Squashed while executing. The completion event is the last
+			// reference to the record — its FLUSH-detect event, if any,
+			// fired strictly earlier (detect latency < completion latency)
+			// — so it can be recycled here rather than leak to the GC.
+			if u.Stage == pipeline.StageSquashed {
+				p.releaseUOp(u)
+			}
+			continue
 		}
 		u.Stage = pipeline.StageDone
+		p.doneCount++
 		t := p.threads[u.Thread]
+		t.doneUops++
 		if u.DestPhys != regfile.None {
-			p.rf.SetReady(u.DestPhys)
+			p.wakeReg(u.DestPhys)
 		}
 		if u.Inst.Class.IsLoad() {
 			t.inflightLoads--
@@ -199,6 +306,10 @@ func (p *Processor) squashUOp(t *thread, u *pipeline.UOp) {
 		// itself drains at dispatch.
 		t.icount--
 	case pipeline.StageDispatched:
+		p.unwatch(u)
+		if u.InReady {
+			p.readyCount--
+		}
 		p.pipes[u.Pipe].QueueFor(u.Inst.Class).Remove(u)
 		u.ReadSources(p.rf) // drop reader references
 		if u.Inst.HasDest() {
@@ -209,6 +320,10 @@ func (p *Processor) squashUOp(t *thread, u *pipeline.UOp) {
 	case pipeline.StageIssued, pipeline.StageDone:
 		// Sources were read at issue. The completion event, if still
 		// pending, sees StageSquashed and is ignored.
+		if u.Stage == pipeline.StageDone {
+			p.doneCount--
+			t.doneUops--
+		}
 		if u.Inst.HasDest() {
 			t.renameMap.Squash(u)
 			p.rf.Release(u.DestPhys)
@@ -229,6 +344,82 @@ func (p *Processor) squashUOp(t *thread, u *pipeline.UOp) {
 	u.Stage = pipeline.StageSquashed
 	t.stats.Squashed++
 	p.stats.TotalSquashed++
+}
+
+// ------------------------------------------------------------------ wake --
+
+// waiter is one pending wakeup subscription: dispatched uop u is waiting
+// for the value of its source operand slot src.
+type waiter struct {
+	u   *pipeline.UOp
+	src int8
+}
+
+// wakeReg marks physical register ph produced and wakes the dispatched
+// consumers waiting on it: each one's outstanding-source count drops, and
+// a consumer whose last source just resolved becomes issuable — now, when
+// its front-end delay has already elapsed, or at IssueAt via a timer ring
+// entry when the value arrived early.
+func (p *Processor) wakeReg(ph int) {
+	p.rf.SetReady(ph)
+	ws := p.waiters[ph]
+	for _, w := range ws {
+		u := w.u
+		u.Waiting[w.src] = false
+		u.WaitCount--
+		if u.WaitCount == 0 {
+			p.scheduleIssuable(u)
+		}
+	}
+	p.waiters[ph] = ws[:0]
+}
+
+// scheduleIssuable routes a uop whose operands are all available to the
+// ready list — immediately when cycle ≥ IssueAt, otherwise via the issue
+// timer ring at IssueAt. Distances are bounded by frontLatency +
+// RegAccessLatency - 1, validated against ringSize at construction.
+func (p *Processor) scheduleIssuable(u *pipeline.UOp) {
+	if u.IssueAt <= p.cycle {
+		p.pushReady(u)
+		return
+	}
+	slot := u.IssueAt % ringSize
+	p.issueTimers[slot] = append(p.issueTimers[slot], u)
+	u.TimerQueued = true
+}
+
+// unwatch unsubscribes a dispatched uop from every wakeup source it is
+// registered with (waiter lists and the issue-timer ring), so squashed
+// records can be recycled without dangling event references. Ready-list
+// membership is cleared by IssueQueue.Remove.
+func (p *Processor) unwatch(u *pipeline.UOp) {
+	for i := range u.Waiting {
+		if !u.Waiting[i] {
+			continue
+		}
+		u.Waiting[i] = false
+		ws := p.waiters[u.Src[i]]
+		for k, w := range ws {
+			if w.u == u && w.src == int8(i) {
+				ws[k] = ws[len(ws)-1]
+				p.waiters[u.Src[i]] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+	u.WaitCount = 0
+	if u.TimerQueued {
+		u.TimerQueued = false
+		slot := u.IssueAt % ringSize
+		ts := p.issueTimers[slot]
+		for k, tu := range ts {
+			if tu == u {
+				ts[k] = ts[len(ts)-1]
+				p.issueTimers[slot] = ts[:len(ts)-1]
+				break
+			}
+		}
+	}
 }
 
 // allocUOp takes a recycled uop record or allocates a fresh one.
@@ -252,13 +443,76 @@ func (p *Processor) releaseUOp(u *pipeline.UOp) {
 // issueStage selects ready instructions from each pipeline's queues
 // (oldest-first, IQ then LQ then FQ) and starts them on functional units,
 // up to the pipeline's width.
+//
+// The optimized path scans only the per-queue ready lists, which the
+// wakeup machinery (wakeReg, the issue-timer ring, dispatch registration)
+// keeps current: a uop appears there exactly when its last source has been
+// produced and its front-end delay has elapsed. Ready lists order by
+// dispatch stamp, so selection is identical to the reference oldest-first
+// scan of every entry. Entries that lose a functional-unit race stay on
+// the list and retry next cycle, exactly as the polling scan would.
 func (p *Processor) issueStage() {
 	c := p.cycle
+	// Fire the front-end delay timers due this cycle. Ring entries are
+	// exactly the uops whose operands resolved before IssueAt (squashes
+	// remove theirs eagerly), so each one becomes issuable now.
+	slot := c % ringSize
+	for _, u := range p.issueTimers[slot] {
+		u.TimerQueued = false
+		p.pushReady(u)
+	}
+	p.issueTimers[slot] = p.issueTimers[slot][:0]
+
+	if p.reference {
+		p.issueScanAll(c)
+		return
+	}
+	if p.readyCount == 0 {
+		return // no queue holds an issuable entry
+	}
+
 	extraRF := uint64(p.cfg.Params.RegAccessLatency - 1)
-	var issued []*pipeline.UOp
+	issued := p.issuedScratch[:0]
 	for _, b := range p.pipes {
 		budget := b.Model.Width
-		for _, q := range [...]*pipeline.IssueQueue{b.IQ, b.LQ, b.FQ} {
+		for _, q := range b.Queues {
+			if budget == 0 {
+				break
+			}
+			if q.ReadyLen() == 0 {
+				continue
+			}
+			issued = issued[:0]
+			for _, u := range q.Ready() {
+				if budget == 0 {
+					break
+				}
+				if !b.Units.TryIssue(u.Inst.Class, c) {
+					continue
+				}
+				p.issueOne(u, c, extraRF)
+				issued = append(issued, u)
+				budget--
+			}
+			for _, u := range issued {
+				p.readyCount--
+				q.Remove(u)
+			}
+		}
+	}
+	p.issuedScratch = issued[:0]
+}
+
+// issueScanAll is the reference issue selection: poll every queue entry,
+// oldest-first, checking operand readiness against the register file. It
+// must stay behaviourally identical to the ready-list path above; the
+// equivalence tests compare full runs under both.
+func (p *Processor) issueScanAll(c uint64) {
+	extraRF := uint64(p.cfg.Params.RegAccessLatency - 1)
+	issued := p.issuedScratch[:0]
+	for _, b := range p.pipes {
+		budget := b.Model.Width
+		for _, q := range b.Queues {
 			if budget == 0 {
 				break
 			}
@@ -283,6 +537,7 @@ func (p *Processor) issueStage() {
 			}
 		}
 	}
+	p.issuedScratch = issued[:0]
 }
 
 func (p *Processor) issueOne(u *pipeline.UOp, c, extraRF uint64) {
@@ -377,7 +632,10 @@ func (p *Processor) dispatchStage() {
 			}
 			u.IssueAt = u.FetchCycle + frontLatency + uint64(p.cfg.Params.RegAccessLatency-1)
 			u.Stage = pipeline.StageDispatched
+			u.DispatchSeq = p.dispatchSeq
+			p.dispatchSeq++
 			q.Add(u)
+			p.watch(u, q)
 			if !t.rob.PushTail(u) {
 				panic("core: ROB overflow after Full check")
 			}
@@ -392,6 +650,32 @@ func (p *Processor) dispatchStage() {
 	}
 }
 
+// watch subscribes a just-dispatched uop to the wakeup source that will
+// make it issuable: a waiter-list entry per source operand still in
+// flight, or — when every operand is already available — the issue-timer
+// ring (the ready list directly when dispatch was held up past IssueAt;
+// issueStage runs before dispatchStage in a cycle, so it is first
+// considered next cycle, exactly like the reference scan).
+func (p *Processor) watch(u *pipeline.UOp, q *pipeline.IssueQueue) {
+	u.WaitCount = 0
+	for i := range u.Src {
+		if ph := u.Src[i]; ph != regfile.None && !p.rf.Ready(ph) {
+			u.WaitCount++
+			u.Waiting[i] = true
+			p.waiters[ph] = append(p.waiters[ph], waiter{u, int8(i)})
+		}
+	}
+	if u.WaitCount == 0 {
+		p.scheduleIssuable(u)
+	}
+}
+
+// pushReady moves a now-issuable uop onto its queue's ready list.
+func (p *Processor) pushReady(u *pipeline.UOp) {
+	p.pipes[u.Pipe].QueueFor(u.Inst.Class).PushReady(u)
+	p.readyCount++
+}
+
 // ----------------------------------------------------------------- fetch --
 
 // fetchStage runs the shared fetch engine: the policy ranks threads, and up
@@ -399,17 +683,24 @@ func (p *Processor) dispatchStage() {
 // their pipelines' decoupling buffers.
 func (p *Processor) fetchStage() {
 	c := p.cycle
+	// Only fetchable threads are ranked (policies ignore the rest), so
+	// states are built for those alone; stalled cycles build none.
 	states := p.stateScratch[:0]
 	for _, t := range p.threads {
-		states = append(states, fetch.ThreadState{
-			ID:            t.id,
-			Fetchable:     t.fetchable(c) && !p.pipes[t.pipe].FetchBuf.Full(),
-			ICount:        t.icount,
-			InflightLoads: t.inflightLoads,
-			PipeWidth:     p.pipes[t.pipe].Model.Width,
-		})
+		if t.fetchable(c) && !p.pipes[t.pipe].FetchBuf.Full() {
+			states = append(states, fetch.ThreadState{
+				ID:            t.id,
+				Fetchable:     true,
+				ICount:        t.icount,
+				InflightLoads: t.inflightLoads,
+				PipeWidth:     p.pipes[t.pipe].Model.Width,
+			})
+		}
 	}
 	p.stateScratch = states
+	if len(states) == 0 {
+		return
+	}
 
 	order := p.policy.Order(p.orderScratch[:0], states)
 	p.orderScratch = order
@@ -443,8 +734,11 @@ func (p *Processor) fetchStage() {
 // instruction, or when the buffer fills.
 func (p *Processor) fetchThread(t *thread, b *pipeline.Backend, c uint64, budget int) int {
 	lineEnd := (t.pc &^ 63) + 64
+	if space := b.FetchBuf.Space(); budget > space {
+		budget = space // hoists the per-instruction Full() check
+	}
 	n := 0
-	for n < budget && t.pc < lineEnd && !b.FetchBuf.Full() {
+	for n < budget && t.pc < lineEnd {
 		u := p.fetchOne(t, c)
 		if u == nil {
 			break // wrong-path fetch escaped the program
@@ -476,17 +770,22 @@ const wrongPathSeedSalt = 0x57505350 // "WPSP"
 // synthesizing a wrong-path instance, and runs branch prediction to advance
 // the fetch PC.
 func (p *Processor) fetchOne(t *thread, c uint64) *pipeline.UOp {
-	var in isa.Instruction
+	// The record is reset field-by-field (sparing a duffzero of the
+	// ~100-byte Inst that is immediately overwritten) and the instruction
+	// written directly into it — one Instruction copy per fetch in total.
+	u := p.allocUOp()
 	if t.wrongPath {
 		st, ok := t.spec.Program.StaticAt(t.pc)
 		if !ok {
 			// Predicted target escaped the program (e.g. an empty-RAS
 			// return prediction): fetch idles until recovery.
 			t.wrongPathPC = true
+			p.releaseUOp(u)
 			return nil
 		}
-		in = trace.Materialize(st, t.spec.Seed^wrongPathSeedSalt, t.spec.DataBase, t.wpCount)
-		in.WrongPath = true
+		u.ResetFor(t.id, t.pipe, t.fetchSeq, c)
+		u.Inst = trace.Materialize(st, t.spec.Seed^wrongPathSeedSalt, t.spec.DataBase, t.wpCount)
+		u.Inst.WrongPath = true
 		t.wpCount++
 	} else {
 		next := t.nextCorrect()
@@ -494,20 +793,11 @@ func (p *Processor) fetchOne(t *thread, c uint64) *pipeline.UOp {
 			panic(fmt.Sprintf("core: thread %d fetch desync: pc=%#x stream=%#x",
 				t.id, t.pc, next.PC))
 		}
-		in = *next
+		u.ResetFor(t.id, t.pipe, t.fetchSeq, c)
+		u.Inst = *next
 		t.advanceCorrect()
 	}
-
-	u := p.allocUOp()
-	*u = pipeline.UOp{
-		Inst:       in,
-		Thread:     t.id,
-		Pipe:       t.pipe,
-		FetchSeq:   t.fetchSeq,
-		FetchCycle: c,
-		DestPhys:   regfile.None,
-		Src:        [2]int{regfile.None, regfile.None},
-	}
+	in := &u.Inst
 	t.fetchSeq++
 
 	if !in.Class.IsControl() {
@@ -515,7 +805,7 @@ func (p *Processor) fetchOne(t *thread, c uint64) *pipeline.UOp {
 		return u
 	}
 
-	predTaken, predTarget, bubble := p.predictControl(t, &in)
+	predTaken, predTarget, bubble := p.predictControl(t, in)
 	u.PredTaken = predTaken
 	u.PredTarget = predTarget
 	if !in.WrongPath {

@@ -48,13 +48,14 @@ func (p *Processor) maybeRemap() {
 	if p.remapInterval == 0 || p.cycle%p.remapInterval != 0 {
 		return
 	}
-	misses := make([]uint64, len(p.threads))
-	current := make([]int, len(p.threads))
-	for i, t := range p.threads {
-		misses[i] = t.stats.LoadMisses - t.remapMissBase
+	misses := p.remapMisses[:0]
+	current := p.remapPipes[:0]
+	for _, t := range p.threads {
+		misses = append(misses, t.stats.LoadMisses-t.remapMissBase)
 		t.remapMissBase = t.stats.LoadMisses
-		current[i] = t.pipe
+		current = append(current, t.pipe)
 	}
+	p.remapMisses, p.remapPipes = misses, current
 	want := p.remapper(misses, current)
 	if len(want) != len(p.threads) {
 		panic(fmt.Sprintf("core: remapper returned %d placements for %d threads", len(want), len(p.threads)))

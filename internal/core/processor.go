@@ -46,6 +46,36 @@ type Processor struct {
 	// ring must out-span the longest possible completion latency.
 	completions [ringSize][]*pipeline.UOp
 	flushAt     [ringSize][]*pipeline.UOp
+	// issueTimers schedules dispatched uops at their IssueAt cycle (the
+	// front-end depth plus register-read delay): the third event source of
+	// the wakeup scheduler, alongside completions and FLUSH detections.
+	issueTimers [ringSize][]*pipeline.UOp
+
+	// waiters holds, per physical register, the dispatched consumers still
+	// waiting for its value. writebackStage drains a register's list when
+	// the value is produced, waking each consumer exactly once — the
+	// event-driven replacement for polling every queue entry per cycle.
+	waiters [][]waiter
+
+	// dispatchSeq stamps uops in dispatch order; issue-queue ready lists
+	// sort by it so wakeup-order arrivals still issue oldest-first.
+	dispatchSeq uint64
+
+	// Occupancy counters for O(1) stage skipping on the optimized path:
+	// readyCount tracks entries across all issue-queue ready lists,
+	// doneCount tracks completed-but-uncommitted uops. When either is
+	// zero the corresponding stage provably has no work this cycle.
+	readyCount int
+	doneCount  int
+
+	// anyFinished is set at the commit that makes a thread reach its
+	// target, so the run loop avoids a per-step scan of every thread.
+	anyFinished bool
+
+	// reference selects the naive stepping path (per-cycle polling of all
+	// issue-queue entries, no idle-cycle fast-forward). Simulated behaviour
+	// is bit-identical to the optimized path; tests assert it.
+	reference bool
 
 	// freeUOps recycles retired/squashed uop records (never ones that a
 	// pending event ring entry may still reference).
@@ -61,8 +91,11 @@ type Processor struct {
 	migrations    uint64
 
 	// Scratch reused across cycles to avoid per-cycle allocation.
-	orderScratch []int
-	stateScratch []fetch.ThreadState
+	orderScratch  []int
+	stateScratch  []fetch.ThreadState
+	issuedScratch []*pipeline.UOp
+	remapMisses   []uint64
+	remapPipes    []int
 
 	// Warm-up: instructions each thread retires before measurement starts.
 	warmup     uint64
@@ -105,6 +138,23 @@ func WithWarmup(n uint64) Option {
 // of squashes, flushes and replays.
 func WithCommitHook(fn func(thread int, in isa.Instruction)) Option {
 	return func(pr *Processor) { pr.commitHook = fn }
+}
+
+// WithHierarchy overrides the memory subsystem (default: the paper's
+// Table 1 hierarchy). Latency parameters are validated against the event
+// ring at construction.
+func WithHierarchy(h *cache.Hierarchy) Option {
+	return func(pr *Processor) { pr.hier = h }
+}
+
+// WithReferenceStepping selects the naive stepping path: issueStage polls
+// every issue-queue entry every cycle and idle cycles are stepped one by
+// one, as the simulator did before the event-driven wakeup scheduler. The
+// simulated machine behaves bit-identically in both modes (asserted by the
+// equivalence tests); the reference path exists as the oracle for those
+// tests and for before/after performance measurement.
+func WithReferenceStepping() Option {
+	return func(pr *Processor) { pr.reference = true }
 }
 
 // WithPolicy overrides the fetch policy (the default follows the paper:
@@ -168,6 +218,56 @@ func New(cfg config.Microarch, specs []ThreadSpec, mapping []int, opts ...Option
 	}
 	for _, o := range opts {
 		o(p)
+	}
+
+	// The event rings must out-span every schedulable distance, or slots
+	// would silently wrap onto earlier cycles. The completion path already
+	// guards per-event (issueOne panics); the FLUSH-detect and issue-timer
+	// distances are fixed by construction parameters, so validate them here
+	// instead of wrapping silently at run time.
+	if d := p.hier.L2DetectLatency(); d <= 0 || d >= ringSize {
+		return nil, fmt.Errorf("core: FLUSH L2-miss detect latency %d outside event ring (0, %d)", d, ringSize)
+	}
+	if d := frontLatency + cfg.Params.RegAccessLatency - 1; d <= 0 || d >= ringSize {
+		return nil, fmt.Errorf("core: front-end issue delay %d outside event ring (0, %d)", d, ringSize)
+	}
+	p.waiters = make([][]waiter, p.rf.Size())
+	waiterBacking := make([]waiter, 4*p.rf.Size())
+	for i := range p.waiters {
+		p.waiters[i] = waiterBacking[i*4 : i*4 : (i+1)*4]
+	}
+
+	// Pre-warm the uop pool from one contiguous backing array sized to the
+	// machine's peak in-flight population (every ROB slot plus every fetch
+	// buffer slot, with slack for squashed records awaiting their pending
+	// completion event). Contiguity keeps the hot commit/issue pointer
+	// chases within a compact region; allocUOp falls back to the heap in
+	// the rare case the pool runs dry.
+	poolSize := len(p.threads)*cfg.Params.ROBPerThread + 256
+	for _, b := range p.pipes {
+		poolSize += b.FetchBuf.Cap()
+	}
+	backing := make([]pipeline.UOp, poolSize)
+	p.freeUOps = make([]*pipeline.UOp, 0, poolSize)
+	for i := poolSize - 1; i >= 0; i-- {
+		p.freeUOps = append(p.freeUOps, &backing[i])
+	}
+
+	// Pre-size the event-ring slots from one backing array. Per-slot
+	// occupancy usually stays in single digits; seeding capacity keeps
+	// steady-state stepping allocation-free instead of trickling growth
+	// events for the whole run as rare occupancy peaks are discovered.
+	const slotCap = 16
+	ringBacking := make([]*pipeline.UOp, 3*ringSize*slotCap)
+	next := func() []*pipeline.UOp {
+		s := ringBacking[:0:slotCap]
+		ringBacking = ringBacking[slotCap:]
+		return s
+	}
+	for i := range p.completions {
+		p.completions[i] = next()
+		p.flushAt[i] = next()
+		p.issueTimers[i] = next()
 	}
 	return p, nil
 }
@@ -256,14 +356,7 @@ func (p *Processor) Run(maxPerThread uint64) (Results, error) {
 
 	for {
 		p.step()
-		done := false
-		for _, t := range p.threads {
-			if t.finished {
-				done = true
-				break
-			}
-		}
-		if done {
+		if p.anyFinished {
 			break
 		}
 		if p.cycle > cycleCap {

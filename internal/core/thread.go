@@ -55,6 +55,7 @@ type thread struct {
 	remapMissBase uint64 // LoadMisses at the last remap interval
 	icount        int    // instructions in pre-issue stages
 	inflightLoads int    // loads fetched but not completed
+	doneUops      int    // completed-but-uncommitted uops in this ROB
 	committed     uint64
 	target        uint64 // finish when committed reaches this (0 = never)
 	finished      bool
@@ -90,8 +91,15 @@ func newThread(id int, spec ThreadSpec, robSize int) *thread {
 // it; advanceCorrect consumes it. The pair lets fetch inspect the head.
 func (t *thread) nextCorrect() *isa.Instruction {
 	if t.cursor == len(t.buf) {
-		in, _ := t.stream.Next()
-		t.buf = append(t.buf, in)
+		// Extend in place and generate directly into the new slot (one
+		// instruction copy instead of three on the replay-fill path).
+		n := len(t.buf)
+		if n == cap(t.buf) {
+			t.buf = append(t.buf, isa.Instruction{})
+		} else {
+			t.buf = t.buf[:n+1]
+		}
+		t.stream.NextInto(&t.buf[n])
 	}
 	return &t.buf[t.cursor]
 }
@@ -115,8 +123,11 @@ func (t *thread) rewindTo(seq uint64) {
 
 // retireTrim drops committed instructions from the replay buffer. Trimming
 // is batched so the slice shift cost amortizes to O(1) per instruction.
+// The batch is sized to keep the buffer (ROB depth + batch) small enough
+// that per-run growth does not dominate the simulator's heap allocation,
+// while the amortized shift stays well under one entry copy per commit.
 func (t *thread) retireTrim(committedSeq uint64) {
-	const trimBatch = 4096
+	const trimBatch = 1024
 	keepFrom := committedSeq + 1
 	if keepFrom < t.bufBase+trimBatch {
 		return

@@ -17,8 +17,6 @@
 //     ICOUNT.
 package fetch
 
-import "sort"
-
 // ThreadState is the per-thread information a policy ranks on. The core
 // fills one per active thread each cycle.
 type ThreadState struct {
@@ -38,28 +36,31 @@ type Policy interface {
 }
 
 // orderBy sorts fetchable thread IDs by the given less function, breaking
-// exact ties by thread ID for determinism.
+// exact ties by thread ID for determinism. It runs once per simulated
+// cycle, so it allocates nothing: hardware thread counts are single-digit,
+// making an insertion sort over indices both the fastest and the simplest
+// choice (the comparison plus the ID tie-break forms a strict total
+// order, so the result is identical to a stable library sort).
 func orderBy(dst []int, threads []ThreadState, less func(a, b *ThreadState) bool) []int {
 	start := len(dst)
-	idx := make(map[int]*ThreadState, len(threads))
 	for i := range threads {
-		t := &threads[i]
-		if t.Fetchable {
-			dst = append(dst, t.ID)
-			idx[t.ID] = t
+		if threads[i].Fetchable {
+			dst = append(dst, i)
 		}
 	}
 	sel := dst[start:]
-	sort.SliceStable(sel, func(i, j int) bool {
-		a, b := idx[sel[i]], idx[sel[j]]
-		if less(a, b) {
-			return true
+	for i := 1; i < len(sel); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &threads[sel[j-1]], &threads[sel[j]]
+			if !less(b, a) && (less(a, b) || a.ID < b.ID) {
+				break
+			}
+			sel[j-1], sel[j] = sel[j], sel[j-1]
 		}
-		if less(b, a) {
-			return false
-		}
-		return a.ID < b.ID
-	})
+	}
+	for i, k := range sel {
+		sel[i] = threads[k].ID
+	}
 	return dst
 }
 

@@ -1,0 +1,53 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport("unit")
+	if _, err := r.Measure("cell", "reference", func() (uint64, uint64, error) {
+		return 1_000_000, 2_000_000, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Measure("cell", "optimized", func() (uint64, uint64, error) {
+		return 1_000_000, 2_000_000, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.ComputeSpeedups()
+	if _, ok := r.Speedup["cell"]; !ok {
+		t.Fatal("speedup not computed")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != "unit" || len(got.Samples) != 2 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	for _, s := range got.Samples {
+		if s.MIPS <= 0 || s.Instructions != 1_000_000 {
+			t.Fatalf("bad sample: %+v", s)
+		}
+	}
+}
+
+func TestMeasureError(t *testing.T) {
+	r := NewReport("unit")
+	if _, err := r.Measure("cell", "optimized", func() (uint64, uint64, error) {
+		return 0, 0, filepath.ErrBadPattern
+	}); err == nil {
+		t.Fatal("error not propagated")
+	}
+	if len(r.Samples) != 0 {
+		t.Fatal("failed measurement recorded a sample")
+	}
+}

@@ -12,11 +12,29 @@ import (
 // IssueQueue is one private issue queue (IQ, FQ or LQ): a bounded set of
 // dispatched uops awaiting operands and a functional unit. Entries keep
 // dispatch order so the oldest ready instruction issues first.
+//
+// The slot array is index-tracked with tombstones: each entry records its
+// position in UOp.QIdx, so Remove is O(1) (nil the slot) with periodic
+// compaction amortizing to O(1) per removal while iteration order stays
+// oldest-first. Alongside the slots the queue keeps a ready list — the
+// dispatched entries whose operands are all available and whose front-end
+// delay has elapsed — ordered by DispatchSeq, which within one queue is
+// dispatch order. The core's wakeup logic moves entries onto the ready
+// list exactly when their last dependency resolves, so the per-cycle issue
+// scan touches only issuable work.
 type IssueQueue struct {
 	kind  isa.Queue
-	slots []*UOp
+	slots []*UOp // dispatch order; nil entries are tombstones
+	n     int    // live (non-tombstone) entries
+	dead  int    // tombstones awaiting compaction
 	cap   int
-	stats IQStats
+	// ready holds the issuable entries in ascending DispatchSeq; the live
+	// window is ready[readyHead:]. The head index makes the two dominant
+	// operations O(1): the oldest entry issuing (pop-front) and a young
+	// entry waking (append at the tail).
+	ready     []*UOp
+	readyHead int
+	stats     IQStats
 }
 
 // IQStats aggregates queue pressure.
@@ -30,20 +48,25 @@ func NewIssueQueue(kind isa.Queue, capacity int) *IssueQueue {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("pipeline: %v capacity %d must be positive", kind, capacity))
 	}
-	return &IssueQueue{kind: kind, slots: make([]*UOp, 0, capacity), cap: capacity}
+	return &IssueQueue{
+		kind:  kind,
+		slots: make([]*UOp, 0, capacity),
+		ready: make([]*UOp, 0, capacity),
+		cap:   capacity,
+	}
 }
 
 // Kind returns which of IQ/FQ/LQ this queue is.
 func (q *IssueQueue) Kind() isa.Queue { return q.kind }
 
 // Len returns the number of occupied entries.
-func (q *IssueQueue) Len() int { return len(q.slots) }
+func (q *IssueQueue) Len() int { return q.n }
 
 // Cap returns the capacity.
 func (q *IssueQueue) Cap() int { return q.cap }
 
 // Full reports whether no entry is free.
-func (q *IssueQueue) Full() bool { return len(q.slots) >= q.cap }
+func (q *IssueQueue) Full() bool { return q.n >= q.cap }
 
 // Stats returns accumulated statistics.
 func (q *IssueQueue) Stats() IQStats { return q.stats }
@@ -54,35 +77,143 @@ func (q *IssueQueue) Add(u *UOp) bool {
 		q.stats.FullStalls++
 		return false
 	}
+	u.QIdx = len(q.slots)
 	q.slots = append(q.slots, u)
+	q.n++
 	q.stats.Dispatches++
 	return true
 }
 
-// Remove deletes u, preserving the order of the remaining entries.
+// Remove deletes u, preserving the order of the remaining entries. The slot
+// becomes a tombstone; compaction runs once tombstones outnumber live
+// entries, so removal is O(1) amortized. A ready-list entry, if any, is
+// dropped too.
 func (q *IssueQueue) Remove(u *UOp) {
-	for i, s := range q.slots {
-		if s == u {
-			copy(q.slots[i:], q.slots[i+1:])
-			q.slots = q.slots[:len(q.slots)-1]
-			return
+	if u.QIdx < 0 || u.QIdx >= len(q.slots) || q.slots[u.QIdx] != u {
+		panic(fmt.Sprintf("pipeline: removing uop pc=%#x not in %v", u.Inst.PC, q.kind))
+	}
+	q.slots[u.QIdx] = nil
+	u.QIdx = -1
+	q.n--
+	q.dead++
+	if u.InReady {
+		q.RemoveReady(u)
+	}
+	if q.dead > q.n {
+		q.compact()
+	}
+}
+
+// compact squeezes tombstones out of the slot array in place.
+func (q *IssueQueue) compact() {
+	w := 0
+	for _, s := range q.slots {
+		if s != nil {
+			s.QIdx = w
+			q.slots[w] = s
+			w++
 		}
 	}
-	panic(fmt.Sprintf("pipeline: removing uop pc=%#x not in %v", u.Inst.PC, q.kind))
+	q.slots = q.slots[:w]
+	q.dead = 0
 }
 
 // Do calls fn over the entries oldest-first; fn returning false stops early.
 // fn must not add or remove entries; collect removals and apply after.
 func (q *IssueQueue) Do(fn func(u *UOp) bool) {
 	for _, s := range q.slots {
-		if !fn(s) {
+		if s != nil && !fn(s) {
 			return
 		}
 	}
 }
 
+// PushReady links u into the ready list, keeping it sorted by DispatchSeq
+// (dispatch order within a queue), so selection order matches an
+// oldest-first scan of the slots. It is a no-op when u is already linked.
+// The common case — u younger than every current entry — is an append.
+func (q *IssueQueue) PushReady(u *UOp) {
+	if u.InReady {
+		return
+	}
+	u.InReady = true
+	if q.readyHead == len(q.ready) {
+		q.ready = q.ready[:0]
+		q.readyHead = 0
+	} else if len(q.ready) == cap(q.ready) && q.readyHead > 0 {
+		// Slide the live window back to the front before appending, so
+		// the backing array stays bounded by the peak live count instead
+		// of growing with every pop-front while the list is non-empty.
+		n := copy(q.ready, q.ready[q.readyHead:])
+		q.ready = q.ready[:n]
+		q.readyHead = 0
+	}
+	if n := len(q.ready); n == q.readyHead || q.ready[n-1].DispatchSeq < u.DispatchSeq {
+		q.ready = append(q.ready, u)
+		return
+	}
+	live := q.ready[q.readyHead:]
+	lo, hi := 0, len(live)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if live[mid].DispatchSeq > u.DispatchSeq {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	q.ready = append(q.ready, nil)
+	live = q.ready[q.readyHead:]
+	copy(live[lo+1:], live[lo:])
+	live[lo] = u
+}
+
+// RemoveReady unlinks u from the ready list. The common case — the oldest
+// entry, just issued — is a head-index bump.
+func (q *IssueQueue) RemoveReady(u *UOp) {
+	if !u.InReady {
+		return
+	}
+	u.InReady = false
+	if q.ready[q.readyHead] == u {
+		q.readyHead++
+		if q.readyHead == len(q.ready) {
+			q.ready = q.ready[:0]
+			q.readyHead = 0
+		}
+		return
+	}
+	live := q.ready[q.readyHead:]
+	lo, hi := 0, len(live)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if live[mid].DispatchSeq >= u.DispatchSeq {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= len(live) || live[lo] != u {
+		panic(fmt.Sprintf("pipeline: ready-list entry pc=%#x missing from %v", u.Inst.PC, q.kind))
+	}
+	copy(live[lo:], live[lo+1:])
+	q.ready = q.ready[:len(q.ready)-1]
+}
+
+// Ready returns the ready list, oldest-first. Callers must not mutate it;
+// collect removals during iteration and apply them after.
+func (q *IssueQueue) Ready() []*UOp { return q.ready[q.readyHead:] }
+
+// ReadyLen returns the number of issuable entries.
+func (q *IssueQueue) ReadyLen() int { return len(q.ready) - q.readyHead }
+
 // Clear drops all entries.
-func (q *IssueQueue) Clear() { q.slots = q.slots[:0] }
+func (q *IssueQueue) Clear() {
+	q.slots = q.slots[:0]
+	q.ready = q.ready[:0]
+	q.n, q.dead = 0, 0
+	q.readyHead = 0
+}
 
 // Backend is one pipeline's private back end: decoupling buffer, issue
 // queues and functional units. The pipeline's width bounds dispatch, issue
@@ -98,7 +229,10 @@ type Backend struct {
 	FetchBuf *queue.Deque[*UOp]
 
 	IQ, FQ, LQ *IssueQueue
-	Units      *funit.Pool
+	// Queues lists the issue queues in selection order (IQ, LQ, FQ),
+	// prebuilt so the per-cycle issue scan does not rebuild the set.
+	Queues [3]*IssueQueue
+	Units  *funit.Pool
 
 	// Threads holds the global IDs of threads mapped to this pipeline.
 	Threads []int
@@ -111,7 +245,7 @@ func NewBackend(index int, m config.Model, fetchWidth int) *Backend {
 	if bufSize == 0 {
 		bufSize = fetchWidth
 	}
-	return &Backend{
+	b := &Backend{
 		Model:    m,
 		Index:    index,
 		FetchBuf: queue.New[*UOp](bufSize),
@@ -120,6 +254,8 @@ func NewBackend(index int, m config.Model, fetchWidth int) *Backend {
 		LQ:       NewIssueQueue(isa.LQ, m.LQ),
 		Units:    funit.NewPool(m.IntUnits, m.FPUnits, m.LdStUnits),
 	}
+	b.Queues = [3]*IssueQueue{b.IQ, b.LQ, b.FQ}
+	return b
 }
 
 // QueueFor returns this backend's queue for instruction class c.

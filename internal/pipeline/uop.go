@@ -79,6 +79,52 @@ type UOp struct {
 
 	// FlushMiss marks a load the FLUSH mechanism has acted on.
 	FlushMiss bool
+
+	// Wakeup state, maintained by the core's event-driven issue scheduler
+	// while the uop is dispatched. DispatchSeq is a processor-global stamp
+	// that orders ready-list selection identically to queue (dispatch)
+	// order; QIdx is the uop's index in its issue queue's slot array,
+	// making removal O(1). WaitCount counts source operands not yet
+	// produced; Waiting[i] records that a waiter-list entry exists for
+	// Src[i]; TimerQueued records a pending issue-timer ring entry (only
+	// uops whose operands resolve before IssueAt need one); InReady
+	// records membership in the queue's ready list.
+	DispatchSeq uint64
+	QIdx        int
+	WaitCount   int8
+	Waiting     [2]bool
+	TimerQueued bool
+	InReady     bool
+}
+
+// ResetFor reinitializes a recycled record for a fresh fetch of the given
+// thread/pipe at the given fetch order and cycle. Every field except Inst
+// is reset (the caller assigns Inst immediately after, so zeroing it first
+// would be wasted work on the simulator's hottest allocation path).
+func (u *UOp) ResetFor(thread, pipe int, fetchSeq, fetchCycle uint64) {
+	u.Thread = thread
+	u.Pipe = pipe
+	u.FetchSeq = fetchSeq
+	u.FetchCycle = fetchCycle
+	u.PredTaken = false
+	u.PredTarget = 0
+	u.Mispredict = false
+	u.DestPhys = regfile.None
+	u.Src = [2]int{regfile.None, regfile.None}
+	u.SrcRead = [2]bool{}
+	u.PrevWriter = nil
+	u.NextWriter = nil
+	u.Stage = StageFetched
+	u.Queue = 0
+	u.IssueAt = 0
+	u.DoneCycle = 0
+	u.FlushMiss = false
+	u.DispatchSeq = 0
+	u.QIdx = 0
+	u.WaitCount = 0
+	u.Waiting = [2]bool{}
+	u.TimerQueued = false
+	u.InReady = false
 }
 
 // Ready reports whether both sources are available in rf.

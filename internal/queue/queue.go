@@ -38,12 +38,23 @@ func (d *Deque[T]) Empty() bool { return d.n == 0 }
 // Space returns the number of free slots.
 func (d *Deque[T]) Space() int { return len(d.buf) - d.n }
 
+// idx wraps a logical offset in [0, 2·cap) onto the ring. A conditional
+// subtract replaces the integer division of a modulo: deque operations run
+// on every simulated cycle (ROB, fetch buffers), where the division was
+// measurable.
+func (d *Deque[T]) idx(i int) int {
+	if i >= len(d.buf) {
+		i -= len(d.buf)
+	}
+	return i
+}
+
 // PushTail appends x at the tail (youngest end); it reports false when full.
 func (d *Deque[T]) PushTail(x T) bool {
 	if d.Full() {
 		return false
 	}
-	d.buf[(d.head+d.n)%len(d.buf)] = x
+	d.buf[d.idx(d.head+d.n)] = x
 	d.n++
 	return true
 }
@@ -56,7 +67,7 @@ func (d *Deque[T]) PopHead() (T, bool) {
 	}
 	x := d.buf[d.head]
 	d.buf[d.head] = zero // release references for GC
-	d.head = (d.head + 1) % len(d.buf)
+	d.head = d.idx(d.head + 1)
 	d.n--
 	return x, true
 }
@@ -67,7 +78,7 @@ func (d *Deque[T]) PopTail() (T, bool) {
 	if d.n == 0 {
 		return zero, false
 	}
-	i := (d.head + d.n - 1) % len(d.buf)
+	i := d.idx(d.head + d.n - 1)
 	x := d.buf[i]
 	d.buf[i] = zero
 	d.n--
@@ -89,7 +100,7 @@ func (d *Deque[T]) Tail() (T, bool) {
 	if d.n == 0 {
 		return zero, false
 	}
-	return d.buf[(d.head+d.n-1)%len(d.buf)], true
+	return d.buf[d.idx(d.head+d.n-1)], true
 }
 
 // At returns the element at logical position i, where 0 is the oldest.
@@ -98,7 +109,7 @@ func (d *Deque[T]) At(i int) T {
 	if i < 0 || i >= d.n {
 		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, d.n))
 	}
-	return d.buf[(d.head+i)%len(d.buf)]
+	return d.buf[d.idx(d.head+i)]
 }
 
 // SetAt replaces the element at logical position i (0 = oldest).
@@ -106,14 +117,14 @@ func (d *Deque[T]) SetAt(i int, x T) {
 	if i < 0 || i >= d.n {
 		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, d.n))
 	}
-	d.buf[(d.head+i)%len(d.buf)] = x
+	d.buf[d.idx(d.head+i)] = x
 }
 
 // Clear removes all elements.
 func (d *Deque[T]) Clear() {
 	var zero T
 	for i := 0; i < d.n; i++ {
-		d.buf[(d.head+i)%len(d.buf)] = zero
+		d.buf[d.idx(d.head+i)] = zero
 	}
 	d.head, d.n = 0, 0
 }
@@ -122,7 +133,7 @@ func (d *Deque[T]) Clear() {
 // returns false.
 func (d *Deque[T]) Do(fn func(i int, x T) bool) {
 	for i := 0; i < d.n; i++ {
-		if !fn(i, d.buf[(d.head+i)%len(d.buf)]) {
+		if !fn(i, d.buf[d.idx(d.head+i)]) {
 			return
 		}
 	}

@@ -150,10 +150,17 @@ func (f *File) maybeFree(p int) {
 	}
 }
 
+// check stays small enough to inline into the per-uop hot path; the
+// panic formatting lives in badReg so it does not count against the
+// inlining budget.
 func (f *File) check(p int) {
-	if p < 0 || p >= len(f.regs) {
-		panic(fmt.Sprintf("regfile: register p%d out of range [0,%d)", p, len(f.regs)))
+	if uint(p) >= uint(len(f.regs)) {
+		f.badReg(p)
 	}
+}
+
+func (f *File) badReg(p int) {
+	panic(fmt.Sprintf("regfile: register p%d out of range [0,%d)", p, len(f.regs)))
 }
 
 // InUse returns the number of registers not on the free list (live or

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"hdsmt/internal/config"
+	"hdsmt/internal/core"
+	"hdsmt/internal/engine"
+	"hdsmt/internal/workload"
+)
+
+// sweepArtifacts runs a small BEST/HEUR/WORST sweep and returns its two
+// export artifacts: the JSON encoding of the measurements (what the job
+// server returns for a sweep) and the per-workload CSV.
+func sweepArtifacts(t *testing.T, reference bool) (jsonOut, csvOut []byte) {
+	t.Helper()
+	if reference {
+		testCoreOptions = []core.Option{core.WithReferenceStepping()}
+		defer func() { testCoreOptions = nil }()
+	}
+	r, err := NewRunner(engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	cells := []SweepCell{
+		{Cfg: config.MustParse("M8"), W: workload.MustByName("2W4")},
+		{Cfg: config.MustParse("2M4+2M2"), W: workload.MustByName("2W7")},
+	}
+	opt := Options{Budget: 4_000, Warmup: 1_000, OracleBudget: 2_000, MaxOracle: 6}
+	ms, err := r.EvaluateAll(context.Background(), cells, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fig := FigResult{
+		Title:   "equivalence",
+		Type:    workload.MIX,
+		Configs: []string{"M8", "2M4+2M2"},
+		Groups:  []string{"2T"},
+		Values:  map[string]map[string]Cell{},
+		PerWorkload: map[string]map[string]Measurement{
+			"M8":      {"2W4": ms[0]},
+			"2M4+2M2": {"2W7": ms[1]},
+		},
+	}
+	fig.Values["M8"] = map[string]Cell{"2T": {Best: ms[0].Best, Heur: ms[0].Heur, Worst: ms[0].Worst}}
+	fig.Values["2M4+2M2"] = map[string]Cell{"2T": {Best: ms[1].Best, Heur: ms[1].Heur, Worst: ms[1].Worst}}
+	var csvBuf bytes.Buffer
+	if err := fig.WritePerWorkloadCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	return j, csvBuf.Bytes()
+}
+
+// TestSweepJSONEquivalence pins the PR's headline correctness claim at the
+// harness level: a BEST/HEUR/WORST sweep — heuristic mapping, oracle
+// enumeration, engine fan-out and export included — produces byte-identical
+// JSON and CSV whether the cores step with the event-driven wakeup and
+// idle-cycle fast-forward or with the naive reference path.
+func TestSweepJSONEquivalence(t *testing.T) {
+	optJSON, optCSV := sweepArtifacts(t, false)
+	refJSON, refCSV := sweepArtifacts(t, true)
+	if !bytes.Equal(optJSON, refJSON) {
+		t.Errorf("sweep JSON diverges between optimized and reference stepping:\noptimized:\n%s\nreference:\n%s", optJSON, refJSON)
+	}
+	if !bytes.Equal(optCSV, refCSV) {
+		t.Errorf("sweep CSV diverges between optimized and reference stepping:\noptimized:\n%s\nreference:\n%s", optCSV, refCSV)
+	}
+}

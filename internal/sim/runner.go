@@ -47,6 +47,11 @@ func (r *Runner) Stats() engine.Stats { return r.eng.Stats() }
 // Engine returns the underlying engine (for direct Submit access).
 func (r *Runner) Engine() *engine.Engine { return r.eng }
 
+// testCoreOptions, when non-empty, is appended to every simulation's
+// processor options. Equivalence tests use it to force the reference
+// stepping path (core.WithReferenceStepping) under entire sweeps.
+var testCoreOptions []core.Option
+
 // simulate is the engine's runner function: it executes one request with
 // the core simulator. It is deterministic — a requirement of the engine's
 // memoization — because the core is (fixed seeds, no wall-clock input).
@@ -58,7 +63,7 @@ func simulate(ctx context.Context, req engine.Request) (core.Results, error) {
 	if err != nil {
 		return core.Results{}, err
 	}
-	var opts []core.Option
+	opts := append([]core.Option{}, testCoreOptions...)
 	if req.Warmup > 0 {
 		opts = append(opts, core.WithWarmup(req.Warmup))
 	}

@@ -8,12 +8,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"hdsmt/internal/bench"
 	"hdsmt/internal/config"
 	"hdsmt/internal/core"
 	"hdsmt/internal/engine"
 	"hdsmt/internal/mapping"
+	"hdsmt/internal/trace"
 	"hdsmt/internal/workload"
 )
 
@@ -75,6 +77,31 @@ const (
 	dataStride  = 0x40000000
 )
 
+// progCache memoizes built benchmark programs by (benchmark, code base).
+// A Program is deterministic in those two inputs and immutable after
+// construction (safe for concurrent streams), so every simulation of a
+// sweep can share one instance instead of rebuilding the dictionary per
+// run — construction would otherwise dominate short-budget cells.
+var progCache sync.Map // progKey -> *trace.Program
+
+type progKey struct {
+	name string
+	base uint64
+}
+
+func buildProgram(b bench.Benchmark, base uint64) (*trace.Program, error) {
+	key := progKey{b.Name, base}
+	if p, ok := progCache.Load(key); ok {
+		return p.(*trace.Program), nil
+	}
+	prog, err := b.Build(base)
+	if err != nil {
+		return nil, err
+	}
+	p, _ := progCache.LoadOrStore(key, prog)
+	return p.(*trace.Program), nil
+}
+
 // Specs builds the per-thread specifications for a workload.
 func Specs(w workload.Workload) ([]core.ThreadSpec, error) {
 	bs, err := w.Resolve()
@@ -83,7 +110,7 @@ func Specs(w workload.Workload) ([]core.ThreadSpec, error) {
 	}
 	specs := make([]core.ThreadSpec, len(bs))
 	for i, b := range bs {
-		prog, err := b.Build(uint64(codeBase + i*codeStride + i*codeStagger))
+		prog, err := buildProgram(b, uint64(codeBase+i*codeStride+i*codeStagger))
 		if err != nil {
 			return nil, fmt.Errorf("sim: building %s: %w", b.Name, err)
 		}
@@ -106,8 +133,30 @@ func Run(cfg config.Microarch, w workload.Workload, m mapping.Mapping, opt Optio
 	return runSpecs(cfg, specs, m, opt.Warmup, opt.Budget)
 }
 
-func runSpecs(cfg config.Microarch, specs []core.ThreadSpec, m mapping.Mapping, warmup, budget uint64) (core.Results, error) {
+// RunReference is Run on the core's naive reference stepping path (no
+// event-driven issue wakeup, no idle-cycle fast-forward). Results are
+// bit-identical to Run — the equivalence tests assert it — so its only
+// uses are as the oracle in those tests and as the self-contained baseline
+// of perf trajectory reports (cmd/experiments -perf).
+func RunReference(cfg config.Microarch, w workload.Workload, m mapping.Mapping, opt Options) (core.Results, error) {
+	specs, err := Specs(w)
+	if err != nil {
+		return core.Results{}, err
+	}
 	var opts []core.Option
+	if opt.Warmup > 0 {
+		opts = append(opts, core.WithWarmup(opt.Warmup))
+	}
+	opts = append(opts, core.WithReferenceStepping())
+	p, err := core.New(cfg, specs, m, opts...)
+	if err != nil {
+		return core.Results{}, err
+	}
+	return p.Run(opt.Budget)
+}
+
+func runSpecs(cfg config.Microarch, specs []core.ThreadSpec, m mapping.Mapping, warmup, budget uint64) (core.Results, error) {
+	opts := append([]core.Option{}, testCoreOptions...)
 	if warmup > 0 {
 		opts = append(opts, core.WithWarmup(warmup))
 	}

@@ -111,6 +111,15 @@ type Program struct {
 	minPC  uint64
 	maxPC  uint64
 	nInsts int
+
+	// Successor links by dense instruction index, resolved once at build
+	// time so the correct-path stream follows indices instead of
+	// re-looking PCs up in the dictionary on every dynamic instruction.
+	// -1 marks a successor address outside the program (the stream then
+	// reports escape exactly as a failed dictionary lookup would).
+	insts     []*StaticInst // dense by StaticInst.Index
+	fallIdx   []int32       // index of the instruction at PC + InstrBytes
+	targetIdx []int32       // index of the instruction at Target
 }
 
 // finalize builds the dictionary index; called once by the builder.
@@ -130,6 +139,22 @@ func (p *Program) finalize() {
 			}
 			first = false
 			p.nInsts++
+			p.insts = append(p.insts, in)
+		}
+	}
+	idxAt := func(pc uint64) int32 {
+		if in, ok := p.byPC[pc]; ok {
+			return int32(in.Index)
+		}
+		return -1
+	}
+	p.fallIdx = make([]int32, p.nInsts)
+	p.targetIdx = make([]int32, p.nInsts)
+	for i, in := range p.insts {
+		p.fallIdx[i] = idxAt(in.PC + isa.InstrBytes)
+		p.targetIdx[i] = -1
+		if in.Class.IsControl() && in.Class != isa.Return {
+			p.targetIdx[i] = idxAt(in.Target)
 		}
 	}
 }

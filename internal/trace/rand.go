@@ -98,7 +98,27 @@ func Mix(vs ...uint64) uint64 {
 	return h
 }
 
+// Mix3 is Mix specialized to its hot-path arity — (seed, static site,
+// execution count) — avoiding the variadic slice and loop on every
+// materialized branch outcome and effective address. It must compute
+// exactly Mix(a, b, c).
+func Mix3(a, b, c uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	h ^= a
+	h = splitmix64(&h)
+	h ^= b
+	h = splitmix64(&h)
+	h ^= c
+	h = splitmix64(&h)
+	return h
+}
+
 // MixFloat maps Mix(vs...) to [0,1).
 func MixFloat(vs ...uint64) float64 {
 	return float64(Mix(vs...)>>11) / (1 << 53)
+}
+
+// Mix3Float maps Mix3(a, b, c) to [0,1).
+func Mix3Float(a, b, c uint64) float64 {
+	return float64(Mix3(a, b, c)>>11) / (1 << 53)
 }

@@ -28,11 +28,18 @@ type Stream struct {
 	// shared caches see as conflicting reference streams.
 	base uint64
 
-	pc        uint64
+	cur       int32 // dense index of the next instruction; -1 = escaped
 	seq       uint64
 	counts    []uint64 // per-static-instruction execution counts
-	callStack []uint64
+	callStack []frame
 	stackBase uint64
+}
+
+// frame is one simulated call-stack entry: the return address and, when it
+// is inside the program, its pre-resolved instruction index (-1 outside).
+type frame struct {
+	pc   uint64
+	next int32
 }
 
 // NewStream returns a deterministic dynamic-instruction source over prog.
@@ -43,7 +50,7 @@ func NewStream(prog *Program, seed, base uint64) *Stream {
 		prog:      prog,
 		seed:      seed,
 		base:      base,
-		pc:        prog.Blocks[0].Start(),
+		cur:       0, // Blocks[0].Insts[0] has dense index 0
 		counts:    make([]uint64, prog.Len()),
 		stackBase: base + 0x7fff0000,
 	}
@@ -55,21 +62,33 @@ func (s *Stream) Program() *Program { return s.prog }
 // Seq returns the number of instructions generated so far.
 func (s *Stream) Seq() uint64 { return s.seq }
 
-// Next generates the next correct-path instruction. A Stream never runs out.
+// Next generates the next correct-path instruction. A Stream never runs
+// out.
 func (s *Stream) Next() (isa.Instruction, bool) {
-	st, ok := s.prog.StaticAt(s.pc)
-	if !ok {
+	var in isa.Instruction
+	s.NextInto(&in)
+	return in, true
+}
+
+// NextInto generates the next correct-path instruction directly into dst,
+// sparing the caller a ~100-byte struct copy on the simulator's hottest
+// producer path. The walk follows the successor indices finalize resolved
+// — no per-instruction dictionary lookup.
+func (s *Stream) NextInto(dst *isa.Instruction) {
+	if s.cur < 0 {
 		// Control flow can only reach addresses inside the program (the
 		// builder closes the CFG); reaching here means corrupted state.
 		panic("trace: stream escaped the program")
 	}
+	st := s.prog.insts[s.cur]
 	count := s.counts[st.Index]
 	s.counts[st.Index]++
 
-	in := Materialize(st, s.seed, s.base, count)
-	in.Seq = s.seq
+	MaterializeInto(dst, st, s.seed, s.base, count)
+	dst.Seq = s.seq
 	s.seq++
 
+	next := s.prog.fallIdx[s.cur]
 	// Resolve stack-dependent control flow.
 	switch st.Class {
 	case isa.Call:
@@ -77,20 +96,26 @@ func (s *Stream) Next() (isa.Instruction, bool) {
 			copy(s.callStack, s.callStack[1:])
 			s.callStack = s.callStack[:maxCallDepth-1]
 		}
-		s.callStack = append(s.callStack, in.FallThrough())
+		s.callStack = append(s.callStack, frame{pc: dst.FallThrough(), next: next})
+		next = s.prog.targetIdx[s.cur]
 	case isa.Return:
 		if n := len(s.callStack); n > 0 {
-			in.Target = s.callStack[n-1]
+			f := s.callStack[n-1]
 			s.callStack = s.callStack[:n-1]
+			dst.Target = f.pc
+			next = f.next
 		} else {
 			// Underflow (stream started inside a function or deep calls
 			// were dropped): restart the main body.
-			in.Target = s.prog.Blocks[0].Start()
+			dst.Target = s.prog.Blocks[0].Start()
+			next = 0
+		}
+	default:
+		if dst.Taken {
+			next = s.prog.targetIdx[s.cur]
 		}
 	}
-
-	s.pc = in.NextPC()
-	return in, true
+	s.cur = next
 }
 
 // Materialize mints a dynamic instance of st: it resolves the branch
@@ -99,13 +124,26 @@ func (s *Stream) Next() (isa.Instruction, bool) {
 // instructions (return targets excepted: those need the stream's call
 // stack, so wrong-path returns get target 0 and resolve as mispredictions).
 func Materialize(st *StaticInst, seed, base, count uint64) isa.Instruction {
-	in := isa.Instruction{
-		PC:    st.PC,
-		Class: st.Class,
-		Dest:  st.Dest,
-		Src1:  st.Src1,
-		Src2:  st.Src2,
-	}
+	var in isa.Instruction
+	MaterializeInto(&in, st, seed, base, count)
+	return in
+}
+
+// MaterializeInto is Materialize writing into caller-provided (possibly
+// recycled) storage: every field is assigned or explicitly cleared, with
+// no intermediate struct copy — this runs once per fetched instruction.
+func MaterializeInto(in *isa.Instruction, st *StaticInst, seed, base, count uint64) {
+	in.PC = st.PC
+	in.Class = st.Class
+	in.Dest = st.Dest
+	in.Src1 = st.Src1
+	in.Src2 = st.Src2
+	in.Target = 0
+	in.Taken = false
+	in.MemSize = 0
+	in.EffAddr = 0
+	in.Seq = 0
+	in.WrongPath = false
 	switch st.Class {
 	case isa.Branch:
 		in.Target = st.Target
@@ -113,7 +151,7 @@ func Materialize(st *StaticInst, seed, base, count uint64) isa.Instruction {
 		case BranchLoop:
 			in.Taken = count%uint64(st.Period) != uint64(st.Period-1)
 		default: // biased or random
-			in.Taken = MixFloat(seed, st.PC, count) < st.TakenProb
+			in.Taken = Mix3Float(seed, st.PC, count) < st.TakenProb
 		}
 	case isa.Jump, isa.Call:
 		in.Taken = true
@@ -125,7 +163,6 @@ func Materialize(st *StaticInst, seed, base, count uint64) isa.Instruction {
 		in.MemSize = 8
 		in.EffAddr = memAddr(st, seed, base, count)
 	}
-	return in
 }
 
 // memAddr computes the effective address of the count-th execution of a
@@ -136,9 +173,9 @@ func memAddr(st *StaticInst, seed, base, count uint64) uint64 {
 	case MemStride:
 		off = (uint64(st.Stride) * count) % st.Region
 	case MemStack:
-		off = Mix(seed, st.PC, count) % stackRegionBytes
+		off = Mix3(seed, st.PC, count) % stackRegionBytes
 	default: // MemRandom
-		off = Mix(seed, st.PC, count) % st.Region
+		off = Mix3(seed, st.PC, count) % st.Region
 	}
 	addr := base + st.MemBase + off
 	return addr &^ 7 // 8-byte aligned accesses
