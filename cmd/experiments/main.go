@@ -7,6 +7,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"hdsmt/internal/engine"
 	"hdsmt/internal/mapping"
 	"hdsmt/internal/perf"
+	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/workload"
 )
@@ -37,6 +39,8 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write per-figure CSV files into this directory")
 		perfOut   = flag.String("perf", "", "measure simulator throughput (optimized vs reference stepping), write a perf trajectory report to this JSON file, and exit")
 		perfReps  = flag.Int("perfreps", 5, "repetitions per cell for -perf")
+		searchOut = flag.String("search", "", "run the search-efficiency benchmark (metaheuristics vs exhaustive enumeration), write the report to this JSON file, and exit")
+		searchSd  = flag.Int64("searchseed", 1, "random seed for -search")
 	)
 	flag.Parse()
 
@@ -46,6 +50,13 @@ func main() {
 	}
 	if *perfOut != "" {
 		if err := writePerfReport(*perfOut, *perfReps); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *searchOut != "" {
+		if err := writeSearchReport(*searchOut, *searchSd); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -205,6 +216,140 @@ func writePerfReport(path string, reps int) error {
 		return err
 	}
 	fmt.Printf("perf: report written to %s\n", path)
+	return nil
+}
+
+// searchStrategyEntry is one guided strategy's search-efficiency record.
+type searchStrategyEntry struct {
+	Strategy string `json:"strategy"`
+	Budget   int    `json:"budget"`
+	Seed     int64  `json:"seed"`
+	// FoundOptimum: the strategy's incumbent equals the exhaustive optimum.
+	FoundOptimum bool `json:"found_optimum"`
+	// SimulationRatio is this search's executed simulations over the
+	// exhaustive baseline's (the simulations-to-optimum criterion: ≤ 0.30).
+	SimulationRatio float64        `json:"simulation_ratio"`
+	Result          *search.Result `json:"result"`
+}
+
+// searchReport is BENCH_PR3.json: search efficiency vs exhaustive
+// enumeration on a space small enough to enumerate, plus a budgeted ACO
+// trajectory on the enriched space exhaustive search cannot touch.
+type searchReport struct {
+	Name      string   `json:"name"`
+	Workloads []string `json:"workloads"`
+	SimBudget uint64   `json:"sim_budget"`
+	SimWarmup uint64   `json:"sim_warmup"`
+
+	SmallSpace struct {
+		Genotypes  int64                 `json:"genotypes"`
+		Candidates int                   `json:"candidates"`
+		Exhaustive *search.Result        `json:"exhaustive"`
+		Strategies []searchStrategyEntry `json:"strategies"`
+	} `json:"small_space"`
+
+	EnrichedSpace struct {
+		Genotypes int64          `json:"genotypes"`
+		ACO       *search.Result `json:"aco"`
+	} `json:"enriched_space"`
+}
+
+// writeSearchReport measures search efficiency. Every run uses a fresh
+// engine so simulation counts are honest (no cross-strategy cache help);
+// the report fails loudly if a guided strategy misses the optimum or
+// overspends the 30% criterion, so the CI smoke step is a real check.
+func writeSearchReport(path string, seed int64) error {
+	const wlName = "2W7"
+	wls := []workload.Workload{workload.MustByName(wlName)}
+	simOpt := sim.Options{Budget: 2_000, Warmup: 1_000}
+
+	report := searchReport{Name: "search-efficiency", Workloads: []string{wlName},
+		SimBudget: simOpt.Budget, SimWarmup: simOpt.Warmup}
+
+	runOn := func(sp search.Space, st search.Strategy, opts search.Options) (*search.Result, error) {
+		runner, err := sim.NewRunner(engine.Options{})
+		if err != nil {
+			return nil, err
+		}
+		defer runner.Close()
+		return search.NewDriver(runner).Search(context.Background(), sp, st, opts)
+	}
+
+	// Small space: every multiset of ≤ 3 pipelines × 3 queue scalings ×
+	// static/dynamic mapping. Enumerable, so exhaustive gives the ground
+	// truth the metaheuristics are scored against.
+	small := search.NewSpace(3, 0, wls)
+	small.QueueScales = []int{75, 100, 125}
+	small.RemapIntervals = []uint64{0, sim.DefaultRemapInterval}
+	report.SmallSpace.Genotypes = small.Size()
+	report.SmallSpace.Candidates = len(small.Candidates())
+
+	exh, err := runOn(small, search.Exhaustive{}, search.Options{Sim: simOpt})
+	if err != nil {
+		return err
+	}
+	if exh.Best == nil {
+		return fmt.Errorf("exhaustive search found no feasible machine")
+	}
+	report.SmallSpace.Exhaustive = exh
+	fmt.Printf("search: exhaustive %d evaluations, %d simulations, optimum %s (IPC/mm² %.5f)\n",
+		exh.Evaluations, exh.Simulations, exh.Best.Config, exh.Best.PerArea)
+
+	budget := exh.Evaluations * 30 / 100
+	for _, name := range []string{"hillclimb", "aco"} {
+		st, err := search.ByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := runOn(small, st, search.Options{Budget: budget, Seed: seed, Sim: simOpt})
+		if err != nil {
+			return err
+		}
+		entry := searchStrategyEntry{Strategy: name, Budget: budget, Seed: seed, Result: res}
+		entry.SimulationRatio = float64(res.Simulations) / float64(exh.Simulations)
+		entry.FoundOptimum = res.Best != nil &&
+			res.Best.Config == exh.Best.Config &&
+			res.Best.Policy == exh.Best.Policy &&
+			res.Best.Remap == exh.Best.Remap
+		report.SmallSpace.Strategies = append(report.SmallSpace.Strategies, entry)
+		fmt.Printf("search: %-9s found optimum=%v with %d simulations (%.0f%% of exhaustive), cache-hit %.0f%%\n",
+			name, entry.FoundOptimum, res.Simulations, 100*entry.SimulationRatio, 100*res.CacheHitRate)
+		if !entry.FoundOptimum {
+			got := "(none)"
+			if res.Best != nil {
+				got = res.Best.Name()
+			}
+			return fmt.Errorf("%s missed the exhaustive optimum (%s vs %s)", name, got, exh.Best.Name())
+		}
+		if entry.SimulationRatio > 0.30 {
+			return fmt.Errorf("%s spent %.0f%% of the exhaustive simulation count (criterion: <= 30%%)",
+				name, 100*entry.SimulationRatio)
+		}
+	}
+
+	// Enriched space: > 10⁴ genotypes — policies, remap intervals and both
+	// sizing axes in play. A budgeted ACO walk records the trajectory.
+	enriched := search.EnrichedSpace(4, 0, wls)
+	report.EnrichedSpace.Genotypes = enriched.Size()
+	aco, err := runOn(enriched, search.NewACO(), search.Options{Budget: 48, Seed: seed, Sim: simOpt})
+	if err != nil {
+		return err
+	}
+	if aco.Best == nil || len(aco.Trajectory) == 0 {
+		return fmt.Errorf("enriched ACO run produced no trajectory")
+	}
+	report.EnrichedSpace.ACO = aco
+	fmt.Printf("search: enriched space (%d genotypes) ACO best %s (IPC/mm² %.5f) after %d evaluations\n",
+		enriched.Size(), aco.Best.Name(), aco.Best.PerArea, aco.Evaluations)
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("search: report written to %s\n", path)
 	return nil
 }
 

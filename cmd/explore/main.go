@@ -1,33 +1,58 @@
-// Command explore searches the hdSMT design space: it enumerates every
-// multiset of M6/M4/M2 pipelines under an area budget (plus the monolithic
-// M8 baseline), evaluates each candidate over a workload set with the §2.1
-// heuristic mapping, and ranks the machines by performance per area —
-// the paper's complexity-effectiveness objective as a search.
+// Command explore searches the hdSMT design space for the best
+// performance-per-area machine — the paper's complexity-effectiveness
+// objective as a search.
+//
+// The default strategy, exhaustive, enumerates every multiset of M6/M4/M2
+// pipelines under an area budget (plus the monolithic M8 baseline),
+// evaluates each candidate over a workload set with the §2.1 heuristic
+// mapping, and prints the full ranking — the cross-check baseline.
+//
+// The metaheuristic strategies (random, hillclimb, aco; internal/search)
+// instead walk an enriched space — pipeline multiset × fetch policy ×
+// dynamic-remap interval × issue-queue and decoupling-buffer sizing —
+// under an evaluation budget, and print the best-so-far trajectory. A
+// fixed -seed reproduces a search exactly.
 //
 // Examples:
 //
-//	explore                                  # defaults: MIX workloads, <= 4 pipelines
+//	explore                                   # exhaustive: MIX workloads, <= 4 pipelines
 //	explore -maxpipes 5 -areacap 150
+//	explore -strategy aco -evals 60 -enriched # guided search of the enriched space
+//	explore -strategy hillclimb -evals 40 -qscales 75,100,125 -seed 7
 //	explore -workloads 2W7,4W6,4W8 -budget 20000
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
+	"hdsmt/internal/engine"
+	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/workload"
 )
 
 func main() {
 	var (
+		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive|random|hillclimb|aco")
 		maxPipes = flag.Int("maxpipes", 4, "maximum pipelines per candidate")
 		areaCap  = flag.Float64("areacap", 0, "area budget in mm² (0 = unlimited)")
 		wlList   = flag.String("workloads", "2W7,4W6", "comma-separated workload set")
 		budget   = flag.Uint64("budget", 10_000, "measured instructions per thread")
 		warmup   = flag.Uint64("warmup", 5_000, "warm-up instructions per thread")
+		evals    = flag.Int("evals", 64, "evaluation budget for the metaheuristic strategies")
+		seed     = flag.Int64("seed", 1, "random seed (fixed seed = reproducible trajectory)")
+		enriched = flag.Bool("enriched", false, "search the full enriched space (policies × remap × sizings)")
+		policies = flag.String("policies", "", "comma-separated fetch-policy axis (empty entry = config default)")
+		remaps   = flag.String("remap", "", "comma-separated dynamic-remap intervals in cycles (0 = static)")
+		qscales  = flag.String("qscales", "", "comma-separated issue/load-queue scales in percent")
+		fbscales = flag.String("fbscales", "", "comma-separated decoupling-buffer scales in percent")
+		out      = flag.String("out", "", "also write the result to this JSON file (search trajectory, or the exhaustive ranking)")
 	)
 	flag.Parse()
 
@@ -35,23 +60,157 @@ func main() {
 	for _, name := range strings.Split(*wlList, ",") {
 		w, err := workload.ByName(strings.TrimSpace(name))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "explore: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		wls = append(wls, w)
 	}
+	opt := sim.Options{Budget: *budget, Warmup: *warmup}
 
-	cands, err := sim.CandidateConfigs(*maxPipes, *areaCap)
+	// The legacy table (CandidateConfigs + sim.Explore, M8 baseline
+	// included) serves plain exhaustive runs — -out then writes the
+	// ranking JSON; any enriched axis routes through internal/search.
+	if *strategy == "exhaustive" && !*enriched &&
+		*policies == "" && *remaps == "" && *qscales == "" && *fbscales == "" {
+		exhaustive(wls, *maxPipes, *areaCap, opt, *out)
+		return
+	}
+
+	st, err := search.ByName(*strategy)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
-		os.Exit(1)
+		fail(err)
+	}
+	sp := search.NewSpace(*maxPipes, *areaCap, wls)
+	if *enriched {
+		sp = search.EnrichedSpace(*maxPipes, *areaCap, wls)
+	}
+	if *policies != "" {
+		sp.Policies = strings.Split(*policies, ",")
+		for i := range sp.Policies {
+			sp.Policies[i] = strings.TrimSpace(sp.Policies[i])
+		}
+	}
+	if *remaps != "" {
+		sp.RemapIntervals = nil
+		for _, n := range splitInts(*remaps) {
+			if n < 0 {
+				fail(fmt.Errorf("remap interval %d must be non-negative", n))
+			}
+			sp.RemapIntervals = append(sp.RemapIntervals, uint64(n))
+		}
+	}
+	if *qscales != "" {
+		sp.QueueScales = splitInts(*qscales)
+	}
+	if *fbscales != "" {
+		sp.FetchBufScales = splitInts(*fbscales)
+	}
+	if err := sp.Validate(); err != nil {
+		fail(err)
+	}
+
+	runner, err := sim.NewRunner(engine.Options{})
+	if err != nil {
+		fail(err)
+	}
+	defer runner.Close()
+
+	budgetEvals := *evals
+	budgetDesc := fmt.Sprintf("budget %d evaluations", budgetEvals)
+	if *strategy == "exhaustive" {
+		budgetEvals = 0 // enumeration terminates on its own
+		budgetDesc = "full enumeration"
+	} else if budgetEvals <= 0 {
+		// Same rule the server enforces: an unbounded guided search would
+		// silently simulate the whole space.
+		fail(fmt.Errorf("%s search needs a positive -evals budget", *strategy))
+	}
+	fmt.Printf("searching %d-genotype space with %s (%s, seed %d) over %d workloads...\n",
+		sp.Size(), st.Name(), budgetDesc, *seed, len(wls))
+
+	res, err := search.NewDriver(runner).Search(context.Background(), sp, st, search.Options{
+		Budget: budgetEvals,
+		Seed:   *seed,
+		Sim:    opt,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d evaluations", done, total)
+		},
+	})
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println("\nbest-so-far trajectory:")
+	fmt.Printf("%8s  %-24s %10s %10s %12s\n", "evals", "machine", "area mm²", "IPC", "IPC/mm²")
+	for _, tp := range res.Trajectory {
+		fmt.Printf("%8d  %-24s %10.2f %10.3f %12.5f\n", tp.Evaluations, tp.Name(), tp.Area, tp.IPC, tp.PerArea)
+	}
+	if res.Best == nil {
+		fmt.Println("no feasible machine found")
+	} else {
+		fmt.Printf("\nbest: %s  IPC/mm² %.5f after %d evaluations\n", res.Best.Name(), res.Best.PerArea, res.Best.Evaluations)
+	}
+	fmt.Printf("cost: %d evaluations, %d simulations executed, %d submitted, cache-hit rate %.1f%%\n",
+		res.Evaluations, res.Simulations, res.Submitted, 100*res.CacheHitRate)
+
+	if *out != "" {
+		writeJSON(*out, res)
+	}
+}
+
+// writeJSON writes v as indented JSON to path.
+func writeJSON(path string, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("result written to %s\n", path)
+}
+
+// exhaustive is the legacy cross-check baseline: CandidateConfigs +
+// sim.Explore (M8 baseline included) with per-candidate progress. out,
+// when non-empty, receives the full ranking as JSON.
+func exhaustive(wls []workload.Workload, maxPipes int, areaCap float64, opt sim.Options, out string) {
+	cands, err := sim.CandidateConfigs(maxPipes, areaCap)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Printf("exploring %d candidate configurations over %d workloads...\n\n", len(cands), len(wls))
 
-	rs, err := sim.Explore(wls, cands, sim.Options{Budget: *budget, Warmup: *warmup})
+	runner, err := sim.NewRunner(engine.Options{})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
-		os.Exit(1)
+		fail(err)
+	}
+	defer runner.Close()
+	rs, err := runner.Explore(context.Background(), wls, cands, opt, func(done int) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d candidates", done, len(cands))
+	})
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Print(sim.RenderExploration(rs))
+	if out != "" {
+		writeJSON(out, rs)
+	}
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fail(fmt.Errorf("bad integer list %q: %w", s, err))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+	os.Exit(1)
 }

@@ -24,6 +24,7 @@ package area
 
 import (
 	"fmt"
+	"strings"
 
 	"hdsmt/internal/config"
 )
@@ -103,15 +104,50 @@ var backendBase = map[string]Breakdown{
 
 // PipelineArea returns the per-stage area of one pipeline model's back end
 // (no fetch stage). multipipeline applies the 10% execution-core overhead.
+//
+// Scaled variants (config.ScaleModel) are priced from their base model's
+// calibration — resolved by pipeline width, which uniquely identifies the
+// four calibrated models — with the queue stages scaled linearly in entry
+// count: the dispatch queue tracks the issue queues (IQ+FQ), the completion
+// queue tracks the load/store queue, and the decode queue tracks the
+// decoupling buffer. Unscaled models hit ratios of exactly 1, so the
+// calibrated Fig. 2b/Fig. 3 numbers are untouched.
 func PipelineArea(m config.Model, multipipeline bool) (Breakdown, error) {
-	base, ok := backendBase[m.Name]
-	if !ok {
-		return Breakdown{}, fmt.Errorf("area: no calibration for model %q", m.Name)
+	cal, err := calibration(m)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	base := backendBase[cal.Name]
+	if iq, ciq := m.IQ+m.FQ, cal.IQ+cal.FQ; iq != ciq {
+		base[DIQ] *= float64(iq) / float64(ciq)
+	}
+	if m.LQ != cal.LQ {
+		base[CQ] *= float64(m.LQ) / float64(cal.LQ)
+	}
+	if cal.FetchBuf > 0 && m.FetchBuf != cal.FetchBuf {
+		base[DEQ] *= float64(m.FetchBuf) / float64(cal.FetchBuf)
 	}
 	if multipipeline {
 		base[EX] *= exCoreOverhead
 	}
 	return base, nil
+}
+
+// calibration resolves the calibrated base model a (possibly scaled)
+// pipeline model is priced from: by name for the four base models, else —
+// for config.ScaleModel variants, which keep the base name as a prefix
+// and never change the width — by that prefix. Anything else is
+// uncalibrated and errors, as before.
+func calibration(m config.Model) (config.Model, error) {
+	if _, ok := backendBase[m.Name]; ok {
+		return config.ModelByName(m.Name)
+	}
+	for _, c := range config.Models() {
+		if strings.HasPrefix(m.Name, c.Name) && c.Width == m.Width {
+			return c, nil
+		}
+	}
+	return config.Model{}, fmt.Errorf("area: no calibration for model %q (width %d)", m.Name, m.Width)
 }
 
 // FetchArea returns the fetch-engine area for a configuration with the

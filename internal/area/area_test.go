@@ -175,3 +175,74 @@ func TestAllStagesPositive(t *testing.T) {
 		}
 	}
 }
+
+// Scaled structures (config.ScaleModel) price by entry count: bigger queues
+// cost area, smaller queues save it, and only the queue stages move.
+func TestScaledModelArea(t *testing.T) {
+	base, err := PipelineArea(config.M4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := config.ScaleModel(config.M4, 150, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := config.ScaleModel(config.M4, 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger, err := PipelineArea(up, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := PipelineArea(down, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bigger.Total() > base.Total() && smaller.Total() < base.Total()) {
+		t.Errorf("totals not monotone in structure size: %.2f / %.2f / %.2f",
+			smaller.Total(), base.Total(), bigger.Total())
+	}
+	for _, s := range []Stage{IF, DE, DI, EX, IC} {
+		if bigger[s] != base[s] || smaller[s] != base[s] {
+			t.Errorf("stage %v moved under queue scaling", s)
+		}
+	}
+	// Queue stages scale linearly in entries: 150% queues -> 1.5x DIQ/CQ.
+	if got, want := bigger[DIQ], 1.5*base[DIQ]; !approxEq(got, want) {
+		t.Errorf("DIQ = %v, want %v", got, want)
+	}
+	if got, want := bigger[CQ], 1.5*base[CQ]; !approxEq(got, want) {
+		t.Errorf("CQ = %v, want %v", got, want)
+	}
+	if got, want := bigger[DEQ], 1.5*base[DEQ]; !approxEq(got, want) {
+		t.Errorf("DEQ = %v, want %v", got, want)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// A scaled microarchitecture totals through MicroarchArea/Total like any
+// other, so area-budget search constraints see resized structures.
+func TestScaledMicroarchTotal(t *testing.T) {
+	up, err := config.ScaleModel(config.M4, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := config.NewMicroarch(up, up)
+	small := config.MustParse("2M4")
+	ab, err := Total(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Total(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab <= as {
+		t.Errorf("scaled-up 2M4 area %.2f not above base %.2f", ab, as)
+	}
+}

@@ -109,8 +109,13 @@ func NewMicroarch(models ...Model) Microarch {
 	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Width > ps[j].Width })
 
 	m := Microarch{
-		Pipelines:  ps,
-		Monolithic: len(ps) == 1 && ps[0].Name == "M8",
+		Pipelines: ps,
+		// Monolithic is detected by width, not name: a structure-scaled M8
+		// (ScaleModel renames it "M8q150") is still the single-pipeline
+		// baseline — FLUSH policy, 1-cycle register file, thread
+		// stretching, no multipipeline area overheads. Width 8 uniquely
+		// identifies M8 among the models.
+		Monolithic: len(ps) == 1 && ps[0].Width == M8.Width,
 		Params:     DefaultSimParams(),
 	}
 	if !m.Monolithic {
@@ -120,10 +125,12 @@ func NewMicroarch(models ...Model) Microarch {
 	return m
 }
 
-// canonicalName renders "M8", "3M4", "2M4+2M2", "1M6+2M4+2M2".
+// canonicalName renders "M8", "3M4", "2M4+2M2", "1M6+2M4+2M2". The
+// single-pipeline baseline (scaled or not — same width test as the
+// Monolithic flag) keeps its bare model name, no count prefix.
 func canonicalName(ps []Model) string {
-	if len(ps) == 1 && ps[0].Name == "M8" {
-		return "M8"
+	if len(ps) == 1 && ps[0].Width == M8.Width {
+		return ps[0].Name
 	}
 	var parts []string
 	i := 0
@@ -140,6 +147,8 @@ func canonicalName(ps []Model) string {
 
 // Parse builds a Microarch from the paper's notation: "M8", "3M4",
 // "2M4+2M2", "1M6+2M4+2M2". A bare model name means one pipeline of it.
+// ScaleModel suffixes round-trip too ("2M4q75f50"), so a machine reported
+// by the design-space search can be re-simulated from its name.
 func Parse(name string) (Microarch, error) {
 	var models []Model
 	for _, part := range strings.Split(name, "+") {
@@ -159,6 +168,9 @@ func Parse(name string) (Microarch, error) {
 		}
 		model, err := ModelByName(rest)
 		if err != nil {
+			model, err = parseScaled(rest)
+		}
+		if err != nil {
 			return Microarch{}, fmt.Errorf("config: in %q: %w", name, err)
 		}
 		for k := 0; k < count; k++ {
@@ -168,6 +180,54 @@ func Parse(name string) (Microarch, error) {
 	return NewMicroarch(models...), nil
 }
 
+// parseScaled resolves a ScaleModel name ("M4q75f50": base model plus
+// optional q<percent> and f<percent> suffixes, in that order). Rebuilding
+// through ScaleModel guarantees the parsed model is exactly the one the
+// name was derived from.
+func parseScaled(name string) (Model, error) {
+	for _, base := range Models() {
+		suffix, ok := strings.CutPrefix(name, base.Name)
+		if !ok || suffix == "" {
+			continue
+		}
+		qPct, fPct := 100, 100
+		if rest, ok := strings.CutPrefix(suffix, "q"); ok {
+			digits := rest
+			if i := strings.IndexByte(rest, 'f'); i >= 0 {
+				digits = rest[:i]
+			}
+			n, err := strconv.Atoi(digits)
+			if err != nil {
+				continue
+			}
+			qPct = n
+			suffix = rest[len(digits):]
+		}
+		if rest, ok := strings.CutPrefix(suffix, "f"); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil {
+				continue
+			}
+			fPct = n
+			suffix = ""
+		}
+		if suffix != "" { // trailing garbage neither branch consumed
+			continue
+		}
+		m, err := ScaleModel(base, qPct, fPct)
+		if err != nil {
+			return Model{}, err
+		}
+		if m.Name != name {
+			// The name does not canonically encode these scales (e.g.
+			// "M4q100", or an f-suffix on the bufferless M8).
+			return Model{}, fmt.Errorf("config: non-canonical scaled model name %q (canonical: %q)", name, m.Name)
+		}
+		return m, nil
+	}
+	return Model{}, fmt.Errorf("config: unknown pipeline model %q", name)
+}
+
 // MustParse is Parse for static configuration strings; it panics on error.
 func MustParse(name string) Microarch {
 	m, err := Parse(name)
@@ -175,6 +235,41 @@ func MustParse(name string) Microarch {
 		panic(err)
 	}
 	return m
+}
+
+// ScaleModel returns a variant of m with its issue/load queues scaled to
+// queuePct percent (IQ, FQ, LQ) and its decoupling buffer scaled to
+// fetchBufPct percent. Scaled structures keep at least one entry; a model
+// with no decoupling buffer (the monolithic M8) keeps none. The variant is
+// renamed ("M4q75f50") so scaled pipelines are distinguishable in canonical
+// configuration names and never collide with the calibrated base models.
+// The area model prices the resized structures by entry count (see
+// area.PipelineArea).
+func ScaleModel(m Model, queuePct, fetchBufPct int) (Model, error) {
+	if queuePct <= 0 || fetchBufPct <= 0 {
+		return Model{}, fmt.Errorf("config: scale percentages must be positive, got q%d f%d", queuePct, fetchBufPct)
+	}
+	out := m
+	scale := func(n, pct int) int {
+		if n == 0 {
+			return 0
+		}
+		if v := n * pct / 100; v > 0 {
+			return v
+		}
+		return 1
+	}
+	if queuePct != 100 {
+		out.IQ = scale(m.IQ, queuePct)
+		out.FQ = scale(m.FQ, queuePct)
+		out.LQ = scale(m.LQ, queuePct)
+		out.Name += fmt.Sprintf("q%d", queuePct)
+	}
+	if fetchBufPct != 100 && m.FetchBuf > 0 {
+		out.FetchBuf = scale(m.FetchBuf, fetchBufPct)
+		out.Name += fmt.Sprintf("f%d", fetchBufPct)
+	}
+	return out, nil
 }
 
 // TotalContexts returns the number of hardware contexts across pipelines.

@@ -225,3 +225,132 @@ func TestParseRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestScaleModel(t *testing.T) {
+	s, err := ScaleModel(M4, 75, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "M4q75f50" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if s.IQ != 24 || s.FQ != 24 || s.LQ != 24 || s.FetchBuf != 16 {
+		t.Errorf("scaled sizes = IQ %d FQ %d LQ %d FB %d", s.IQ, s.FQ, s.LQ, s.FetchBuf)
+	}
+	// Untouched axes carry over.
+	if s.Width != M4.Width || s.Contexts != M4.Contexts || s.IntUnits != M4.IntUnits {
+		t.Errorf("non-queue fields changed: %+v", s)
+	}
+
+	// 100% on both axes is the identity, name included.
+	id, err := ScaleModel(M2, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != M2 {
+		t.Errorf("identity scale changed the model: %+v", id)
+	}
+
+	// The monolithic M8 has no decoupling buffer to scale.
+	m8, err := ScaleModel(M8, 150, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m8.FetchBuf != 0 {
+		t.Errorf("M8 fetch buffer = %d, want 0", m8.FetchBuf)
+	}
+	if m8.Name != "M8q150" {
+		t.Errorf("name = %q", m8.Name)
+	}
+	if m8.IQ != 96 {
+		t.Errorf("IQ = %d, want 96", m8.IQ)
+	}
+	// A scaled M8 is still the monolithic baseline: renaming must not
+	// flip it to a multipipeline machine (FLUSH policy, 1-cycle register
+	// file, thread stretching all key off Monolithic).
+	scaledMono := NewMicroarch(m8)
+	if !scaledMono.Monolithic {
+		t.Error("scaled M8 lost its monolithic status")
+	}
+	if scaledMono.Params.RegAccessLatency != 1 {
+		t.Errorf("scaled M8 register access latency = %d, want 1", scaledMono.Params.RegAccessLatency)
+	}
+
+	// Structures never scale to zero entries.
+	tiny, err := ScaleModel(M2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.IQ < 1 || tiny.FQ < 1 || tiny.LQ < 1 || tiny.FetchBuf < 1 {
+		t.Errorf("scaled to zero: %+v", tiny)
+	}
+
+	if _, err := ScaleModel(M4, 0, 100); err == nil {
+		t.Error("queuePct 0 must fail")
+	}
+	if _, err := ScaleModel(M4, 100, -5); err == nil {
+		t.Error("negative fetchBufPct must fail")
+	}
+}
+
+// Scaled models participate in canonical configuration naming without
+// colliding with their base model.
+func TestScaledModelCanonicalName(t *testing.T) {
+	s, err := ScaleModel(M4, 150, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewMicroarch(s, s, M2)
+	if cfg.Name != "2M4q150+1M2" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+	if cfg.Monolithic {
+		t.Error("multipipeline marked monolithic")
+	}
+}
+
+// TestParseScaledRoundTrip: search results name scaled machines
+// ("2M4q75f50"); Parse must rebuild exactly the machine the name came
+// from, so a reported optimum can be re-simulated.
+func TestParseScaledRoundTrip(t *testing.T) {
+	s4, err := ScaleModel(M4, 75, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ScaleModel(M2, 125, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewMicroarch(s4, s4, s2)
+	back, err := Parse(cfg.Name)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", cfg.Name, err)
+	}
+	if back.Name != cfg.Name {
+		t.Errorf("round trip %q -> %q", cfg.Name, back.Name)
+	}
+	if len(back.Pipelines) != 3 || back.Pipelines[0].IQ != s4.IQ || back.Pipelines[2].IQ != s2.IQ {
+		t.Errorf("scaled sizes lost in round trip: %+v", back.Pipelines)
+	}
+
+	// Scaled monolithic baseline round-trips too.
+	m8, err := ScaleModel(M8, 150, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := NewMicroarch(m8)
+	back, err = Parse(mono.Name)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", mono.Name, err)
+	}
+	if !back.Monolithic || back.Pipelines[0].IQ != m8.IQ {
+		t.Errorf("scaled M8 round trip lost monolithic/sizing: %+v", back)
+	}
+
+	// Non-canonical and garbage spellings are rejected.
+	for _, bad := range []string{"M4q100", "M4q", "M4qx", "M4q75z", "M8f50", "M5q75"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}

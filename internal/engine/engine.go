@@ -239,7 +239,16 @@ func (e *Engine) shardFor(key string) *shard {
 // resolves (possibly instantly, on a cache hit) or ctx is done.
 type Ticket struct {
 	t *task
+	// hit marks a submission served from the in-memory store at submit
+	// time, letting callers attribute cache savings to their own
+	// submissions without diffing the engine's global counters (which
+	// concurrent callers would corrupt).
+	hit bool
 }
+
+// CacheHit reports whether this submission resolved instantly from the
+// in-memory memoization store.
+func (tk *Ticket) CacheHit() bool { return tk.hit }
 
 // Wait returns the job's result.
 func (tk *Ticket) Wait(ctx context.Context) (core.Results, error) {
@@ -284,13 +293,13 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		e.hits.Add(1)
 		t := &task{done: make(chan struct{})}
 		t.resolve(res, nil)
-		return &Ticket{t}, nil
+		return &Ticket{t: t, hit: true}, nil
 	}
 	if t, ok := sh.inflight[key]; ok {
 		t.waiters = append(t.waiters, ctx)
 		sh.mu.Unlock()
 		e.coalesced.Add(1)
-		return &Ticket{t}, nil
+		return &Ticket{t: t}, nil
 	}
 	t := &task{
 		req:        req,
@@ -304,7 +313,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
 
 	select {
 	case e.queue <- t:
-		return &Ticket{t}, nil
+		return &Ticket{t: t}, nil
 	case <-ctx.Done():
 		e.abandon(sh, t)
 		return nil, ctx.Err()

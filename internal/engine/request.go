@@ -33,6 +33,12 @@ type Request struct {
 	// Policy optionally overrides the fetch policy by name (as reported by
 	// fetch.Policy.Name); "" means the configuration's default.
 	Policy string `json:"policy,omitempty"`
+	// Remap, when nonzero, re-evaluates the §2.1 heuristic mapping every
+	// Remap cycles on observed per-thread miss counts, migrating threads
+	// when the ranking changes (the paper's §7 dynamic-mapping proposal).
+	// 0 keeps the static mapping. omitempty keeps static requests' keys —
+	// and therefore every existing disk cache and journal — unchanged.
+	Remap uint64 `json:"remap,omitempty"`
 }
 
 // Key returns the request's content-addressed identity: a hex SHA-256 of
@@ -53,5 +59,12 @@ func (r Request) Key() string {
 
 // String describes the request compactly for logs and errors.
 func (r Request) String() string {
-	return fmt.Sprintf("%s/%s map=%v budget=%d", r.Cfg.Name, r.Workload.Name, r.Mapping, r.Budget)
+	s := fmt.Sprintf("%s/%s map=%v budget=%d", r.Cfg.Name, r.Workload.Name, r.Mapping, r.Budget)
+	if r.Policy != "" {
+		s += " policy=" + r.Policy
+	}
+	if r.Remap != 0 {
+		s += fmt.Sprintf(" remap=%d", r.Remap)
+	}
+	return s
 }

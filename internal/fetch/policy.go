@@ -17,6 +17,8 @@
 //     ICOUNT.
 package fetch
 
+import "fmt"
+
 // ThreadState is the per-thread information a policy ranks on. The core
 // fills one per active thread each cycle.
 type ThreadState struct {
@@ -113,4 +115,21 @@ func ForConfig(monolithic bool) Policy {
 		return Flush{}
 	}
 	return L1MCount{}
+}
+
+// Policies lists every implemented policy — the one registry shared by
+// name-based lookups (simulation requests, search-space validation), so a
+// new policy becomes selectable everywhere at once.
+func Policies() []Policy {
+	return []Policy{ICount{}, Flush{}, L1MCount{}}
+}
+
+// ByName resolves a policy from its Name().
+func ByName(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("fetch: unknown policy %q", name)
 }

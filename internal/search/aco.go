@@ -1,0 +1,146 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+)
+
+// ACO is an ant-colony optimizer over the space's categorical dimensions,
+// after Carr & Wang's FaSACO: a pheromone table holds one trail level per
+// (dimension, choice); each iteration a cohort of ants builds points by
+// roulette selection proportional to the trails, the cohort is evaluated
+// as one engine batch, trails evaporate, and the iteration's best ant plus
+// the global best deposit pheromone scaled by solution quality (elitism).
+// A trail floor keeps every choice reachable, so the colony explores
+// forever instead of collapsing onto an early local optimum.
+type ACO struct {
+	// Ants per iteration (one evaluation batch).
+	Ants int
+	// Evaporation is the per-iteration trail decay in (0, 1).
+	Evaporation float64
+	// Deposit scales the pheromone laid by the iteration and global best.
+	Deposit float64
+	// Elite weights the global best's deposit relative to the iteration
+	// best's.
+	Elite float64
+	// TrailFloor is the minimum trail level per choice.
+	TrailFloor float64
+}
+
+// NewACO returns the default colony parameters — 6 ants, 45% evaporation,
+// unit deposit, triple-weight elite, 2% trail floor — tuned for the tight
+// budgets guided search is for (tens to hundreds of evaluations): small
+// cohorts buy more pheromone updates per budget, and fast evaporation
+// with a strong elite converges quickly while the trail floor keeps every
+// choice reachable.
+func NewACO() ACO {
+	return ACO{Ants: 6, Evaporation: 0.45, Deposit: 1.0, Elite: 3.0, TrailFloor: 0.02}
+}
+
+// Name identifies the strategy.
+func (ACO) Name() string { return "aco" }
+
+// Run releases ant cohorts until the evaluation budget runs out.
+func (a ACO) Run(ctx context.Context, sp *Space, rng *rand.Rand, eval Evaluator) error {
+	defaults := NewACO()
+	if a.Ants <= 0 {
+		a.Ants = defaults.Ants
+	}
+	if a.Evaporation <= 0 || a.Evaporation >= 1 {
+		a.Evaporation = defaults.Evaporation
+	}
+	if a.Deposit <= 0 {
+		a.Deposit = defaults.Deposit
+	}
+	if a.Elite <= 0 {
+		a.Elite = defaults.Elite
+	}
+	if a.TrailFloor <= 0 {
+		a.TrailFloor = defaults.TrailFloor
+	}
+
+	dims := sp.Dims()
+	tau := make([][]float64, len(dims))
+	for d, n := range dims {
+		tau[d] = make([]float64, n)
+		for c := range tau[d] {
+			tau[d][c] = 1.0
+		}
+	}
+
+	construct := func() Point {
+		pt := make(Point, len(dims))
+		for d := range dims {
+			total := 0.0
+			for _, t := range tau[d] {
+				total += t
+			}
+			r := rng.Float64() * total
+			for c, t := range tau[d] {
+				r -= t
+				if r < 0 {
+					pt[d] = c
+					break
+				}
+			}
+		}
+		return pt
+	}
+
+	deposit := func(pt Point, amount float64) {
+		for d, c := range pt {
+			tau[d][c] += amount
+		}
+	}
+
+	var best Point
+	var bestScore Score
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ants := make([]Point, a.Ants)
+		for i := range ants {
+			ants[i] = construct()
+		}
+		scores, err := eval(ctx, ants)
+
+		iterBest := -1
+		for i := range scores {
+			if !scores[i].Feasible {
+				continue
+			}
+			if iterBest < 0 || scores[i].Better(scores[iterBest]) {
+				iterBest = i
+			}
+			if best == nil || scores[i].Better(bestScore) {
+				best, bestScore = ants[i].Clone(), scores[i]
+			}
+		}
+
+		// Evaporate, deposit, floor. Quality is normalized by the global
+		// best so deposits stay O(Deposit) as absolute IPC/mm² varies.
+		for d := range tau {
+			for c := range tau[d] {
+				tau[d][c] *= 1 - a.Evaporation
+			}
+		}
+		if iterBest >= 0 && bestScore.PerArea > 0 {
+			deposit(ants[iterBest], a.Deposit*scores[iterBest].PerArea/bestScore.PerArea)
+		}
+		if best != nil {
+			deposit(best, a.Deposit*a.Elite)
+		}
+		for d := range tau {
+			for c := range tau[d] {
+				if tau[d][c] < a.TrailFloor {
+					tau[d][c] = a.TrailFloor
+				}
+			}
+		}
+
+		if done, err := stop(err); done {
+			return err
+		}
+	}
+}

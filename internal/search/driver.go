@@ -1,0 +1,306 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"hdsmt/internal/engine"
+	"hdsmt/internal/metrics"
+	"hdsmt/internal/sim"
+)
+
+// Options configures one search run.
+type Options struct {
+	// Budget is the number of point evaluations the search may charge: a
+	// distinct feasible candidate scored for the first time costs 1 (its
+	// per-workload simulations fan out through the engine; any of them may
+	// still be engine cache hits). Infeasible decodes and revisits are
+	// free. Budget <= 0 means unbounded — sensible only for Exhaustive,
+	// whose enumeration terminates on its own.
+	Budget int
+	// Seed drives every stochastic choice. The same seed, space, strategy
+	// and budget reproduce the identical trajectory, byte for byte.
+	Seed int64
+	// Sim scales the per-point simulations (Budget/Warmup per thread).
+	Sim sim.Options
+	// Progress, when non-nil, is called after each charged evaluation with
+	// (evaluations spent, target), where target is the effective number of
+	// evaluations the search can charge: min(Budget, distinct candidates),
+	// or the distinct-candidate count when Budget is unbounded. Not part
+	// of the result.
+	Progress func(done, total int)
+}
+
+// TrajectoryPoint is one best-so-far improvement: the machine that became
+// the incumbent after its evaluation, and how much budget it took to find.
+type TrajectoryPoint struct {
+	// Evaluations is the budget spent when this incumbent was found.
+	Evaluations int `json:"evaluations"`
+	// Config is the machine's canonical configuration name.
+	Config string `json:"config"`
+	// Policy is the fetch-policy override ("" = configuration default).
+	Policy string `json:"policy,omitempty"`
+	// Remap is the dynamic-remap interval in cycles (0 = static).
+	Remap uint64 `json:"remap,omitempty"`
+
+	IPC     float64 `json:"ipc"`
+	Area    float64 `json:"area"`
+	PerArea float64 `json:"per_area"`
+}
+
+// Name renders the point like Candidate.Name ("2M4+2M2", "3M4q75 FLUSH
+// r2048").
+func (tp TrajectoryPoint) Name() string { return renderName(tp.Config, tp.Policy, tp.Remap) }
+
+// Result is one search's auditable outcome: the incumbent, the best-so-far
+// curve, and the cost accounting that lets search efficiency be compared
+// against exhaustive enumeration. It marshals deterministically — a fixed
+// seed reproduces the JSON byte for byte (no wall-clock fields).
+type Result struct {
+	Strategy  string `json:"strategy"`
+	SpaceSize int64  `json:"space_size"` // genotypes in the space
+	Budget    int    `json:"budget"`     // 0 = unbounded
+	Seed      int64  `json:"seed"`
+
+	// Evaluations is the budget actually spent (distinct candidates
+	// scored). Visited counts every point proposed, Revisits the memoized
+	// re-proposals, Infeasible the decode- or context-infeasible points.
+	Evaluations int `json:"evaluations"`
+	Visited     int `json:"visited"`
+	Revisits    int `json:"revisits"`
+	Infeasible  int `json:"infeasible"`
+
+	// Submitted counts the simulation requests this search submitted to
+	// the engine; Simulations is the subset not served from the engine's
+	// in-memory store at submission — the search's own simulation cost
+	// (attribution is per-ticket, so concurrent jobs on the same runner
+	// cannot skew it; a request coalesced with or disk-served for another
+	// job still counts here, making Simulations an upper bound).
+	// CacheHitRate = 1 - Simulations/Submitted.
+	Simulations  uint64  `json:"simulations"`
+	Submitted    uint64  `json:"submitted"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Best is the incumbent (nil when no feasible point was found);
+	// Trajectory is every incumbent in discovery order, Best last.
+	Best       *TrajectoryPoint  `json:"best,omitempty"`
+	Trajectory []TrajectoryPoint `json:"trajectory"`
+}
+
+// Driver runs strategies over a space, fanning point evaluations out
+// through a shared sim.Runner's engine and recording the trajectory. The
+// caller keeps ownership of the runner (and its memoization store, which
+// successive searches share — a warm store makes overlapping searches
+// nearly free).
+type Driver struct {
+	runner *sim.Runner
+}
+
+// NewDriver builds a Driver on r.
+func NewDriver(r *sim.Runner) *Driver { return &Driver{runner: r} }
+
+// Search runs one strategy over sp under opts. Budget exhaustion is normal
+// termination; context cancellation and simulation failures are errors.
+func (d *Driver) Search(ctx context.Context, sp Space, st Strategy, opts Options) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, fmt.Errorf("search: nil strategy")
+	}
+
+	res := &Result{
+		Strategy:   st.Name(),
+		SpaceSize:  sp.Size(),
+		Budget:     opts.Budget,
+		Seed:       opts.Seed,
+		Trajectory: []TrajectoryPoint{},
+	}
+	state := &evalState{
+		driver: d, space: &sp, opts: opts, res: res,
+		memo: map[string]Score{},
+	}
+	var chargeable int
+	state.distinct, chargeable = sp.census()
+	state.target = chargeable
+	if opts.Budget > 0 && opts.Budget < state.target {
+		state.target = opts.Budget
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if err := st.Run(ctx, &sp, rng, state.evaluate); err != nil {
+		return nil, err
+	}
+
+	res.Submitted = state.submitted
+	res.Simulations = state.submitted - state.hits
+	if res.Submitted > 0 {
+		res.CacheHitRate = float64(state.hits) / float64(res.Submitted)
+	}
+	if len(res.Trajectory) > 0 {
+		res.Best = &res.Trajectory[len(res.Trajectory)-1]
+	}
+	return res, nil
+}
+
+// evalState is the driver-side half of one search: the budget ledger, the
+// candidate memo, and the trajectory recorder behind the Evaluator closure
+// handed to the strategy.
+type evalState struct {
+	driver *Driver
+	space  *Space
+	opts   Options
+	res    *Result
+	memo   map[string]Score // candidate key -> settled score
+	// settled counts charged evaluations whose score has landed; it trails
+	// Evaluations (charged at submission) and drives Progress.
+	settled int
+	// distinct is the space's decodable-candidate count; once the memo
+	// covers it no proposal can progress, so evaluate stops open-ended
+	// strategies with ErrSpaceExhausted. target is the effective charge
+	// ceiling reported to Progress: min(Budget, distinct).
+	distinct int
+	target   int
+	// submitted/hits attribute engine traffic to this search per ticket.
+	submitted, hits uint64
+}
+
+// job is one batch entry that needs simulation: the candidate, its charge
+// number, and the tickets of its per-workload requests.
+type job struct {
+	pos     int // index into the batch's scores
+	cand    Candidate
+	charge  int // res.Evaluations value at charge time (1-based)
+	tickets []*engine.Ticket
+}
+
+// evaluate implements Evaluator: decode, dedup, charge, fan out, settle in
+// order. See the interface comment for the truncation contract.
+func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) {
+	scores := make([]Score, 0, len(pts))
+	var jobs []job
+	inflight := map[string]bool{} // keys charged in this batch, score pending
+	// Duplicates of an in-flight key stay placeholders until the batch
+	// settles — blocking on the first occurrence mid-loop would serialize
+	// the rest of the batch's submissions.
+	type dup struct {
+		pos int
+		key string
+	}
+	var backfill []dup
+
+	settle := func() error {
+		for _, j := range jobs {
+			sc := Score{Feasible: true, Area: j.cand.Area}
+			ipcs := make([]float64, len(j.tickets))
+			for k, tk := range j.tickets {
+				r, err := tk.Wait(ctx)
+				if err != nil {
+					return fmt.Errorf("search: evaluating %s: %w", j.cand.Name(), err)
+				}
+				ipcs[k] = r.IPC
+			}
+			sc.IPC = metrics.HMean(ipcs)
+			sc.PerArea = sc.IPC / sc.Area
+			s.memo[j.cand.Key()] = sc
+			scores[j.pos] = sc
+			s.record(j, sc)
+		}
+		jobs = nil
+		for _, d := range backfill {
+			scores[d.pos] = s.memo[d.key]
+		}
+		backfill = nil
+		return nil
+	}
+
+	for _, pt := range pts {
+		if len(s.memo) >= s.distinct {
+			// Every decodable candidate is scored: nothing left to learn.
+			if err := settle(); err != nil {
+				return nil, err
+			}
+			return scores, ErrSpaceExhausted
+		}
+		s.res.Visited++
+		cand, err := s.space.Decode(pt)
+		if err != nil {
+			if _, ok := err.(ErrInfeasible); ok {
+				s.res.Infeasible++
+				scores = append(scores, Score{})
+				continue
+			}
+			return nil, err
+		}
+		key := cand.Key()
+		if inflight[key] {
+			s.res.Revisits++
+			backfill = append(backfill, dup{pos: len(scores), key: key})
+			scores = append(scores, Score{}) // filled at settle
+			continue
+		}
+		if sc, ok := s.memo[key]; ok {
+			s.res.Revisits++
+			scores = append(scores, sc)
+			continue
+		}
+
+		if !s.space.FitsWorkloads(cand) {
+			s.res.Infeasible++
+			s.memo[key] = Score{}
+			scores = append(scores, Score{})
+			continue
+		}
+
+		if s.opts.Budget > 0 && s.res.Evaluations >= s.opts.Budget {
+			if err := settle(); err != nil {
+				return nil, err
+			}
+			return scores, ErrBudgetExhausted
+		}
+		s.res.Evaluations++
+		j := job{pos: len(scores), cand: cand, charge: s.res.Evaluations}
+		for _, w := range s.space.Workloads {
+			req, err := sim.NewRequest(cand.Cfg, w, s.opts.Sim, cand.Policy, cand.Remap)
+			if err != nil {
+				return nil, fmt.Errorf("search: %s on %s: %w", cand.Name(), w.Name, err)
+			}
+			tk, err := s.driver.runner.Engine().Submit(ctx, req)
+			if err != nil {
+				return nil, fmt.Errorf("search: submitting %s: %w", req, err)
+			}
+			s.submitted++
+			if tk.CacheHit() {
+				s.hits++
+			}
+			j.tickets = append(j.tickets, tk)
+		}
+		inflight[key] = true
+		scores = append(scores, Score{}) // placeholder, settled below
+		jobs = append(jobs, j)
+	}
+	if err := settle(); err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+// record advances the best-so-far curve and reports progress.
+func (s *evalState) record(j job, sc Score) {
+	if sc.Feasible && (s.res.Best == nil || sc.PerArea > s.res.Best.PerArea) {
+		s.res.Trajectory = append(s.res.Trajectory, TrajectoryPoint{
+			Evaluations: j.charge,
+			Config:      j.cand.Cfg.Name,
+			Policy:      j.cand.Policy,
+			Remap:       j.cand.Remap,
+			IPC:         sc.IPC,
+			Area:        sc.Area,
+			PerArea:     sc.PerArea,
+		})
+		s.res.Best = &s.res.Trajectory[len(s.res.Trajectory)-1]
+	}
+	s.settled++
+	if s.opts.Progress != nil {
+		s.opts.Progress(s.settled, s.target)
+	}
+}

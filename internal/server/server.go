@@ -17,6 +17,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -25,6 +26,7 @@ import (
 
 	"hdsmt/internal/config"
 	"hdsmt/internal/mapping"
+	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/workload"
 )
@@ -39,6 +41,11 @@ type JobSpec struct {
 	//   "sweep"    — evaluate every Configs × Workloads cell (defaults:
 	//                the paper's six configurations × all workloads).
 	//                Result: {"measurements": [...]}.
+	//   "search"   — metaheuristic design-space search (internal/search):
+	//                Strategy over an enriched configuration space, on the
+	//                server's shared engine. Progress counts evaluations
+	//                against SearchBudget; DELETE cancels mid-search.
+	//                Result: search.Result (best point + trajectory).
 	Kind string `json:"kind"`
 
 	Config    string   `json:"config,omitempty"`
@@ -53,6 +60,26 @@ type JobSpec struct {
 	Warmup       uint64 `json:"warmup,omitempty"`
 	OracleBudget uint64 `json:"oracle_budget,omitempty"`
 	MaxOracle    int    `json:"max_oracle,omitempty"`
+
+	// search jobs only. Strategy is exhaustive|random|hillclimb|aco.
+	// SearchBudget bounds charged point evaluations (required for the
+	// guided strategies, ignored for exhaustive — a truncated enumeration
+	// would be a false ground truth); Seed drives the strategy's
+	// randomness (fixed seed =
+	// reproducible trajectory). The space starts from search.EnrichedSpace
+	// when Enriched is set, search.NewSpace otherwise (MaxPipes defaults
+	// to 4), and any explicitly given axis overrides the default; the
+	// Workloads field above selects the evaluation set (default: all).
+	Strategy       string   `json:"strategy,omitempty"`
+	SearchBudget   int      `json:"search_budget,omitempty"`
+	Seed           int64    `json:"seed,omitempty"`
+	Enriched       bool     `json:"enriched,omitempty"`
+	MaxPipes       int      `json:"max_pipes,omitempty"`
+	AreaCap        float64  `json:"area_cap,omitempty"`
+	Policies       []string `json:"policies,omitempty"`
+	RemapIntervals []uint64 `json:"remap_intervals,omitempty"`
+	QueueScales    []int    `json:"queue_scales,omitempty"`
+	FetchBufScales []int    `json:"fetch_buf_scales,omitempty"`
 }
 
 func (s JobSpec) options() sim.Options {
@@ -205,14 +232,86 @@ func resolveCells(spec JobSpec) ([]sim.SweepCell, error) {
 		}
 		return cells, nil
 	default:
-		return nil, fmt.Errorf("unknown job kind %q (want run, evaluate or sweep)", spec.Kind)
+		return nil, fmt.Errorf("unknown job kind %q (want run, evaluate, sweep or search)", spec.Kind)
 	}
+}
+
+// resolveSearch validates a search spec at submit time and assembles its
+// space, strategy and driver options.
+func resolveSearch(spec JobSpec) (search.Space, search.Strategy, search.Options, error) {
+	var zero search.Space
+	st, err := search.ByName(spec.Strategy)
+	if err != nil {
+		return zero, nil, search.Options{}, err
+	}
+	budget := spec.SearchBudget
+	if spec.Strategy == "exhaustive" {
+		// Exhaustive results are only trustworthy un-truncated: the
+		// enumeration terminates on its own, so the budget is ignored
+		// rather than allowed to silently cut the ground truth short.
+		budget = 0
+	} else if budget <= 0 {
+		return zero, nil, search.Options{}, fmt.Errorf("%s search needs a positive search_budget", spec.Strategy)
+	}
+
+	var wls []workload.Workload
+	if len(spec.Workloads) == 0 {
+		wls = workload.All()
+	} else {
+		for _, name := range spec.Workloads {
+			wl, err := workload.ByName(name)
+			if err != nil {
+				return zero, nil, search.Options{}, err
+			}
+			wls = append(wls, wl)
+		}
+	}
+	maxPipes := spec.MaxPipes
+	if maxPipes <= 0 {
+		maxPipes = 4
+	}
+	sp := search.NewSpace(maxPipes, spec.AreaCap, wls)
+	if spec.Enriched {
+		sp = search.EnrichedSpace(maxPipes, spec.AreaCap, wls)
+	}
+	if len(spec.Policies) > 0 {
+		sp.Policies = spec.Policies
+	}
+	if len(spec.RemapIntervals) > 0 {
+		sp.RemapIntervals = spec.RemapIntervals
+	}
+	if len(spec.QueueScales) > 0 {
+		sp.QueueScales = spec.QueueScales
+	}
+	if len(spec.FetchBufScales) > 0 {
+		sp.FetchBufScales = spec.FetchBufScales
+	}
+	if err := sp.Validate(); err != nil {
+		return zero, nil, search.Options{}, err
+	}
+	opts := search.Options{
+		Budget: budget,
+		Seed:   spec.Seed,
+		Sim:    spec.options(),
+	}
+	return sp, st, opts, nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	if spec.Kind == "search" {
+		sp, st, opts, err := resolveSearch(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		j, ctx := s.newJob(spec, opts.Budget)
+		go s.executeSearch(ctx, j, sp, st, opts)
+		writeJSON(w, http.StatusAccepted, j.status())
 		return
 	}
 	cells, err := resolveCells(spec)
@@ -235,16 +334,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	j, ctx := s.newJob(spec, len(cells))
+	go s.execute(ctx, j, cells)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// newJob registers a pending job with a cancelable context; total is the
+// initial progress denominator (cells for simulation jobs, the budget for
+// search jobs — refined once the search knows its effective target).
+func (s *Server) newJob(spec JobSpec, total int) (*job, context.Context) {
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{spec: spec, cancel: cancel, state: "pending", total: len(cells), created: time.Now()}
+	j := &job{spec: spec, cancel: cancel, state: "pending", total: total, created: time.Now()}
 	s.mu.Lock()
 	s.nextID++
 	j.id = fmt.Sprintf("job-%06d", s.nextID)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
-
-	go s.execute(ctx, j, cells)
-	writeJSON(w, http.StatusAccepted, j.status())
+	return j, ctx
 }
 
 // execute runs a job to completion. One goroutine per job coordinates;
@@ -293,6 +399,40 @@ func (s *Server) execute(ctx context.Context, j *job, cells []sim.SweepCell) {
 	case ctx.Err() != nil:
 		j.state = "canceled"
 		j.errmsg = ctx.Err().Error()
+	default:
+		j.state = "failed"
+		j.errmsg = err.Error()
+	}
+}
+
+// executeSearch runs a search job on the server's shared runner: every
+// point evaluation goes through the one engine, so overlapping searches
+// (and sweeps) share their simulations.
+func (s *Server) executeSearch(ctx context.Context, j *job, sp search.Space, st search.Strategy, opts search.Options) {
+	j.mu.Lock()
+	j.state = "running"
+	j.mu.Unlock()
+
+	opts.Progress = func(done, total int) {
+		j.mu.Lock()
+		j.done = done
+		j.total = total // the driver's effective target: min(budget, space)
+		j.mu.Unlock()
+	}
+	result, err := search.NewDriver(s.runner).Search(ctx, sp, st, opts)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = "done"
+		j.result = result
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Attribute by the returned error, not ctx.Err(): a DELETE racing
+		// a genuine failure must not relabel the failure as canceled.
+		j.state = "canceled"
+		j.errmsg = err.Error()
 	default:
 		j.state = "failed"
 		j.errmsg = err.Error()

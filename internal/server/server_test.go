@@ -13,6 +13,7 @@ import (
 	"hdsmt/internal/core"
 	"hdsmt/internal/engine"
 	"hdsmt/internal/mapping"
+	"hdsmt/internal/search"
 	"hdsmt/internal/server"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/workload"
@@ -307,5 +308,111 @@ func TestResultBeforeDone(t *testing.T) {
 	final := awaitJob(t, ts, st.ID)
 	if final.State != "done" {
 		t.Fatalf("job state %s: %s", final.State, final.Error)
+	}
+}
+
+// TestSearchJobRoundTrip exercises the search job kind end to end: submit
+// an ACO search over a small enriched space, poll to done, fetch the
+// trajectory, and check it matches a direct driver run on the same seed.
+func TestSearchJobRoundTrip(t *testing.T) {
+	ts, r := newTestServer(t)
+	spec := server.JobSpec{
+		Kind:         "search",
+		Strategy:     "aco",
+		SearchBudget: 10,
+		Seed:         7,
+		MaxPipes:     3,
+		QueueScales:  []int{75, 100},
+		Workloads:    []string{"2W7"},
+		Budget:       2_000,
+		Warmup:       1_000,
+	}
+	st := postJob(t, ts, spec)
+	st = awaitJob(t, ts, st.ID)
+	if st.State != "done" {
+		t.Fatalf("search job state = %s (%s)", st.State, st.Error)
+	}
+	if st.Progress.Done != 10 || st.Progress.Total != 10 {
+		t.Errorf("progress = %+v, want 10/10", st.Progress)
+	}
+
+	var got search.Result
+	if code := getJSON(t, ts.URL+"/jobs/"+st.ID+"/result", &got); code != http.StatusOK {
+		t.Fatalf("GET result = %d", code)
+	}
+	if got.Best == nil || len(got.Trajectory) == 0 {
+		t.Fatalf("search result lacks a best point or trajectory: %+v", got)
+	}
+	if got.Strategy != "aco" || got.Evaluations != 10 {
+		t.Errorf("result = strategy %q evaluations %d, want aco/10", got.Strategy, got.Evaluations)
+	}
+
+	// The same search run directly on the server's runner must agree on
+	// the incumbent (the engine cache is warm; scores are memoized, not
+	// re-derived, so equality is exact).
+	sp := search.NewSpace(3, 0, []workload.Workload{workload.MustByName("2W7")})
+	sp.QueueScales = []int{75, 100}
+	direct, err := search.NewDriver(r).Search(context.Background(), sp, search.NewACO(),
+		search.Options{Budget: 10, Seed: 7, Sim: sim.Options{Budget: 2_000, Warmup: 1_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Best.Config != got.Best.Config || direct.Best.PerArea != got.Best.PerArea {
+		t.Errorf("HTTP search best %s (%.6f) != direct best %s (%.6f)",
+			got.Best.Config, got.Best.PerArea, direct.Best.Config, direct.Best.PerArea)
+	}
+}
+
+// TestSearchJobCancel covers the cancel path: DELETE on a running search
+// settles it as canceled.
+func TestSearchJobCancel(t *testing.T) {
+	ts, _ := newTestServer(t)
+	spec := server.JobSpec{
+		Kind:         "search",
+		Strategy:     "random",
+		SearchBudget: 100_000, // far more than the space holds: runs until canceled
+		MaxPipes:     4,
+		Workloads:    []string{"4W6"},
+		Budget:       200_000, // slow cells so the cancel lands mid-run
+		Warmup:       10_000,
+	}
+	st := postJob(t, ts, spec)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st = awaitJob(t, ts, st.ID)
+	if st.State != "canceled" {
+		t.Errorf("state after DELETE = %s, want canceled", st.State)
+	}
+}
+
+// TestSearchJobValidation rejects malformed search specs at submit time.
+func TestSearchJobValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, spec := range map[string]server.JobSpec{
+		"unknown strategy": {Kind: "search", Strategy: "genetic", SearchBudget: 5},
+		"missing budget":   {Kind: "search", Strategy: "aco"},
+		"bad workload":     {Kind: "search", Strategy: "aco", SearchBudget: 5, Workloads: []string{"9W9"}},
+		"bad policy":       {Kind: "search", Strategy: "aco", SearchBudget: 5, Policies: []string{"NOPE"}},
+		"bad scale":        {Kind: "search", Strategy: "aco", SearchBudget: 5, QueueScales: []int{0}},
+	} {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
 	}
 }

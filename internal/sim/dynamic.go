@@ -47,14 +47,7 @@ func RunDynamic(cfg config.Microarch, w workload.Workload, interval uint64, opt 
 	}
 	out.StaticIPC = rs.IPC
 
-	remapper := func(misses []uint64, current []int) []int {
-		m, err := mapping.Heuristic(cfg.ForThreads(len(misses)), misses)
-		if err != nil {
-			return current // cannot happen for valid configs; stay put
-		}
-		return m
-	}
-	dynOpts := append(coreOpts, core.WithDynamicMapping(interval, remapper))
+	dynOpts := append(coreOpts, core.WithDynamicMapping(interval, heuristicRemapper(cfg)))
 	dyn, err := core.New(cfg, specs, initial, dynOpts...)
 	if err != nil {
 		return out, err
@@ -71,3 +64,17 @@ func RunDynamic(cfg config.Microarch, w workload.Workload, interval uint64, opt 
 // DefaultRemapInterval is a reasonable reconsideration period: long enough
 // to amortize the migration drain, short enough to catch phase changes.
 const DefaultRemapInterval = 2_048
+
+// heuristicRemapper is the §7 dynamic-mapping rule shared by RunDynamic
+// and the engine's Remap request axis: the §2.1 heuristic re-evaluated on
+// observed per-thread miss counts, staying put if the heuristic cannot
+// produce a mapping (impossible for valid configurations).
+func heuristicRemapper(cfg config.Microarch) core.Remapper {
+	return func(misses []uint64, current []int) []int {
+		m, err := mapping.Heuristic(cfg.ForThreads(len(misses)), misses)
+		if err != nil {
+			return current
+		}
+		return m
+	}
+}

@@ -71,6 +71,11 @@ func CandidateConfigs(maxPipes int, areaCap float64) ([]config.Microarch, error)
 	if err := add(config.MustParse("M8")); err != nil {
 		return nil, err
 	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf(
+			"sim: area cap %.2f mm² filters out every candidate (maxPipes %d); the smallest machine is 1M2 at %.2f mm²",
+			areaCap, maxPipes, area.MustTotal(config.MustParse("M2")))
+	}
 
 	sort.SliceStable(out, func(i, j int) bool {
 		return area.MustTotal(out[i]) < area.MustTotal(out[j])
@@ -92,21 +97,27 @@ type ExploreResult struct {
 // contexts for any workload are reported as skipped.
 func Explore(wls []workload.Workload, cands []config.Microarch, opt Options) ([]ExploreResult, error) {
 	return ephemeral(opt, func(r *Runner) ([]ExploreResult, error) {
-		return r.Explore(context.Background(), wls, cands, opt)
+		return r.Explore(context.Background(), wls, cands, opt, nil)
 	})
 }
 
 // Explore is Explore on this Runner's engine: every feasible
-// (candidate, workload) run is planned up front and submitted as one
-// batch.
-func (r *Runner) Explore(ctx context.Context, wls []workload.Workload, cands []config.Microarch, opt Options) ([]ExploreResult, error) {
+// (candidate, workload) run is submitted up front, so the worker pool
+// stays saturated across candidate boundaries; candidates then settle in
+// input order. progress, when non-nil, is called after each candidate
+// settles with the count done so far (skipped candidates count — they are
+// decided, just not simulated).
+func (r *Runner) Explore(ctx context.Context, wls []workload.Workload, cands []config.Microarch, opt Options, progress func(done int)) ([]ExploreResult, error) {
 	if len(wls) == 0 {
 		return nil, fmt.Errorf("sim: no workloads to explore over")
 	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("sim: no candidate configurations to explore (CandidateConfigs or a non-empty candidate list required)")
+	}
 	out := make([]ExploreResult, 0, len(cands))
-	var reqs []engine.Request
-	owner := make([]int, 0, len(cands)*len(wls)) // reqs[i] belongs to out[owner[i]]
-	for _, cfg := range cands {
+	offsets := make([]int, len(cands)) // tickets[offsets[i]:offsets[i+1]] belong to out[i]
+	var tickets []*engine.Ticket
+	for ci, cfg := range cands {
 		res := ExploreResult{Config: cfg.Name, Area: area.MustTotal(cfg)}
 		var cellReqs []engine.Request
 		for _, w := range wls {
@@ -121,27 +132,38 @@ func (r *Runner) Explore(ctx context.Context, wls []workload.Workload, cands []c
 			}
 			cellReqs = append(cellReqs, newRequest(eff, w, m, opt.Budget, opt.Warmup))
 		}
+		offsets[ci] = len(tickets)
 		if !res.Skipped {
-			for range cellReqs {
-				owner = append(owner, len(out))
+			for _, req := range cellReqs {
+				tk, err := r.eng.Submit(ctx, req)
+				if err != nil {
+					return nil, fmt.Errorf("sim: submitting %s: %w", req, err)
+				}
+				tickets = append(tickets, tk)
 			}
-			reqs = append(reqs, cellReqs...)
 		}
 		out = append(out, res)
 	}
 
-	results, err := r.eng.RunBatch(ctx, reqs)
-	if err != nil {
-		return nil, err
-	}
-	ipcs := make([][]float64, len(out))
-	for i, res := range results {
-		ipcs[owner[i]] = append(ipcs[owner[i]], res.IPC)
-	}
 	for i := range out {
+		end := len(tickets)
+		if i+1 < len(out) {
+			end = offsets[i+1]
+		}
+		var ipcs []float64
+		for _, tk := range tickets[offsets[i]:end] {
+			res, err := tk.Wait(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("sim: exploring %s: %w", out[i].Config, err)
+			}
+			ipcs = append(ipcs, res.IPC)
+		}
 		if !out[i].Skipped {
-			out[i].IPC = metrics.HMean(ipcs[i])
+			out[i].IPC = metrics.HMean(ipcs)
 			out[i].PerArea = out[i].IPC / out[i].Area
+		}
+		if progress != nil {
+			progress(i + 1)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {

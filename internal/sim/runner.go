@@ -74,6 +74,9 @@ func simulate(ctx context.Context, req engine.Request) (core.Results, error) {
 		}
 		opts = append(opts, core.WithPolicy(pol))
 	}
+	if req.Remap > 0 {
+		opts = append(opts, core.WithDynamicMapping(req.Remap, heuristicRemapper(req.Cfg)))
+	}
 	p, err := core.New(req.Cfg, specs, req.Mapping, opts...)
 	if err != nil {
 		return core.Results{}, err
@@ -89,12 +92,11 @@ func defaultPolicyName(cfg config.Microarch) string {
 
 // policyByName resolves a fetch.Policy from its Name().
 func policyByName(name string) (fetch.Policy, error) {
-	for _, p := range []fetch.Policy{fetch.ICount{}, fetch.Flush{}, fetch.L1MCount{}} {
-		if p.Name() == name {
-			return p, nil
-		}
+	p, err := fetch.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return nil, fmt.Errorf("sim: unknown fetch policy %q", name)
+	return p, nil
 }
 
 // newRequest assembles the engine job for one simulation. The
@@ -110,6 +112,33 @@ func newRequest(cfg config.Microarch, w workload.Workload, m mapping.Mapping, bu
 		Budget:   budget,
 		Warmup:   warmup,
 	}
+}
+
+// NewRequest assembles the engine job for one design point: cfg on w under
+// the default (§2.1 heuristic) mapping, with an optional fetch-policy
+// override and an optional dynamic-remap interval. A policy equal to the
+// configuration's default is normalized to "" and a remap interval on a
+// monolithic configuration (where migration is meaningless) to 0, so
+// equivalent points share one cache key. Design-space searchers build
+// their evaluation batches from it and submit via Engine().
+func NewRequest(cfg config.Microarch, w workload.Workload, opt Options, policy string, remap uint64) (engine.Request, error) {
+	if policy != "" {
+		if _, err := policyByName(policy); err != nil {
+			return engine.Request{}, err
+		}
+	}
+	m, err := DefaultMapping(cfg, w)
+	if err != nil {
+		return engine.Request{}, err
+	}
+	req := newRequest(cfg, w, m, opt.Budget, opt.Warmup)
+	if policy != "" && policy != defaultPolicyName(cfg) {
+		req.Policy = policy
+	}
+	if remap > 0 && !cfg.Monolithic {
+		req.Remap = remap
+	}
+	return req, nil
 }
 
 // Run simulates one (configuration, workload, mapping) cell through the
