@@ -41,6 +41,8 @@ func main() {
 		perfReps  = flag.Int("perfreps", 5, "repetitions per cell for -perf")
 		searchOut = flag.String("search", "", "run the search-efficiency benchmark (metaheuristics vs exhaustive enumeration), write the report to this JSON file, and exit")
 		searchSd  = flag.Int64("searchseed", 1, "random seed for -search")
+		paretoOut = flag.String("pareto", "", "run the multi-objective benchmark (fronts, hypervolume trajectories, seeded priors, per-class specialization), write the report to this JSON file, and exit")
+		paretoSd  = flag.Int64("paretoseed", 1, "random seed for -pareto")
 	)
 	flag.Parse()
 
@@ -57,6 +59,13 @@ func main() {
 	}
 	if *searchOut != "" {
 		if err := writeSearchReport(*searchOut, *searchSd); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *paretoOut != "" {
+		if err := writeParetoReport(*paretoOut, *paretoSd); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdsmt/internal/engine"
+	"hdsmt/internal/pareto"
+	"hdsmt/internal/search"
+	"hdsmt/internal/sim"
+	"hdsmt/internal/workload"
+)
+
+// seedEntry is one strategy's simulations-to-optimum record on the small
+// space, comparing the ROADMAP's area-normalized issue-width prior against
+// the uniform baseline. With one workload on a cold engine, a charged
+// evaluation is exactly one executed simulation, so EvalsToOptimum is the
+// simulations-to-optimum figure.
+type seedEntry struct {
+	Strategy     string `json:"strategy"`
+	Seeded       bool   `json:"seeded"`
+	Budget       int    `json:"budget"`
+	Seed         int64  `json:"seed"`
+	FoundOptimum bool   `json:"found_optimum"`
+	// EvalsToOptimum is the evaluation at which the exhaustive optimum
+	// became the incumbent (0 when missed).
+	EvalsToOptimum int            `json:"evals_to_optimum"`
+	Simulations    uint64         `json:"simulations"`
+	Result         *search.Result `json:"result"`
+}
+
+// paretoReport is BENCH_PR4.json: the multi-objective front machinery
+// exercised end to end — prior-seeded search efficiency on the small
+// space, the exhaustive (ipc, area) front of the 20,736-genotype enriched
+// space with the scalar optimum pinned onto it, budgeted NSGA-II and
+// Pareto-ACO hypervolume trajectories, and per-workload-class
+// specialization deltas.
+type paretoReport struct {
+	Name      string `json:"name"`
+	SimBudget uint64 `json:"sim_budget"`
+	SimWarmup uint64 `json:"sim_warmup"`
+
+	// Seeding: uniform vs issue-width-prior variants on the small space.
+	Seeding struct {
+		Workloads  []string    `json:"workloads"`
+		Genotypes  int64       `json:"genotypes"`
+		Optimum    string      `json:"optimum"` // the exhaustive scalar optimum's name
+		Exhaustive int         `json:"exhaustive_evaluations"`
+		Entries    []seedEntry `json:"entries"`
+	} `json:"seeding"`
+
+	// EnrichedSpace: the exhaustive (ipc, area) front and the budgeted
+	// multi-objective strategies on the space exhaustive search was built
+	// to dwarf.
+	EnrichedSpace struct {
+		Workloads []string `json:"workloads"`
+		Genotypes int64    `json:"genotypes"`
+		// FrontObjectives are the exhaustive front's axes; the budgeted
+		// nsga2/paco runs use StrategyObjectives (fairness included), so
+		// their hypervolumes are 3-D and not comparable to the front's.
+		FrontObjectives    []string                 `json:"front_objectives"`
+		StrategyObjectives []string                 `json:"strategy_objectives"`
+		ScalarBest         *search.TrajectoryPoint  `json:"scalar_best"`
+		OptimumOnFront     bool                     `json:"optimum_on_front"`
+		FrontSize          int                      `json:"front_size"`
+		Front              []search.TrajectoryPoint `json:"front"`
+		NSGA2              *search.Result           `json:"nsga2"`
+		PACO               *search.Result           `json:"paco"`
+	} `json:"enriched_space"`
+
+	// Specialization: one machine per workload class vs the generic one,
+	// over (ipc, area, fairness).
+	Specialization *search.SpecializationReport `json:"specialization"`
+}
+
+// writeParetoReport runs the multi-objective benchmark. Every claim the CI
+// smoke step depends on is asserted here and fails the command loudly:
+// non-empty mutually non-dominated fronts, monotone hypervolume
+// trajectories, the scalar optimum on the enriched front, and every seeded
+// strategy still finding the small-space optimum.
+func writeParetoReport(path string, seed int64) error {
+	const wlName = "2W7"
+	wls := []workload.Workload{workload.MustByName(wlName)}
+	simOpt := sim.Options{Budget: 2_000, Warmup: 1_000}
+	report := paretoReport{Name: "pareto-front", SimBudget: simOpt.Budget, SimWarmup: simOpt.Warmup}
+
+	// ---- Part 1: prior seeding on the small space -----------------------
+	small := search.NewSpace(3, 0, wls)
+	small.QueueScales = []int{75, 100, 125}
+	small.RemapIntervals = []uint64{0, sim.DefaultRemapInterval}
+	report.Seeding.Workloads = []string{wlName}
+	report.Seeding.Genotypes = small.Size()
+
+	exh, err := runSearch(small, search.Exhaustive{}, search.Options{Sim: simOpt})
+	if err != nil {
+		return err
+	}
+	if exh.Best == nil {
+		return fmt.Errorf("exhaustive search found no feasible machine")
+	}
+	report.Seeding.Optimum = exh.Best.Name()
+	report.Seeding.Exhaustive = exh.Evaluations
+	budget := exh.Evaluations * 30 / 100
+	fmt.Printf("pareto: small-space optimum %s after %d exhaustive evaluations; strategy budget %d\n",
+		exh.Best.Name(), exh.Evaluations, budget)
+
+	for _, name := range []string{"hillclimb", "hillclimb-seeded", "aco", "aco-seeded"} {
+		st, err := search.ByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := runSearch(small, st, search.Options{Budget: budget, Seed: seed, Sim: simOpt})
+		if err != nil {
+			return err
+		}
+		entry := seedEntry{Strategy: name, Seeded: strings.HasSuffix(name, "-seeded"),
+			Budget: budget, Seed: seed, Simulations: res.Simulations, Result: res}
+		if res.Best != nil && res.Best.Config == exh.Best.Config &&
+			res.Best.Policy == exh.Best.Policy && res.Best.Remap == exh.Best.Remap {
+			entry.FoundOptimum = true
+			entry.EvalsToOptimum = res.Best.Evaluations
+		}
+		report.Seeding.Entries = append(report.Seeding.Entries, entry)
+		fmt.Printf("pareto: %-18s optimum=%v after %d evaluations (%d simulations)\n",
+			name, entry.FoundOptimum, entry.EvalsToOptimum, res.Simulations)
+		if !entry.FoundOptimum {
+			got := "(none)"
+			if res.Best != nil {
+				got = res.Best.Name()
+			}
+			return fmt.Errorf("%s missed the exhaustive optimum (%s vs %s)", name, got, exh.Best.Name())
+		}
+	}
+
+	// ---- Part 2: the enriched-space front -------------------------------
+	enriched := search.EnrichedSpace(4, 0, wls)
+	report.EnrichedSpace.Workloads = []string{wlName}
+	report.EnrichedSpace.Genotypes = enriched.Size()
+	ipcArea, err := pareto.Parse("ipc,area")
+	if err != nil {
+		return err
+	}
+	threeObjs, err := pareto.Parse("ipc,area,fairness")
+	if err != nil {
+		return err
+	}
+	report.EnrichedSpace.FrontObjectives = pareto.Keys(ipcArea)
+	report.EnrichedSpace.StrategyObjectives = pareto.Keys(threeObjs)
+
+	// One shared runner: the scalar pass simulates every candidate once,
+	// the multi-objective pass re-reads the same results from the engine.
+	runner, err := sim.NewRunner(engine.Options{})
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+	drv := search.NewDriver(runner)
+	scalar, err := drv.Search(context.Background(), enriched, search.Exhaustive{}, search.Options{Sim: simOpt})
+	if err != nil {
+		return err
+	}
+	if scalar.Best == nil {
+		return fmt.Errorf("enriched exhaustive search found no feasible machine")
+	}
+	report.EnrichedSpace.ScalarBest = scalar.Best
+	mo, err := drv.Search(context.Background(), enriched, search.Exhaustive{}, search.Options{
+		Sim: simOpt, Objectives: ipcArea, ArchiveCap: 1 << 12,
+	})
+	if err != nil {
+		return err
+	}
+	if mo.Simulations != 0 {
+		return fmt.Errorf("multi-objective pass executed %d fresh simulations, want 0 (warm engine)", mo.Simulations)
+	}
+	if len(mo.Front) == 0 {
+		return fmt.Errorf("enriched exhaustive front is empty")
+	}
+	report.EnrichedSpace.FrontSize = len(mo.Front)
+	report.EnrichedSpace.Front = mo.Front
+	for _, fp := range mo.Front {
+		if fp.Config == scalar.Best.Config && fp.Policy == scalar.Best.Policy && fp.Remap == scalar.Best.Remap {
+			report.EnrichedSpace.OptimumOnFront = true
+		}
+	}
+	if !report.EnrichedSpace.OptimumOnFront {
+		return fmt.Errorf("scalar optimum %s missing from the %d-point enriched front",
+			scalar.Best.Name(), len(mo.Front))
+	}
+	if err := search.CheckFront(ipcArea, mo.Front); err != nil {
+		return err
+	}
+	fmt.Printf("pareto: enriched space (%d genotypes): %d-point (ipc, area) front; scalar optimum %s on it\n",
+		enriched.Size(), len(mo.Front), scalar.Best.Name())
+
+	// Budgeted multi-objective strategies on fresh engines, over the full
+	// three objectives (fairness prices its alone-run baselines in).
+	for _, name := range []string{"nsga2", "paco"} {
+		st, err := search.ByName(name)
+		if err != nil {
+			return err
+		}
+		res, err := runSearch(enriched, st, search.Options{
+			Budget: 48, Seed: seed, Sim: simOpt, Objectives: threeObjs,
+		})
+		if err != nil {
+			return err
+		}
+		if len(res.Front) == 0 {
+			return fmt.Errorf("%s produced an empty front", name)
+		}
+		if err := search.CheckFront(threeObjs, res.Front); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := assertMonotoneHV(res); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		switch name {
+		case "nsga2":
+			report.EnrichedSpace.NSGA2 = res
+		case "paco":
+			report.EnrichedSpace.PACO = res
+		}
+		last := res.Hypervolume[len(res.Hypervolume)-1]
+		fmt.Printf("pareto: %-6s front %d machines, hypervolume %.2f after %d evaluations\n",
+			name, len(res.Front), last.Hypervolume, res.Evaluations)
+	}
+
+	// ---- Part 3: per-workload-class specialization ----------------------
+	classWls := []workload.Workload{
+		workload.MustByName("2W1"), // ILP
+		workload.MustByName("2W4"), // MEM
+		workload.MustByName("2W7"), // MIX
+	}
+	spec := search.NewSpace(3, 0, classWls)
+	specRunner, err := sim.NewRunner(engine.Options{})
+	if err != nil {
+		return err
+	}
+	defer specRunner.Close()
+	rep, err := search.NewDriver(specRunner).Specialize(context.Background(), spec, search.NewNSGA2(),
+		search.Options{Budget: 16, Seed: seed, Sim: simOpt, Objectives: threeObjs})
+	if err != nil {
+		return err
+	}
+	if len(rep.Classes) != 3 {
+		return fmt.Errorf("specialization covered %d classes, want 3", len(rep.Classes))
+	}
+	report.Specialization = rep
+	for _, cf := range rep.Classes {
+		if cf.Result.Best == nil {
+			return fmt.Errorf("%s specialized search found no feasible machine", cf.Class)
+		}
+		gen := "(infeasible)"
+		if cf.GenericBest != nil {
+			gen = fmt.Sprintf("generic %s IPC/mm² %.5f", cf.GenericBest.Name(), cf.GenericBest.PerArea)
+		}
+		fmt.Printf("pareto: %s specialized %s IPC/mm² %.5f vs %s (%+.1f%%)\n",
+			cf.Class, cf.Result.Best.Name(), cf.Result.Best.PerArea, gen, 100*cf.PerAreaGain)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("pareto: report written to %s\n", path)
+	return nil
+}
+
+// runSearch runs one search on a fresh engine, so simulation counts are
+// honest (no cross-strategy cache help).
+func runSearch(sp search.Space, st search.Strategy, opts search.Options) (*search.Result, error) {
+	runner, err := sim.NewRunner(engine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer runner.Close()
+	return search.NewDriver(runner).Search(context.Background(), sp, st, opts)
+}
+
+// assertMonotoneHV verifies the hypervolume trajectory never decreases —
+// true whenever the archive never prunes, which these budgets guarantee.
+func assertMonotoneHV(res *search.Result) error {
+	if len(res.Hypervolume) == 0 {
+		return fmt.Errorf("no hypervolume trajectory")
+	}
+	last := 0.0
+	for _, hp := range res.Hypervolume {
+		if hp.Hypervolume < last {
+			return fmt.Errorf("hypervolume fell from %v to %v at evaluation %d", last, hp.Hypervolume, hp.Evaluations)
+		}
+		last = hp.Hypervolume
+	}
+	return nil
+}

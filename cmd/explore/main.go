@@ -7,11 +7,16 @@
 // evaluates each candidate over a workload set with the §2.1 heuristic
 // mapping, and prints the full ranking — the cross-check baseline.
 //
-// The metaheuristic strategies (random, hillclimb, aco; internal/search)
-// instead walk an enriched space — pipeline multiset × fetch policy ×
-// dynamic-remap interval × issue-queue and decoupling-buffer sizing —
-// under an evaluation budget, and print the best-so-far trajectory. A
-// fixed -seed reproduces a search exactly.
+// The metaheuristic strategies (random, hillclimb, aco and their
+// proxy-seeded variants; internal/search) instead walk an enriched space —
+// pipeline multiset × fetch policy × dynamic-remap interval × issue-queue
+// and decoupling-buffer sizing — under an evaluation budget, and print the
+// best-so-far trajectory. A fixed -seed reproduces a search exactly.
+//
+// -objectives turns the run multi-objective (internal/pareto): the driver
+// keeps an archive of non-dominated machines, the multi-objective
+// strategies (nsga2, paco) optimize the whole front, and the output adds
+// the front with its hypervolume trajectory (-frontcsv exports it).
 //
 // Examples:
 //
@@ -20,10 +25,13 @@
 //	explore -strategy aco -evals 60 -enriched # guided search of the enriched space
 //	explore -strategy hillclimb -evals 40 -qscales 75,100,125 -seed 7
 //	explore -workloads 2W7,4W6,4W8 -budget 20000
+//	explore -strategy nsga2 -objectives ipc,area,fairness -evals 64 -enriched
+//	explore -strategy paco -objectives ipc,area -evals 48 -frontcsv front.csv
 package main
 
 import (
 	"context"
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +40,7 @@ import (
 	"strings"
 
 	"hdsmt/internal/engine"
+	"hdsmt/internal/pareto"
 	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/workload"
@@ -39,7 +48,7 @@ import (
 
 func main() {
 	var (
-		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive|random|hillclimb|aco")
+		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive|random|hillclimb|hillclimb-seeded|aco|aco-seeded|nsga2|paco")
 		maxPipes = flag.Int("maxpipes", 4, "maximum pipelines per candidate")
 		areaCap  = flag.Float64("areacap", 0, "area budget in mm² (0 = unlimited)")
 		wlList   = flag.String("workloads", "2W7,4W6", "comma-separated workload set")
@@ -53,8 +62,19 @@ func main() {
 		qscales  = flag.String("qscales", "", "comma-separated issue/load-queue scales in percent")
 		fbscales = flag.String("fbscales", "", "comma-separated decoupling-buffer scales in percent")
 		out      = flag.String("out", "", "also write the result to this JSON file (search trajectory, or the exhaustive ranking)")
+		objs     = flag.String("objectives", "", "comma-separated multi-objective axes (2-3 of ipc,area,fairness,per_area; empty = scalar IPC/mm²)")
+		archive  = flag.Int("archive", 0, "non-dominated archive capacity (0 = default; crowding pruning beyond it)")
+		frontCSV = flag.String("frontcsv", "", "write the Pareto front to this CSV file (multi-objective runs)")
 	)
 	flag.Parse()
+	if *frontCSV != "" && *objs == "" {
+		// Checked before any simulation: a forgotten -objectives must not
+		// surface only after the whole search has been paid for.
+		fail(fmt.Errorf("-frontcsv needs a multi-objective run: pass -objectives too"))
+	}
+	if *archive != 0 && *objs == "" {
+		fail(fmt.Errorf("-archive needs a multi-objective run: pass -objectives too"))
+	}
 
 	var wls []workload.Workload
 	for _, name := range strings.Split(*wlList, ",") {
@@ -68,8 +88,9 @@ func main() {
 
 	// The legacy table (CandidateConfigs + sim.Explore, M8 baseline
 	// included) serves plain exhaustive runs — -out then writes the
-	// ranking JSON; any enriched axis routes through internal/search.
-	if *strategy == "exhaustive" && !*enriched &&
+	// ranking JSON; any enriched axis or objective list routes through
+	// internal/search.
+	if *strategy == "exhaustive" && !*enriched && *objs == "" &&
 		*policies == "" && *remaps == "" && *qscales == "" && *fbscales == "" {
 		exhaustive(wls, *maxPipes, *areaCap, opt, *out)
 		return
@@ -78,6 +99,12 @@ func main() {
 	st, err := search.ByName(*strategy)
 	if err != nil {
 		fail(err)
+	}
+	var objectives []pareto.Objective
+	if *objs != "" {
+		if objectives, err = pareto.Parse(*objs); err != nil {
+			fail(err)
+		}
 	}
 	sp := search.NewSpace(*maxPipes, *areaCap, wls)
 	if *enriched {
@@ -128,9 +155,11 @@ func main() {
 		sp.Size(), st.Name(), budgetDesc, *seed, len(wls))
 
 	res, err := search.NewDriver(runner).Search(context.Background(), sp, st, search.Options{
-		Budget: budgetEvals,
-		Seed:   *seed,
-		Sim:    opt,
+		Budget:     budgetEvals,
+		Seed:       *seed,
+		Sim:        opt,
+		Objectives: objectives,
+		ArchiveCap: *archive,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d evaluations", done, total)
 		},
@@ -150,12 +179,73 @@ func main() {
 	} else {
 		fmt.Printf("\nbest: %s  IPC/mm² %.5f after %d evaluations\n", res.Best.Name(), res.Best.PerArea, res.Best.Evaluations)
 	}
+	printFront(res)
 	fmt.Printf("cost: %d evaluations, %d simulations executed, %d submitted, cache-hit rate %.1f%%\n",
 		res.Evaluations, res.Simulations, res.Submitted, 100*res.CacheHitRate)
 
 	if *out != "" {
 		writeJSON(*out, res)
 	}
+	if *frontCSV != "" {
+		if len(res.Front) == 0 {
+			fail(fmt.Errorf("-frontcsv needs a multi-objective run (-objectives) with a non-empty front"))
+		}
+		if err := writeFrontCSV(*frontCSV, res); err != nil {
+			fail(err)
+		}
+		fmt.Printf("front written to %s\n", *frontCSV)
+	}
+}
+
+// printFront renders the non-dominated archive of a multi-objective run,
+// ordered as the driver archives it (descending first-objective gain).
+func printFront(res *search.Result) {
+	if len(res.Front) == 0 {
+		return
+	}
+	fmt.Printf("\npareto front over (%s): %d machines\n", strings.Join(res.Objectives, ", "), len(res.Front))
+	fmt.Printf("%8s  %-24s %10s %10s %10s %12s\n", "evals", "machine", "area mm²", "IPC", "fairness", "IPC/mm²")
+	for _, fp := range res.Front {
+		fair := "-"
+		if fp.Fairness > 0 {
+			fair = fmt.Sprintf("%.3f", fp.Fairness)
+		}
+		fmt.Printf("%8d  %-24s %10.2f %10.3f %10s %12.5f\n",
+			fp.Evaluations, fp.Name(), fp.Area, fp.IPC, fair, fp.PerArea)
+	}
+	if n := len(res.Hypervolume); n > 0 {
+		fmt.Printf("hypervolume: %.4f after %d archive improvements\n",
+			res.Hypervolume[n-1].Hypervolume, n)
+	}
+}
+
+// writeFrontCSV exports the front: one row per machine, raw objective
+// columns included, so the trade-off plot is one spreadsheet away.
+func writeFrontCSV(path string, res *search.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"machine", "config", "policy", "remap", "evaluations", "ipc", "area_mm2", "fairness", "per_area"}); err != nil {
+		return err
+	}
+	for _, fp := range res.Front {
+		rec := []string{
+			fp.Name(), fp.Config, fp.Policy, strconv.FormatUint(fp.Remap, 10),
+			strconv.Itoa(fp.Evaluations),
+			strconv.FormatFloat(fp.IPC, 'g', -1, 64),
+			strconv.FormatFloat(fp.Area, 'g', -1, 64),
+			strconv.FormatFloat(fp.Fairness, 'g', -1, 64),
+			strconv.FormatFloat(fp.PerArea, 'g', -1, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
 }
 
 // writeJSON writes v as indented JSON to path.

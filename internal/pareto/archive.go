@@ -1,0 +1,189 @@
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry is one archive member: an opaque content key (the deduplication
+// identity — e.g. the search candidate's SHA-256 key), a display name, and
+// the point's raw objective vector. Payload carries arbitrary caller data
+// along with the member — it plays no part in dominance or ordering, and
+// it is dropped with the entry on eviction, so callers need no side table
+// that would outlive pruned members.
+type Entry struct {
+	Key     string
+	Name    string
+	Vector  Vector // raw objective values, in the archive's objective order
+	Payload any
+}
+
+// Archive is a bounded set of mutually non-dominated points. Add filters
+// incrementally: a dominated or duplicate proposal is rejected, an accepted
+// one evicts every member it dominates, and when the archive outgrows its
+// capacity the member with the smallest crowding distance is pruned — the
+// NSGA-II diversity rule, keeping the front's spread while bounding memory.
+//
+// Membership and order are deterministic functions of the proposal
+// sequence; Members additionally returns a canonical order independent of
+// insertion history, so two searches that discover the same front in
+// different orders render identical JSON.
+type Archive struct {
+	objs    []Objective
+	cap     int
+	entries []Entry
+	gains   []Vector // entries[i]'s gain vector, maintained in lockstep
+}
+
+// DefaultArchiveCap bounds archives whose callers give no capacity: large
+// enough that budgeted searches never prune (a prune can shrink the
+// dominated region, making the hypervolume trajectory non-monotone), small
+// enough to stay cheap on unbounded exhaustive runs.
+const DefaultArchiveCap = 64
+
+// NewArchive builds an empty archive over objs. capacity <= 0 means
+// DefaultArchiveCap.
+func NewArchive(objs []Objective, capacity int) *Archive {
+	if len(objs) == 0 {
+		panic("pareto: archive needs at least one objective")
+	}
+	if capacity <= 0 {
+		capacity = DefaultArchiveCap
+	}
+	return &Archive{objs: objs, cap: capacity}
+}
+
+// Objectives returns the archive's objective list.
+func (a *Archive) Objectives() []Objective { return a.objs }
+
+// Len returns the member count.
+func (a *Archive) Len() int { return len(a.entries) }
+
+// Add proposes e. It returns true when the archive changed: e was
+// non-dominated, not already present, and survived capacity pruning.
+func (a *Archive) Add(e Entry) bool {
+	if len(e.Vector) != len(a.objs) {
+		panic(fmt.Sprintf("pareto: entry has %d objectives, archive has %d", len(e.Vector), len(a.objs)))
+	}
+	g := Gain(a.objs, e.Vector)
+	for i, m := range a.entries {
+		if m.Key == e.Key {
+			return false // already archived (revisits are free)
+		}
+		if !GainDominates(g, a.gains[i]) && !GainDominates(a.gains[i], g) {
+			continue
+		}
+		if GainDominates(a.gains[i], g) {
+			return false // dominated by a member
+		}
+	}
+	// Non-dominated: evict every member e dominates, then insert.
+	keep := a.entries[:0]
+	keepG := a.gains[:0]
+	for i, m := range a.entries {
+		if GainDominates(g, a.gains[i]) {
+			continue
+		}
+		keep = append(keep, m)
+		keepG = append(keepG, a.gains[i])
+	}
+	a.entries = append(keep, e)
+	a.gains = append(keepG, g)
+	if len(a.entries) > a.cap {
+		a.prune()
+	}
+	// e itself may have been the pruned one; report whether it survived.
+	for _, m := range a.entries {
+		if m.Key == e.Key {
+			return true
+		}
+	}
+	return false
+}
+
+// prune drops the member with the smallest crowding distance (deterministic
+// tie-break: the lexicographically largest key loses, so older keys are
+// never silently displaced by equal-crowding newcomers in a way that
+// depends on map order — there are no maps here, but the rule keeps the
+// choice explicit).
+func (a *Archive) prune() {
+	dist := CrowdingDistances(a.gains)
+	worst := 0
+	for i := 1; i < len(a.entries); i++ {
+		if dist[i] < dist[worst] ||
+			(dist[i] == dist[worst] && a.entries[i].Key > a.entries[worst].Key) {
+			worst = i
+		}
+	}
+	a.entries = append(a.entries[:worst], a.entries[worst+1:]...)
+	a.gains = append(a.gains[:worst], a.gains[worst+1:]...)
+}
+
+// Members returns the archive in canonical order: descending first-gain,
+// then descending later gains, then key — independent of insertion order.
+func (a *Archive) Members() []Entry {
+	out := make([]Entry, len(a.entries))
+	idx := make([]int, len(a.entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		gx, gy := a.gains[idx[x]], a.gains[idx[y]]
+		for k := range gx {
+			if gx[k] != gy[k] {
+				return gx[k] > gy[k]
+			}
+		}
+		return a.entries[idx[x]].Key < a.entries[idx[y]].Key
+	})
+	for i, j := range idx {
+		out[i] = a.entries[j]
+	}
+	return out
+}
+
+// Hypervolume returns the volume of objective space dominated by the
+// archive between its members and the objectives' reference point — the
+// standard front-quality indicator: larger is better, and it grows
+// monotonically as long as no capacity prune fires.
+func (a *Archive) Hypervolume() float64 {
+	return HypervolumeOf(a.objs, a.vectors())
+}
+
+func (a *Archive) vectors() []Vector {
+	out := make([]Vector, len(a.entries))
+	for i := range a.entries {
+		out[i] = a.entries[i].Vector
+	}
+	return out
+}
+
+// CrowdingDistances returns the NSGA-II crowding distance of each gain
+// vector: for every objective the set is sorted, boundary points get +Inf,
+// and interior points accumulate their neighbors' normalized gap. Larger
+// means lonelier — the points pruning should keep.
+func CrowdingDistances(gains []Vector) []float64 {
+	n := len(gains)
+	dist := make([]float64, n)
+	if n == 0 {
+		return dist
+	}
+	dims := len(gains[0])
+	idx := make([]int, n)
+	for d := 0; d < dims; d++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool { return gains[idx[x]][d] < gains[idx[y]][d] })
+		lo, hi := gains[idx[0]][d], gains[idx[n-1]][d]
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[n-1]] = math.Inf(1)
+		if span := hi - lo; span > 0 {
+			for i := 1; i < n-1; i++ {
+				dist[idx[i]] += (gains[idx[i+1]][d] - gains[idx[i-1]][d]) / span
+			}
+		}
+	}
+	return dist
+}

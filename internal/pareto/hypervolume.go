@@ -1,0 +1,90 @@
+package pareto
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HypervolumeOf measures the volume of objective space dominated by the
+// raw vectors with respect to the objectives' reference point: the volume
+// of the union of axis-aligned boxes spanned by the reference point and
+// each vector, in gain coordinates (see Gain). Vectors that fail to
+// strictly improve on the reference in every objective contribute nothing.
+// Exact algorithms are implemented for 1, 2 and 3 objectives — the spans
+// Parse accepts; more objectives panic (the CLI cannot construct them).
+func HypervolumeOf(objs []Objective, vectors []Vector) float64 {
+	var pts []Vector
+next:
+	for _, v := range vectors {
+		g := Gain(objs, v)
+		for _, x := range g {
+			if x <= 0 {
+				continue next
+			}
+		}
+		pts = append(pts, g)
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	switch len(objs) {
+	case 1:
+		best := 0.0
+		for _, p := range pts {
+			if p[0] > best {
+				best = p[0]
+			}
+		}
+		return best
+	case 2:
+		return hv2(pts)
+	case 3:
+		return hv3(pts)
+	}
+	panic(fmt.Sprintf("pareto: exact hypervolume implemented for <= 3 objectives, got %d", len(objs)))
+}
+
+// hv2 is the 2D sweep: sort by the first gain descending and accumulate
+// each point's rectangle beyond the running second-gain maximum.
+func hv2(pts []Vector) float64 {
+	sorted := make([]Vector, len(pts))
+	copy(sorted, pts)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] > sorted[j][0]
+		}
+		return sorted[i][1] > sorted[j][1]
+	})
+	hv, yMax := 0.0, 0.0
+	for _, p := range sorted {
+		if p[1] > yMax {
+			hv += p[0] * (p[1] - yMax)
+			yMax = p[1]
+		}
+	}
+	return hv
+}
+
+// hv3 slices along the third gain: points sorted descending, each slab
+// between consecutive distinct levels contributes its height times the 2D
+// hypervolume of every point at or above the slab's top.
+func hv3(pts []Vector) float64 {
+	sorted := make([]Vector, len(pts))
+	copy(sorted, pts)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i][2] > sorted[j][2] })
+	hv := 0.0
+	var prefix []Vector
+	for i := 0; i < len(sorted); {
+		z := sorted[i][2]
+		for i < len(sorted) && sorted[i][2] == z {
+			prefix = append(prefix, sorted[i])
+			i++
+		}
+		lower := 0.0
+		if i < len(sorted) {
+			lower = sorted[i][2]
+		}
+		hv += hv2(prefix) * (z - lower)
+	}
+	return hv
+}

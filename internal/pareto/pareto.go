@@ -1,0 +1,184 @@
+// Package pareto is the multi-objective layer of the design-space search:
+// named objectives with configurable optimization senses, dominance over
+// raw objective vectors, a deduplicating non-dominated archive with
+// incremental filtering and crowding-distance pruning to a bounded size,
+// and a 2D/3D hypervolume indicator against a fixed reference point.
+//
+// The package is deliberately ignorant of what a design point is: callers
+// identify points by an opaque content key and hand in raw objective
+// values; everything here is pure arithmetic, so a fixed proposal order
+// reproduces archives — and their JSON renderings — byte for byte.
+package pareto
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sense is an objective's optimization direction.
+type Sense int
+
+// The two senses. Maximize is the zero value: an Objective literal without
+// an explicit sense maximizes, matching the common case (IPC, fairness).
+const (
+	Maximize Sense = iota
+	Minimize
+)
+
+// String renders the sense ("max"/"min").
+func (s Sense) String() string {
+	if s == Minimize {
+		return "min"
+	}
+	return "max"
+}
+
+// Objective is one axis of the search's objective space.
+type Objective struct {
+	// Key names the objective ("ipc", "area", "fairness", "per_area").
+	Key string `json:"key"`
+	// Sense is the optimization direction.
+	Sense Sense `json:"sense"`
+	// Ref is the hypervolume reference coordinate: the worst value a point
+	// may take and still contribute volume. For a maximized objective any
+	// value at or below Ref contributes nothing; for a minimized one, any
+	// value at or above it.
+	Ref float64 `json:"ref"`
+}
+
+// The built-in objectives of the hdSMT space. Area's reference point must
+// sit above any machine the space can decode; the largest evaluated
+// configurations are well under 200 mm², so 500 leaves headroom for
+// enriched sizings while keeping the slab factor finite.
+var builtin = []Objective{
+	{Key: "ipc", Sense: Maximize, Ref: 0},
+	{Key: "area", Sense: Minimize, Ref: 500},
+	{Key: "fairness", Sense: Maximize, Ref: 0},
+	{Key: "per_area", Sense: Maximize, Ref: 0},
+}
+
+// ByName resolves a built-in objective by key.
+func ByName(key string) (Objective, error) {
+	for _, o := range builtin {
+		if o.Key == key {
+			return o, nil
+		}
+	}
+	return Objective{}, fmt.Errorf("pareto: unknown objective %q (want ipc, area, fairness or per_area)", key)
+}
+
+// ObjectiveNames lists the built-in objective keys in presentation order.
+func ObjectiveNames() []string {
+	out := make([]string, len(builtin))
+	for i, o := range builtin {
+		out[i] = o.Key
+	}
+	return out
+}
+
+// Parse resolves a comma-separated objective list ("ipc,area,fairness").
+// Between two and three distinct objectives are accepted: one objective is
+// a scalar search (the driver's default per-area path covers it), and the
+// hypervolume indicator here is exact only through three dimensions.
+func Parse(csv string) ([]Objective, error) {
+	var out []Objective
+	seen := map[string]bool{}
+	for _, part := range strings.Split(csv, ",") {
+		key := strings.TrimSpace(part)
+		if key == "" {
+			return nil, fmt.Errorf("pareto: empty objective in %q", csv)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("pareto: duplicate objective %q", key)
+		}
+		seen[key] = true
+		o, err := ByName(key)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	if len(out) < 2 || len(out) > 3 {
+		return nil, fmt.Errorf("pareto: %d objectives given, want 2 or 3 (scalar search handles 1)", len(out))
+	}
+	return out, nil
+}
+
+// Keys returns the objective keys in order.
+func Keys(objs []Objective) []string {
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = o.Key
+	}
+	return out
+}
+
+// Vector is one point's objective values, in the objective list's order.
+// Whether a Vector holds raw values or gains (see Gain) is contextual;
+// Archive and the GainDominates helper work on gains.
+type Vector []float64
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Gain converts raw objective values to maximization-oriented gains over
+// the reference point: a maximized objective maps to value−Ref, a
+// minimized one to Ref−value. In gain coordinates every objective is
+// maximized and the reference point is the origin, so dominance is a plain
+// component comparison and hypervolume is the volume of the union of
+// axis-aligned boxes [0, gain].
+func Gain(objs []Objective, raw Vector) Vector {
+	if len(raw) != len(objs) {
+		panic(fmt.Sprintf("pareto: vector has %d values, objective list has %d", len(raw), len(objs)))
+	}
+	out := make(Vector, len(raw))
+	for i, o := range objs {
+		if o.Sense == Minimize {
+			out[i] = o.Ref - raw[i]
+		} else {
+			out[i] = raw[i] - o.Ref
+		}
+	}
+	return out
+}
+
+// GainObjectives returns n anonymous maximized objectives with the
+// reference at the origin — the objective list matching vectors that are
+// already gains (pareto.Gain output). Strategies that only ever see gain
+// vectors archive under these.
+func GainObjectives(n int) []Objective {
+	out := make([]Objective, n)
+	for i := range out {
+		out[i] = Objective{Key: fmt.Sprintf("g%d", i), Sense: Maximize}
+	}
+	return out
+}
+
+// Dominates reports whether raw vector a Pareto-dominates raw vector b
+// under the objective senses: at least as good on every objective and
+// strictly better on at least one.
+func Dominates(objs []Objective, a, b Vector) bool {
+	return GainDominates(Gain(objs, a), Gain(objs, b))
+}
+
+// GainDominates is Dominates on maximization-oriented gain vectors (see
+// Gain): a ≥ b component-wise with at least one strict improvement.
+func GainDominates(a, b Vector) bool {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("pareto: comparing vectors of %d and %d objectives", len(a), len(b)))
+	}
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}

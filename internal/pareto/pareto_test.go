@@ -1,0 +1,239 @@
+package pareto
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testObjs is the canonical (ipc max, area min) pair with a small area
+// reference so hypervolume numbers stay readable.
+func testObjs() []Objective {
+	return []Objective{
+		{Key: "ipc", Sense: Maximize, Ref: 0},
+		{Key: "area", Sense: Minimize, Ref: 10},
+	}
+}
+
+func TestParse(t *testing.T) {
+	objs, err := Parse("ipc, area,fairness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 || objs[0].Key != "ipc" || objs[1].Key != "area" || objs[2].Key != "fairness" {
+		t.Errorf("Parse = %+v", objs)
+	}
+	if objs[1].Sense != Minimize || objs[0].Sense != Maximize {
+		t.Errorf("senses = %v/%v, want min area, max ipc", objs[1].Sense, objs[0].Sense)
+	}
+	for _, bad := range []string{"", "ipc", "ipc,ipc", "ipc,area,fairness,per_area", "ipc,nope"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	for _, key := range ObjectiveNames() {
+		if _, err := ByName(key); err != nil {
+			t.Errorf("ByName(%q): %v", key, err)
+		}
+	}
+}
+
+func TestDominance(t *testing.T) {
+	objs := testObjs()
+	a := Vector{2.0, 4.0} // ipc 2, area 4
+	b := Vector{1.5, 5.0} // worse on both (area minimized)
+	c := Vector{2.5, 6.0} // better ipc, worse area: incomparable with a
+	if !Dominates(objs, a, b) {
+		t.Error("a must dominate b")
+	}
+	if Dominates(objs, b, a) {
+		t.Error("b cannot dominate a")
+	}
+	if Dominates(objs, a, c) || Dominates(objs, c, a) {
+		t.Error("a and c are incomparable")
+	}
+	if Dominates(objs, a, a) {
+		t.Error("a vector cannot dominate itself (no strict improvement)")
+	}
+	// Equal on one objective, better on the other: still dominates.
+	if !Dominates(objs, Vector{2.0, 3.0}, a) {
+		t.Error("equal ipc with smaller area must dominate")
+	}
+}
+
+func TestGainOrientation(t *testing.T) {
+	objs := testObjs()
+	g := Gain(objs, Vector{2.0, 4.0})
+	if g[0] != 2.0 || g[1] != 6.0 {
+		t.Errorf("gains = %v, want [2 6]", g)
+	}
+}
+
+func TestArchiveFiltering(t *testing.T) {
+	a := NewArchive(testObjs(), 0)
+	if !a.Add(Entry{Key: "x", Name: "X", Vector: Vector{1.0, 5.0}}) {
+		t.Fatal("first point must enter")
+	}
+	if a.Add(Entry{Key: "x", Name: "X", Vector: Vector{1.0, 5.0}}) {
+		t.Error("duplicate key must be rejected")
+	}
+	if a.Add(Entry{Key: "dom", Vector: Vector{0.5, 6.0}}) {
+		t.Error("dominated point must be rejected")
+	}
+	// A dominating point evicts x.
+	if !a.Add(Entry{Key: "y", Vector: Vector{1.2, 4.0}}) {
+		t.Fatal("dominating point must enter")
+	}
+	if a.Len() != 1 || a.Members()[0].Key != "y" {
+		t.Errorf("archive = %+v, want just y", a.Members())
+	}
+	// An incomparable point coexists.
+	if !a.Add(Entry{Key: "z", Vector: Vector{0.8, 2.0}}) {
+		t.Fatal("incomparable point must enter")
+	}
+	if a.Len() != 2 {
+		t.Errorf("len = %d, want 2", a.Len())
+	}
+	// Every pair of members is mutually non-dominated.
+	ms := a.Members()
+	for i := range ms {
+		for j := range ms {
+			if i != j && Dominates(a.Objectives(), ms[i].Vector, ms[j].Vector) {
+				t.Errorf("member %s dominates member %s", ms[i].Key, ms[j].Key)
+			}
+		}
+	}
+}
+
+// TestArchiveShuffledInsertionDeterminism is the satellite determinism
+// test: the same point set inserted in any order yields the same members,
+// the same canonical order, and the same hypervolume.
+func TestArchiveShuffledInsertionDeterminism(t *testing.T) {
+	objs := testObjs()
+	var pool []Entry
+	for i := 0; i < 40; i++ {
+		// A deterministic scatter with dominated and non-dominated points.
+		ipc := 0.5 + 0.1*float64(i%13) + 0.01*float64(i)
+		area := 9.5 - 0.2*float64(i%7) - 0.03*float64(i%11)
+		pool = append(pool, Entry{Key: fmt.Sprintf("k%02d", i), Vector: Vector{ipc, area}})
+	}
+	render := func(order []int) string {
+		a := NewArchive(objs, 0)
+		for _, i := range order {
+			a.Add(pool[i])
+		}
+		b, err := json.Marshal(struct {
+			Members []Entry
+			HV      float64
+		}{a.Members(), a.Hypervolume()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	base := make([]int, len(pool))
+	for i := range base {
+		base[i] = i
+	}
+	want := render(base)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		order := append([]int(nil), base...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		if got := render(order); got != want {
+			t.Fatalf("shuffled insertion changed the archive:\n%s\nvs\n%s", got, want)
+		}
+	}
+}
+
+func TestArchiveCrowdingPruning(t *testing.T) {
+	// A 4-capacity archive fed a 9-point front: boundary points must
+	// survive (infinite crowding distance), the densest interior point goes.
+	a := NewArchive(testObjs(), 4)
+	for i := 0; i < 9; i++ {
+		// A strictly trading-off front: higher ipc, higher area.
+		a.Add(Entry{Key: fmt.Sprintf("p%d", i), Vector: Vector{1 + float64(i), 1 + float64(i)}})
+	}
+	if a.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", a.Len())
+	}
+	keys := map[string]bool{}
+	for _, m := range a.Members() {
+		keys[m.Key] = true
+	}
+	if !keys["p0"] || !keys["p8"] {
+		t.Errorf("boundary points pruned: %v", keys)
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	objs := testObjs()
+	// Two boxes in gain space: (2, 6) and (3, 4); union = 2*6 + (3-2)*4 = 16.
+	got := HypervolumeOf(objs, []Vector{{2, 4}, {3, 6}})
+	if math.Abs(got-16) > 1e-12 {
+		t.Errorf("hv = %v, want 16", got)
+	}
+	// A dominated point adds nothing; a point outside the reference adds
+	// nothing.
+	got = HypervolumeOf(objs, []Vector{{2, 4}, {3, 6}, {1, 5}, {0.5, 12}})
+	if math.Abs(got-16) > 1e-12 {
+		t.Errorf("hv with dominated/outside points = %v, want 16", got)
+	}
+	if hv := HypervolumeOf(objs, nil); hv != 0 {
+		t.Errorf("empty hv = %v", hv)
+	}
+}
+
+func TestHypervolume3D(t *testing.T) {
+	objs := []Objective{
+		{Key: "ipc", Sense: Maximize},
+		{Key: "fairness", Sense: Maximize},
+		{Key: "area", Sense: Minimize, Ref: 10},
+	}
+	// Gain boxes (2,2,2) and (1,1,4): union = 8 + (4-2)*1*1 = 10.
+	got := HypervolumeOf(objs, []Vector{{2, 2, 8}, {1, 1, 6}})
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("hv3 = %v, want 10", got)
+	}
+	// Identical slabs collapse.
+	got = HypervolumeOf(objs, []Vector{{2, 2, 8}, {2, 2, 8}})
+	if math.Abs(got-8) > 1e-12 {
+		t.Errorf("hv3 duplicate = %v, want 8", got)
+	}
+}
+
+// TestHypervolumeMonotoneUnderAdds pins the property the CI smoke step
+// asserts on real runs: without capacity pruning, archive hypervolume never
+// decreases as points are added.
+func TestHypervolumeMonotoneUnderAdds(t *testing.T) {
+	objs := testObjs()
+	a := NewArchive(objs, 0)
+	rng := rand.New(rand.NewSource(3))
+	last := 0.0
+	for i := 0; i < 200; i++ {
+		a.Add(Entry{Key: fmt.Sprintf("r%d", i), Vector: Vector{rng.Float64() * 3, 1 + rng.Float64()*8}})
+		hv := a.Hypervolume()
+		if hv < last {
+			t.Fatalf("hypervolume fell from %v to %v at add %d", last, hv, i)
+		}
+		last = hv
+	}
+}
+
+func TestCrowdingDistances(t *testing.T) {
+	gains := []Vector{{0, 4}, {1, 3}, {2, 2}, {4, 0}}
+	d := CrowdingDistances(gains)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[3], 1) {
+		t.Errorf("boundary distances = %v, want +Inf", d)
+	}
+	if d[1] >= d[2] {
+		// p1's neighbors span (0..2, 2..4) = 0.5+0.5; p2's span (1..4,
+		// 0..3) = 0.75+0.75: p2 is lonelier.
+		t.Errorf("crowding order wrong: %v", d)
+	}
+	if len(CrowdingDistances(nil)) != 0 {
+		t.Error("empty input must yield empty distances")
+	}
+}

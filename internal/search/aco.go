@@ -25,6 +25,10 @@ type ACO struct {
 	Elite float64
 	// TrailFloor is the minimum trail level per choice.
 	TrailFloor float64
+	// Seeded initializes the trails from the space's area-normalized
+	// issue-width prior (Space.Priors) instead of uniform levels, biasing
+	// the first cohorts toward width-per-mm²-efficient machines.
+	Seeded bool
 }
 
 // NewACO returns the default colony parameters — 6 ants, 45% evaporation,
@@ -38,7 +42,12 @@ func NewACO() ACO {
 }
 
 // Name identifies the strategy.
-func (ACO) Name() string { return "aco" }
+func (a ACO) Name() string {
+	if a.Seeded {
+		return "aco-seeded"
+	}
+	return "aco"
+}
 
 // Run releases ant cohorts until the evaluation budget runs out.
 func (a ACO) Run(ctx context.Context, sp *Space, rng *rand.Rand, eval Evaluator) error {
@@ -60,11 +69,16 @@ func (a ACO) Run(ctx context.Context, sp *Space, rng *rand.Rand, eval Evaluator)
 	}
 
 	dims := sp.Dims()
-	tau := make([][]float64, len(dims))
-	for d, n := range dims {
-		tau[d] = make([]float64, n)
-		for c := range tau[d] {
-			tau[d][c] = 1.0
+	var tau [][]float64
+	if a.Seeded {
+		tau = sp.Priors()
+	} else {
+		tau = make([][]float64, len(dims))
+		for d, n := range dims {
+			tau[d] = make([]float64, n)
+			for c := range tau[d] {
+				tau[d][c] = 1.0
+			}
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 
 	"hdsmt/internal/engine"
 	"hdsmt/internal/metrics"
+	"hdsmt/internal/pareto"
 	"hdsmt/internal/sim"
 )
 
@@ -24,6 +25,20 @@ type Options struct {
 	Seed int64
 	// Sim scales the per-point simulations (Budget/Warmup per thread).
 	Sim sim.Options
+	// Objectives, when non-empty, makes the run multi-objective: every
+	// settled score carries its gain vector over this list, the driver
+	// maintains an archive of non-dominated points, and the Result gains
+	// the front and its hypervolume trajectory. Empty means the scalar
+	// IPC/mm² search (scores then carry the one-element [per_area] vector,
+	// so the multi-objective strategies degrade gracefully to scalar
+	// optimizers). A "fairness" objective additionally prices per-benchmark
+	// alone-run simulations into every first visit.
+	Objectives []pareto.Objective
+	// ArchiveCap bounds the non-dominated archive (crowding-distance
+	// pruning beyond it; 0 = pareto.DefaultArchiveCap). Pruning can make
+	// the hypervolume trajectory non-monotone — size the cap above the
+	// expected front for indicator studies.
+	ArchiveCap int
 	// Progress, when non-nil, is called after each charged evaluation with
 	// (evaluations spent, target), where target is the effective number of
 	// evaluations the search can charge: min(Budget, distinct candidates),
@@ -32,10 +47,11 @@ type Options struct {
 	Progress func(done, total int)
 }
 
-// TrajectoryPoint is one best-so-far improvement: the machine that became
-// the incumbent after its evaluation, and how much budget it took to find.
+// TrajectoryPoint is one recorded machine: the incumbent of a best-so-far
+// improvement (Trajectory), or a front member (Front). Evaluations is the
+// budget spent when the point was found.
 type TrajectoryPoint struct {
-	// Evaluations is the budget spent when this incumbent was found.
+	// Evaluations is the budget spent when this point was found.
 	Evaluations int `json:"evaluations"`
 	// Config is the machine's canonical configuration name.
 	Config string `json:"config"`
@@ -47,21 +63,62 @@ type TrajectoryPoint struct {
 	IPC     float64 `json:"ipc"`
 	Area    float64 `json:"area"`
 	PerArea float64 `json:"per_area"`
+	// Fairness is the mean harmonic-mean fairness over the workloads,
+	// present only on runs whose objective list includes it.
+	Fairness float64 `json:"fairness,omitempty"`
 }
 
 // Name renders the point like Candidate.Name ("2M4+2M2", "3M4q75 FLUSH
 // r2048").
 func (tp TrajectoryPoint) Name() string { return renderName(tp.Config, tp.Policy, tp.Remap) }
 
+// ObjectiveVector extracts the point's raw values over the given objective
+// list, in list order — the one key-to-field mapping front checks and
+// exporters share. Unknown keys panic, like objectiveValue.
+func (tp TrajectoryPoint) ObjectiveVector(objs []pareto.Objective) pareto.Vector {
+	sc := Score{IPC: tp.IPC, Area: tp.Area, Fairness: tp.Fairness, PerArea: tp.PerArea}
+	v := make(pareto.Vector, len(objs))
+	for i, o := range objs {
+		v[i] = objectiveValue(sc, o.Key)
+	}
+	return v
+}
+
+// CheckFront verifies a front's members are mutually non-dominated under
+// objs — the invariant every archive rendering must satisfy, shared by the
+// benchmark's assertions and the tests.
+func CheckFront(objs []pareto.Objective, front []TrajectoryPoint) error {
+	for i := range front {
+		for j := range front {
+			if i != j && pareto.Dominates(objs, front[i].ObjectiveVector(objs), front[j].ObjectiveVector(objs)) {
+				return fmt.Errorf("search: front member %s dominates %s", front[i].Name(), front[j].Name())
+			}
+		}
+	}
+	return nil
+}
+
+// HypervolumePoint is one step of the front-quality trajectory: the
+// archive's hypervolume after the evaluation that changed it.
+type HypervolumePoint struct {
+	Evaluations int     `json:"evaluations"`
+	Hypervolume float64 `json:"hypervolume"`
+}
+
 // Result is one search's auditable outcome: the incumbent, the best-so-far
-// curve, and the cost accounting that lets search efficiency be compared
-// against exhaustive enumeration. It marshals deterministically — a fixed
-// seed reproduces the JSON byte for byte (no wall-clock fields).
+// curve, on multi-objective runs the non-dominated front with its
+// hypervolume trajectory, and the cost accounting that lets search
+// efficiency be compared against exhaustive enumeration. It marshals
+// deterministically — a fixed seed reproduces the JSON byte for byte (no
+// wall-clock fields).
 type Result struct {
 	Strategy  string `json:"strategy"`
 	SpaceSize int64  `json:"space_size"` // genotypes in the space
 	Budget    int    `json:"budget"`     // 0 = unbounded
 	Seed      int64  `json:"seed"`
+	// Objectives names the run's objective keys, in vector order; empty on
+	// scalar runs.
+	Objectives []string `json:"objectives,omitempty"`
 
 	// Evaluations is the budget actually spent (distinct candidates
 	// scored). Visited counts every point proposed, Revisits the memoized
@@ -82,10 +139,19 @@ type Result struct {
 	Submitted    uint64  `json:"submitted"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
-	// Best is the incumbent (nil when no feasible point was found);
-	// Trajectory is every incumbent in discovery order, Best last.
+	// Best is the scalar IPC/mm² incumbent (nil when no feasible point was
+	// found); Trajectory is every incumbent in discovery order, Best last.
+	// Both are maintained on multi-objective runs too, anchoring the front
+	// to the complexity-effectiveness objective the paper argues with.
 	Best       *TrajectoryPoint  `json:"best,omitempty"`
 	Trajectory []TrajectoryPoint `json:"trajectory"`
+
+	// Front is the archive at the end of a multi-objective run: mutually
+	// non-dominated machines in the archive's canonical order (descending
+	// first-objective gain). Hypervolume records the front-quality
+	// trajectory — one point per evaluation that changed the archive.
+	Front       []TrajectoryPoint  `json:"front,omitempty"`
+	Hypervolume []HypervolumePoint `json:"hypervolume,omitempty"`
 }
 
 // Driver runs strategies over a space, fanning point evaluations out
@@ -120,6 +186,16 @@ func (d *Driver) Search(ctx context.Context, sp Space, st Strategy, opts Options
 	state := &evalState{
 		driver: d, space: &sp, opts: opts, res: res,
 		memo: map[string]Score{},
+		objs: opts.Objectives,
+	}
+	if len(state.objs) > 0 {
+		res.Objectives = pareto.Keys(state.objs)
+		state.archive = pareto.NewArchive(state.objs, opts.ArchiveCap)
+		for _, o := range state.objs {
+			if o.Key == "fairness" {
+				state.needFairness = true
+			}
+		}
 	}
 	var chargeable int
 	state.distinct, chargeable = sp.census()
@@ -140,12 +216,34 @@ func (d *Driver) Search(ctx context.Context, sp Space, st Strategy, opts Options
 	if len(res.Trajectory) > 0 {
 		res.Best = &res.Trajectory[len(res.Trajectory)-1]
 	}
+	if state.archive != nil {
+		res.Front = make([]TrajectoryPoint, 0, state.archive.Len())
+		for _, m := range state.archive.Members() {
+			res.Front = append(res.Front, m.Payload.(TrajectoryPoint))
+		}
+	}
 	return res, nil
 }
 
+// objectiveValue extracts one objective's raw value from a settled score.
+func objectiveValue(sc Score, key string) float64 {
+	switch key {
+	case "ipc":
+		return sc.IPC
+	case "area":
+		return sc.Area
+	case "fairness":
+		return sc.Fairness
+	case "per_area":
+		return sc.PerArea
+	}
+	panic(fmt.Sprintf("search: objective %q has no extractor", key))
+}
+
 // evalState is the driver-side half of one search: the budget ledger, the
-// candidate memo, and the trajectory recorder behind the Evaluator closure
-// handed to the strategy.
+// candidate memo, the trajectory recorder, and (multi-objective runs) the
+// non-dominated archive behind the Evaluator closure handed to the
+// strategy.
 type evalState struct {
 	driver *Driver
 	space  *Space
@@ -163,16 +261,36 @@ type evalState struct {
 	target   int
 	// submitted/hits attribute engine traffic to this search per ticket.
 	submitted, hits uint64
+
+	// Multi-objective state: the run's objectives, whether fairness (and
+	// its alone runs) is among them, and the non-dominated archive (each
+	// entry carries its TrajectoryPoint rendering as the payload).
+	objs         []pareto.Objective
+	needFairness bool
+	archive      *pareto.Archive
+}
+
+// cellTickets is one workload's in-flight simulations for a candidate: the
+// shared run and — on fairness-objective runs — one alone run per
+// benchmark.
+type cellTickets struct {
+	shared *engine.Ticket
+	alone  []*engine.Ticket
 }
 
 // job is one batch entry that needs simulation: the candidate, its charge
-// number, and the tickets of its per-workload requests.
+// number, and its per-workload ticket groups.
 type job struct {
-	pos     int // index into the batch's scores
-	cand    Candidate
-	charge  int // res.Evaluations value at charge time (1-based)
-	tickets []*engine.Ticket
+	pos    int // index into the batch's scores
+	cand   Candidate
+	charge int // res.Evaluations value at charge time (1-based)
+	cells  []cellTickets
 }
+
+// infeasibleScore is the settled verdict for points that decode to no
+// simulatable machine: Settled so strategies can tell it from a pending
+// placeholder, Feasible false.
+var infeasibleScore = Score{Settled: true}
 
 // evaluate implements Evaluator: decode, dedup, charge, fan out, settle in
 // order. See the interface comment for the truncation contract.
@@ -191,17 +309,10 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 
 	settle := func() error {
 		for _, j := range jobs {
-			sc := Score{Feasible: true, Area: j.cand.Area}
-			ipcs := make([]float64, len(j.tickets))
-			for k, tk := range j.tickets {
-				r, err := tk.Wait(ctx)
-				if err != nil {
-					return fmt.Errorf("search: evaluating %s: %w", j.cand.Name(), err)
-				}
-				ipcs[k] = r.IPC
+			sc, err := s.settleJob(ctx, j)
+			if err != nil {
+				return err
 			}
-			sc.IPC = metrics.HMean(ipcs)
-			sc.PerArea = sc.IPC / sc.Area
 			s.memo[j.cand.Key()] = sc
 			scores[j.pos] = sc
 			s.record(j, sc)
@@ -227,7 +338,7 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 		if err != nil {
 			if _, ok := err.(ErrInfeasible); ok {
 				s.res.Infeasible++
-				scores = append(scores, Score{})
+				scores = append(scores, infeasibleScore)
 				continue
 			}
 			return nil, err
@@ -247,8 +358,8 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 
 		if !s.space.FitsWorkloads(cand) {
 			s.res.Infeasible++
-			s.memo[key] = Score{}
-			scores = append(scores, Score{})
+			s.memo[key] = infeasibleScore
+			scores = append(scores, infeasibleScore)
 			continue
 		}
 
@@ -260,20 +371,8 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 		}
 		s.res.Evaluations++
 		j := job{pos: len(scores), cand: cand, charge: s.res.Evaluations}
-		for _, w := range s.space.Workloads {
-			req, err := sim.NewRequest(cand.Cfg, w, s.opts.Sim, cand.Policy, cand.Remap)
-			if err != nil {
-				return nil, fmt.Errorf("search: %s on %s: %w", cand.Name(), w.Name, err)
-			}
-			tk, err := s.driver.runner.Engine().Submit(ctx, req)
-			if err != nil {
-				return nil, fmt.Errorf("search: submitting %s: %w", req, err)
-			}
-			s.submitted++
-			if tk.CacheHit() {
-				s.hits++
-			}
-			j.tickets = append(j.tickets, tk)
+		if j.cells, err = s.submitCells(ctx, cand); err != nil {
+			return nil, err
 		}
 		inflight[key] = true
 		scores = append(scores, Score{}) // placeholder, settled below
@@ -285,19 +384,125 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 	return scores, nil
 }
 
-// record advances the best-so-far curve and reports progress.
+// submitCells fans out one candidate's simulations: per workload the
+// shared run plus — when the run's objectives include fairness — one
+// alone-run baseline per benchmark (AloneRequest on the ForThreads-
+// normalized configuration, like the shared run, so keys match across
+// callers).
+func (s *evalState) submitCells(ctx context.Context, cand Candidate) ([]cellTickets, error) {
+	var cells []cellTickets
+	for _, w := range s.space.Workloads {
+		req, err := sim.NewRequest(cand.Cfg, w, s.opts.Sim, cand.Policy, cand.Remap)
+		if err != nil {
+			return nil, fmt.Errorf("search: %s on %s: %w", cand.Name(), w.Name, err)
+		}
+		cell := cellTickets{}
+		if cell.shared, err = s.submit(ctx, req); err != nil {
+			return nil, err
+		}
+		if s.needFairness {
+			for b := range w.Benchmarks {
+				tk, err := s.submit(ctx, sim.AloneRequest(req.Cfg, w, b, s.opts.Sim))
+				if err != nil {
+					return nil, err
+				}
+				cell.alone = append(cell.alone, tk)
+			}
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// submit sends one request to the engine and attributes its cache fate to
+// this search.
+func (s *evalState) submit(ctx context.Context, req engine.Request) (*engine.Ticket, error) {
+	tk, err := s.driver.runner.Engine().Submit(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("search: submitting %s: %w", req, err)
+	}
+	s.submitted++
+	if tk.CacheHit() {
+		s.hits++
+	}
+	return tk, nil
+}
+
+// settleJob waits for one candidate's simulations and assembles its score:
+// harmonic-mean IPC over the workloads, per-area, the mean harmonic
+// fairness when the run asks for it, and the gain vector over the run's
+// objectives.
+func (s *evalState) settleJob(ctx context.Context, j job) (Score, error) {
+	sc := Score{Settled: true, Feasible: true, Area: j.cand.Area}
+	ipcs := make([]float64, len(j.cells))
+	fairSum := 0.0
+	for k, cell := range j.cells {
+		shared, err := cell.shared.Wait(ctx)
+		if err != nil {
+			return Score{}, fmt.Errorf("search: evaluating %s: %w", j.cand.Name(), err)
+		}
+		ipcs[k] = shared.IPC
+		if s.needFairness {
+			alone := make([]float64, len(cell.alone))
+			for b, tk := range cell.alone {
+				r, err := tk.Wait(ctx)
+				if err != nil {
+					return Score{}, fmt.Errorf("search: alone run for %s: %w", j.cand.Name(), err)
+				}
+				alone[b] = r.IPC
+			}
+			f, err := sim.FairnessFromResults(j.cand.Cfg, s.space.Workloads[k], shared, alone)
+			if err != nil {
+				return Score{}, fmt.Errorf("search: fairness of %s: %w", j.cand.Name(), err)
+			}
+			fairSum += f.HarmonicFairness
+		}
+	}
+	sc.IPC = metrics.HMean(ipcs)
+	sc.PerArea = sc.IPC / sc.Area
+	if s.needFairness {
+		sc.Fairness = fairSum / float64(len(j.cells))
+	}
+	if len(s.objs) > 0 {
+		raw := make(pareto.Vector, len(s.objs))
+		for i, o := range s.objs {
+			raw[i] = objectiveValue(sc, o.Key)
+		}
+		sc.Objectives = pareto.Gain(s.objs, raw)
+	} else {
+		sc.Objectives = pareto.Vector{sc.PerArea}
+	}
+	return sc, nil
+}
+
+// record advances the best-so-far curve and the multi-objective archive,
+// then reports progress.
 func (s *evalState) record(j job, sc Score) {
+	tp := TrajectoryPoint{
+		Evaluations: j.charge,
+		Config:      j.cand.Cfg.Name,
+		Policy:      j.cand.Policy,
+		Remap:       j.cand.Remap,
+		IPC:         sc.IPC,
+		Area:        sc.Area,
+		PerArea:     sc.PerArea,
+		Fairness:    sc.Fairness,
+	}
 	if sc.Feasible && (s.res.Best == nil || sc.PerArea > s.res.Best.PerArea) {
-		s.res.Trajectory = append(s.res.Trajectory, TrajectoryPoint{
-			Evaluations: j.charge,
-			Config:      j.cand.Cfg.Name,
-			Policy:      j.cand.Policy,
-			Remap:       j.cand.Remap,
-			IPC:         sc.IPC,
-			Area:        sc.Area,
-			PerArea:     sc.PerArea,
-		})
+		s.res.Trajectory = append(s.res.Trajectory, tp)
 		s.res.Best = &s.res.Trajectory[len(s.res.Trajectory)-1]
+	}
+	if s.archive != nil && sc.Feasible {
+		raw := make(pareto.Vector, len(s.objs))
+		for i, o := range s.objs {
+			raw[i] = objectiveValue(sc, o.Key)
+		}
+		if s.archive.Add(pareto.Entry{Key: j.cand.Key(), Name: j.cand.Name(), Vector: raw, Payload: tp}) {
+			s.res.Hypervolume = append(s.res.Hypervolume, HypervolumePoint{
+				Evaluations: j.charge,
+				Hypervolume: s.archive.Hypervolume(),
+			})
+		}
 	}
 	s.settled++
 	if s.opts.Progress != nil {

@@ -16,10 +16,23 @@ type HillClimb struct {
 	// (0 = default). Probing is free — no simulation — but must terminate
 	// on spaces with no feasible points.
 	MaxStartTries int
+	// Seeded starts the *first* climb from the best of its feasible probes
+	// under the area-normalized issue-width proxy (IssueWidthProxy)
+	// instead of the first one — the same decode-only probes, ranked by
+	// the ROADMAP's prior rather than taken in arrival order. Restarts
+	// revert to uniform starts: re-ranking every restart would keep
+	// landing in the proxy-best basin, spinning on free memoized revisits
+	// instead of exploring.
+	Seeded bool
 }
 
 // Name identifies the strategy.
-func (HillClimb) Name() string { return "hillclimb" }
+func (h HillClimb) Name() string {
+	if h.Seeded {
+		return "hillclimb-seeded"
+	}
+	return "hillclimb"
+}
 
 // Run climbs until the evaluation budget runs out.
 func (h HillClimb) Run(ctx context.Context, sp *Space, rng *rand.Rand, eval Evaluator) error {
@@ -51,19 +64,30 @@ func (h HillClimb) Run(ctx context.Context, sp *Space, rng *rand.Rand, eval Eval
 		fallbacks++
 		return start
 	}
+	seedNext := h.Seeded
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		// A feasible start, by decode-only probing.
+		// A feasible start, by decode-only probing; the seeded first climb
+		// ranks the probes by the issue-width proxy and keeps the best.
 		var start Point
+		bestProxy := 0.0
 		for i := 0; i < tries; i++ {
 			p := sp.RandomPoint(rng.Intn)
-			if _, err := sp.Decode(p); err == nil {
+			c, err := sp.Decode(p)
+			if err != nil {
+				continue
+			}
+			if !seedNext {
 				start = p
 				break
 			}
+			if proxy := IssueWidthProxy(c); start == nil || proxy > bestProxy {
+				start, bestProxy = p, proxy
+			}
 		}
+		seedNext = false
 		if start == nil {
 			if start = fallbackStart(); start == nil {
 				return nil // every feasible start exhausted: done

@@ -5,16 +5,36 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"hdsmt/internal/pareto"
 )
 
-// Score is one evaluated point's objective. Infeasible points (no
-// pipelines, area cap, too few contexts for a workload) are Feasible false
-// with zero metrics; they cost no simulation and no budget.
+// Score is one evaluated point's objectives. Infeasible points (no
+// pipelines, area cap, too few contexts for a workload) are Settled but
+// Feasible false with zero metrics; they cost no simulation and no budget.
+//
+// Settled distinguishes a decided score from the zero-value placeholder an
+// Evaluator batch holds before its jobs land: the zero Score is *unsettled*
+// (never a real verdict), an infeasible verdict is Score{Settled: true},
+// and every score an Evaluator returns is settled. Strategies may rely on
+// it; the driver's tests assert it.
 type Score struct {
+	Settled  bool    `json:"settled"`
 	Feasible bool    `json:"feasible"`
 	IPC      float64 `json:"ipc"`      // harmonic mean over the space's workloads
 	Area     float64 `json:"area"`     // mm²
-	PerArea  float64 `json:"per_area"` // IPC/mm², the objective
+	PerArea  float64 `json:"per_area"` // IPC/mm², the scalar objective
+	// Fairness is the mean over the space's workloads of the harmonic-mean
+	// fairness (sim.HarmonicFairness of per-thread relative speedups).
+	// Computed — at the cost of per-benchmark alone-run simulations, mostly
+	// cache hits after the first candidate — only when the run's objective
+	// list asks for it; 0 otherwise.
+	Fairness float64 `json:"fairness,omitempty"`
+	// Objectives is the point's gain vector over the run's objective list
+	// (pareto.Gain: maximization-oriented, reference point at the origin),
+	// [PerArea] when the run is scalar. Multi-objective strategies compare
+	// points with pareto.GainDominates; nil on infeasible scores.
+	Objectives pareto.Vector `json:"objectives,omitempty"`
 }
 
 // Better reports whether s beats o under the complexity-effectiveness
@@ -24,6 +44,18 @@ func (s Score) Better(o Score) bool {
 		return s.Feasible
 	}
 	return s.PerArea > o.PerArea
+}
+
+// Dominates reports whether s Pareto-dominates o on the run's gain
+// vectors. Any feasible score dominates any infeasible one.
+func (s Score) Dominates(o Score) bool {
+	if s.Feasible != o.Feasible {
+		return s.Feasible
+	}
+	if !s.Feasible || len(s.Objectives) != len(o.Objectives) {
+		return false
+	}
+	return pareto.GainDominates(s.Objectives, o.Objectives)
 }
 
 // ErrBudgetExhausted is returned by an Evaluator once the evaluation
@@ -56,7 +88,9 @@ type Strategy interface {
 	Run(ctx context.Context, sp *Space, rng *rand.Rand, eval Evaluator) error
 }
 
-// ByName resolves a strategy: "exhaustive", "random", "hillclimb", "aco".
+// ByName resolves a strategy: "exhaustive", "random", "hillclimb", "aco",
+// their proxy-seeded variants "hillclimb-seeded"/"aco-seeded", and the
+// multi-objective "nsga2" and "paco".
 func ByName(name string) (Strategy, error) {
 	switch name {
 	case "exhaustive":
@@ -65,14 +99,26 @@ func ByName(name string) (Strategy, error) {
 		return Random{}, nil
 	case "hillclimb":
 		return HillClimb{}, nil
+	case "hillclimb-seeded":
+		return HillClimb{Seeded: true}, nil
 	case "aco":
 		return NewACO(), nil
+	case "aco-seeded":
+		a := NewACO()
+		a.Seeded = true
+		return a, nil
+	case "nsga2":
+		return NewNSGA2(), nil
+	case "paco":
+		return NewPACO(), nil
 	}
-	return nil, fmt.Errorf("search: unknown strategy %q (want exhaustive, random, hillclimb or aco)", name)
+	return nil, fmt.Errorf("search: unknown strategy %q (want one of %v)", name, StrategyNames())
 }
 
 // StrategyNames lists the built-in strategies in presentation order.
-func StrategyNames() []string { return []string{"exhaustive", "random", "hillclimb", "aco"} }
+func StrategyNames() []string {
+	return []string{"exhaustive", "random", "hillclimb", "hillclimb-seeded", "aco", "aco-seeded", "nsga2", "paco"}
+}
 
 // stop folds an Evaluator error into the strategy's control flow: budget
 // exhaustion is normal termination (return nil), anything else aborts.

@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"hdsmt/internal/config"
 	"hdsmt/internal/mapping"
+	"hdsmt/internal/pareto"
 	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/workload"
@@ -46,6 +48,11 @@ type JobSpec struct {
 	//                server's shared engine. Progress counts evaluations
 	//                against SearchBudget; DELETE cancels mid-search.
 	//                Result: search.Result (best point + trajectory).
+	//   "pareto"   — multi-objective search over Objectives (default
+	//                ipc,area,fairness; Strategy defaults to nsga2).
+	//                Same space/budget/cancellation contract as "search";
+	//                Result: search.Result with the non-dominated front
+	//                and its hypervolume trajectory.
 	Kind string `json:"kind"`
 
 	Config    string   `json:"config,omitempty"`
@@ -80,6 +87,12 @@ type JobSpec struct {
 	RemapIntervals []uint64 `json:"remap_intervals,omitempty"`
 	QueueScales    []int    `json:"queue_scales,omitempty"`
 	FetchBufScales []int    `json:"fetch_buf_scales,omitempty"`
+
+	// pareto jobs only. Objectives lists the objective keys (2 or 3 of
+	// ipc, area, fairness, per_area; empty = ipc,area,fairness) and
+	// ArchiveCap bounds the non-dominated archive (0 = default).
+	Objectives []string `json:"objectives,omitempty"`
+	ArchiveCap int      `json:"archive_cap,omitempty"`
 }
 
 func (s JobSpec) options() sim.Options {
@@ -232,26 +245,32 @@ func resolveCells(spec JobSpec) ([]sim.SweepCell, error) {
 		}
 		return cells, nil
 	default:
-		return nil, fmt.Errorf("unknown job kind %q (want run, evaluate, sweep or search)", spec.Kind)
+		return nil, fmt.Errorf("unknown job kind %q (want run, evaluate, sweep, search or pareto)", spec.Kind)
 	}
 }
 
-// resolveSearch validates a search spec at submit time and assembles its
-// space, strategy and driver options.
+// resolveSearch validates a search or pareto spec at submit time and
+// assembles its space, strategy and driver options. Pareto jobs default
+// the strategy to nsga2 and carry an objective list (default
+// ipc,area,fairness); search jobs stay scalar and ignore Objectives.
 func resolveSearch(spec JobSpec) (search.Space, search.Strategy, search.Options, error) {
 	var zero search.Space
-	st, err := search.ByName(spec.Strategy)
+	strategy := spec.Strategy
+	if strategy == "" && spec.Kind == "pareto" {
+		strategy = "nsga2"
+	}
+	st, err := search.ByName(strategy)
 	if err != nil {
 		return zero, nil, search.Options{}, err
 	}
 	budget := spec.SearchBudget
-	if spec.Strategy == "exhaustive" {
+	if strategy == "exhaustive" {
 		// Exhaustive results are only trustworthy un-truncated: the
 		// enumeration terminates on its own, so the budget is ignored
 		// rather than allowed to silently cut the ground truth short.
 		budget = 0
 	} else if budget <= 0 {
-		return zero, nil, search.Options{}, fmt.Errorf("%s search needs a positive search_budget", spec.Strategy)
+		return zero, nil, search.Options{}, fmt.Errorf("%s search needs a positive search_budget", strategy)
 	}
 
 	var wls []workload.Workload
@@ -294,6 +313,26 @@ func resolveSearch(spec JobSpec) (search.Space, search.Strategy, search.Options,
 		Seed:   spec.Seed,
 		Sim:    spec.options(),
 	}
+	switch spec.Kind {
+	case "pareto":
+		csv := "ipc,area,fairness"
+		if len(spec.Objectives) > 0 {
+			csv = strings.Join(spec.Objectives, ",")
+		}
+		objs, err := pareto.Parse(csv)
+		if err != nil {
+			return zero, nil, search.Options{}, err
+		}
+		opts.Objectives = objs
+		opts.ArchiveCap = spec.ArchiveCap
+	default:
+		// Scalar searches must not silently drop multi-objective fields: a
+		// client that meant "pareto" would otherwise get a frontless result
+		// with a 200.
+		if len(spec.Objectives) > 0 || spec.ArchiveCap != 0 {
+			return zero, nil, search.Options{}, fmt.Errorf("objectives/archive_cap need kind \"pareto\", not %q", spec.Kind)
+		}
+	}
 	return sp, st, opts, nil
 }
 
@@ -303,7 +342,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
-	if spec.Kind == "search" {
+	if spec.Kind == "search" || spec.Kind == "pareto" {
 		sp, st, opts, err := resolveSearch(spec)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)

@@ -13,6 +13,7 @@ import (
 	"hdsmt/internal/core"
 	"hdsmt/internal/engine"
 	"hdsmt/internal/mapping"
+	"hdsmt/internal/pareto"
 	"hdsmt/internal/search"
 	"hdsmt/internal/server"
 	"hdsmt/internal/sim"
@@ -228,11 +229,11 @@ func TestValidationAndErrors(t *testing.T) {
 	ts, _ := newTestServer(t)
 	bad := []any{
 		server.JobSpec{Kind: "nope"},
-		server.JobSpec{Kind: "run"},                                                          // missing config/workload
-		server.JobSpec{Kind: "run", Config: "M99", Workload: "2W1"},                          // bad config
-		server.JobSpec{Kind: "run", Config: "M8", Workload: "9W9"},                           // bad workload
+		server.JobSpec{Kind: "run"},                                                           // missing config/workload
+		server.JobSpec{Kind: "run", Config: "M99", Workload: "2W1"},                           // bad config
+		server.JobSpec{Kind: "run", Config: "M8", Workload: "9W9"},                            // bad workload
 		server.JobSpec{Kind: "run", Config: "2M4+2M2", Workload: "2W1", Mapping: []int{7, 7}}, // bad mapping
-		server.JobSpec{Kind: "run", Config: "2M4+2M2", Workload: "4W6", Mapping: []int{0}},   // short mapping
+		server.JobSpec{Kind: "run", Config: "2M4+2M2", Workload: "4W6", Mapping: []int{0}},    // short mapping
 		server.JobSpec{Kind: "sweep", Configs: []string{"bogus"}},
 	}
 	for i, spec := range bad {
@@ -401,6 +402,87 @@ func TestSearchJobValidation(t *testing.T) {
 		"bad workload":     {Kind: "search", Strategy: "aco", SearchBudget: 5, Workloads: []string{"9W9"}},
 		"bad policy":       {Kind: "search", Strategy: "aco", SearchBudget: 5, Policies: []string{"NOPE"}},
 		"bad scale":        {Kind: "search", Strategy: "aco", SearchBudget: 5, QueueScales: []int{0}},
+	} {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestParetoJobRoundTrip: the multi-objective job kind end to end —
+// submit, poll, fetch a result whose front is non-empty and mutually
+// non-dominated, and agree with the same search run directly on the
+// server's runner.
+func TestParetoJobRoundTrip(t *testing.T) {
+	ts, r := newTestServer(t)
+	spec := server.JobSpec{
+		Kind:         "pareto",
+		SearchBudget: 8,
+		Seed:         7,
+		MaxPipes:     2,
+		Workloads:    []string{"2W7"},
+		Objectives:   []string{"ipc", "area"},
+		Budget:       2_000,
+		Warmup:       1_000,
+	}
+	st := postJob(t, ts, spec)
+	st = awaitJob(t, ts, st.ID)
+	if st.State != "done" {
+		t.Fatalf("pareto job state = %s (%s)", st.State, st.Error)
+	}
+	if st.Kind != "pareto" {
+		t.Errorf("kind = %q", st.Kind)
+	}
+
+	var got search.Result
+	if code := getJSON(t, ts.URL+"/jobs/"+st.ID+"/result", &got); code != http.StatusOK {
+		t.Fatalf("GET result = %d", code)
+	}
+	if got.Strategy != "nsga2" {
+		t.Errorf("default strategy = %q, want nsga2", got.Strategy)
+	}
+	if len(got.Front) == 0 || len(got.Hypervolume) == 0 {
+		t.Fatalf("pareto result lacks a front or hypervolume trajectory: %+v", got)
+	}
+	if len(got.Objectives) != 2 || got.Objectives[0] != "ipc" || got.Objectives[1] != "area" {
+		t.Errorf("objectives = %v", got.Objectives)
+	}
+	objs, err := pareto.Parse("ipc,area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := search.CheckFront(objs, got.Front); err != nil {
+		t.Error(err)
+	}
+
+	sp := search.NewSpace(2, 0, []workload.Workload{workload.MustByName("2W7")})
+	direct, err := search.NewDriver(r).Search(context.Background(), sp, search.NewNSGA2(),
+		search.Options{Budget: 8, Seed: 7, Sim: sim.Options{Budget: 2_000, Warmup: 1_000}, Objectives: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Front) != len(got.Front) {
+		t.Errorf("front sizes differ: HTTP %d vs direct %d", len(got.Front), len(direct.Front))
+	}
+}
+
+// TestParetoJobValidation rejects malformed pareto specs at submit time.
+func TestParetoJobValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, spec := range map[string]server.JobSpec{
+		"missing budget":      {Kind: "pareto"},
+		"one objective":       {Kind: "pareto", SearchBudget: 5, Objectives: []string{"ipc"}},
+		"unknown objective":   {Kind: "pareto", SearchBudget: 5, Objectives: []string{"ipc", "nope"}},
+		"duplicate objective": {Kind: "pareto", SearchBudget: 5, Objectives: []string{"ipc", "ipc"}},
 	} {
 		body, err := json.Marshal(spec)
 		if err != nil {

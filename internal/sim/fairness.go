@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"hdsmt/internal/config"
+	"hdsmt/internal/core"
+	"hdsmt/internal/engine"
 	"hdsmt/internal/mapping"
 	"hdsmt/internal/workload"
 )
@@ -40,47 +42,117 @@ func (f FairnessResult) Render() string {
 	return b.String()
 }
 
+// WeightedSpeedup sums the relative speedups: the Snavely & Tullsen
+// throughput metric. An empty basket sums to 0.
+func WeightedSpeedup(rels []float64) float64 {
+	sum := 0.0
+	for _, r := range rels {
+		sum += r
+	}
+	return sum
+}
+
+// HarmonicFairness is the harmonic mean of the relative speedups. A single
+// thread's fairness is its own relative speedup; an empty basket is 0; a
+// starved thread (relative speedup <= 0) pins the harmonic mean at its
+// limit, 0 — the mean must punish total starvation, not average it away.
+func HarmonicFairness(rels []float64) float64 {
+	if len(rels) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rels {
+		if r <= 0 {
+			return 0
+		}
+		sum += 1 / r
+	}
+	return float64(len(rels)) / sum
+}
+
+// relativeSpeedups divides each thread's shared-mode IPC by its alone-mode
+// IPC. A non-positive alone IPC is a simulation defect, not a fairness
+// signal, and errors out.
+func relativeSpeedups(shared, alone []float64) ([]float64, error) {
+	if len(shared) != len(alone) {
+		return nil, fmt.Errorf("sim: %d shared IPCs vs %d alone runs", len(shared), len(alone))
+	}
+	rels := make([]float64, len(shared))
+	for i := range shared {
+		if alone[i] <= 0 {
+			return nil, fmt.Errorf("sim: alone run %d produced no throughput", i)
+		}
+		rels[i] = shared[i] / alone[i]
+	}
+	return rels, nil
+}
+
+// aloneOptions scales the alone-mode warm-up: in the shared run the warm-up
+// phase lasts until the *slowest* thread retires its quota, so fast threads
+// enter measurement with far warmer caches and predictors than a plain
+// single-thread warm-up would give them. Scaling the alone warm-up by the
+// thread count keeps the two measurements comparable at scaled budgets (at
+// the paper's 300M scale the difference vanishes).
+func aloneOptions(opt Options, threads int) Options {
+	out := opt
+	out.Warmup = opt.Warmup * uint64(threads)
+	return out
+}
+
+// AloneRequest builds the engine job measuring w's i-th benchmark alone on
+// cfg: the single thread on the machine's widest pipeline (the best case a
+// migration policy could give it), with the warm-up scaled as aloneOptions
+// describes. The request carries no fetch-policy override and no remap
+// interval — alone mode has no arbitration to police and nothing to
+// migrate — so every policy/remap variant of a machine shares one cached
+// alone baseline per benchmark.
+func AloneRequest(cfg config.Microarch, w workload.Workload, i int, opt Options) engine.Request {
+	name := w.Benchmarks[i]
+	aloneW := workload.Workload{Name: w.Name + "/" + name, Benchmarks: []string{name}, Type: w.Type}
+	aloneOpt := aloneOptions(opt, w.Threads())
+	return newRequest(cfg, aloneW, mapping.Mapping{0}, aloneOpt.Budget, aloneOpt.Warmup)
+}
+
+// FairnessFromResults assembles the fairness metrics from an
+// already-simulated shared run and the matching alone-run IPCs (in
+// w.Benchmarks order) — the engine-batched path: callers submit the shared
+// request and AloneRequest per benchmark through the engine, then derive
+// fairness here without re-simulating anything.
+func FairnessFromResults(cfg config.Microarch, w workload.Workload, shared core.Results, alone []float64) (FairnessResult, error) {
+	return fairnessFrom(cfg, w, shared.PerThreadIPC, alone)
+}
+
+// fairnessFrom assembles the metrics from per-thread shared IPCs and the
+// matching alone IPCs.
+func fairnessFrom(cfg config.Microarch, w workload.Workload, shared, alone []float64) (FairnessResult, error) {
+	out := FairnessResult{Config: cfg.Name, Workload: w.Name}
+	rels, err := relativeSpeedups(shared, alone)
+	if err != nil {
+		return out, err
+	}
+	out.PerThread = rels
+	out.WeightedSpeedup = WeightedSpeedup(rels)
+	out.HarmonicFairness = HarmonicFairness(rels)
+	return out, nil
+}
+
 // Fairness measures workload w on cfg under mapping m against each thread's
 // alone-mode run. Alone mode places the single thread on the machine's
 // widest pipeline (the best case a migration policy could give it).
 func Fairness(cfg config.Microarch, w workload.Workload, m mapping.Mapping, opt Options) (FairnessResult, error) {
-	out := FairnessResult{Config: cfg.Name, Workload: w.Name}
-
 	shared, err := Run(cfg, w, m, opt)
 	if err != nil {
-		return out, err
+		return FairnessResult{Config: cfg.Name, Workload: w.Name}, err
 	}
-
-	// Alone runs get a longer warm-up: in the shared run the warm-up phase
-	// lasts until the *slowest* thread retires its quota, so fast threads
-	// enter measurement with far warmer caches and predictors than a plain
-	// single-thread warm-up would give them. Scaling the alone warm-up by
-	// the thread count keeps the two measurements comparable at scaled
-	// budgets (at the paper's 300M scale the difference vanishes).
-	aloneOpt := opt
-	aloneOpt.Warmup = opt.Warmup * uint64(w.Threads())
-
-	sumRel, sumInv := 0.0, 0.0
+	aloneOpt := aloneOptions(opt, w.Threads())
+	alone := make([]float64, len(w.Benchmarks))
 	for i, name := range w.Benchmarks {
 		aloneW := workload.Workload{Name: w.Name + "/" + name, Benchmarks: []string{name}, Type: w.Type}
-		alone, err := Run(cfg, aloneW, mapping.Mapping{0}, aloneOpt)
+		r, err := Run(cfg, aloneW, mapping.Mapping{0}, aloneOpt)
 		if err != nil {
-			return out, fmt.Errorf("sim: alone run of %s: %w", name, err)
+			return FairnessResult{Config: cfg.Name, Workload: w.Name}, fmt.Errorf("sim: alone run of %s: %w", name, err)
 		}
-		if alone.IPC <= 0 {
-			return out, fmt.Errorf("sim: alone run of %s produced no throughput", name)
-		}
-		rel := shared.PerThreadIPC[i] / alone.IPC
-		out.PerThread = append(out.PerThread, rel)
-		sumRel += rel
-		if rel > 0 {
-			sumInv += 1 / rel
-		}
+		alone[i] = r.IPC
 	}
-	out.WeightedSpeedup = sumRel
-	n := float64(len(out.PerThread))
-	if sumInv > 0 {
-		out.HarmonicFairness = n / sumInv
-	}
-	return out, nil
+	return fairnessFrom(cfg, w, shared.PerThreadIPC, alone)
 }
