@@ -43,6 +43,9 @@ func main() {
 		searchSd  = flag.Int64("searchseed", 1, "random seed for -search")
 		paretoOut = flag.String("pareto", "", "run the multi-objective benchmark (fronts, hypervolume trajectories, seeded priors, per-class specialization), write the report to this JSON file, and exit")
 		paretoSd  = flag.Int64("paretoseed", 1, "random seed for -pareto")
+		powerOut  = flag.String("power", "", "run the power-model benchmark (per-machine EPI/ED/ED², the 4-objective ipc/area/fairness/energy front, NSGA-II/PACO hypervolume trajectories), write the report to this JSON file, and exit")
+		powerSd   = flag.Int64("powerseed", 1, "random seed for -power")
+		powerFull = flag.Bool("powerfull", false, "run -power at full scale (exhaustive 4-objective front over the whole enriched space; default is the CI-sized short mode)")
 	)
 	flag.Parse()
 
@@ -66,6 +69,13 @@ func main() {
 	}
 	if *paretoOut != "" {
 		if err := writeParetoReport(*paretoOut, *paretoSd); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *powerOut != "" {
+		if err := writePowerReport(*powerOut, *powerSd, *powerFull); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -302,7 +312,7 @@ func writeSearchReport(path string, seed int64) error {
 	}
 	report.SmallSpace.Exhaustive = exh
 	fmt.Printf("search: exhaustive %d evaluations, %d simulations, optimum %s (IPC/mm² %.5f)\n",
-		exh.Evaluations, exh.Simulations, exh.Best.Config, exh.Best.PerArea)
+		exh.Evaluations, exh.Simulations, exh.Best.Config, exh.Best.Metric("per_area"))
 
 	budget := exh.Evaluations * 30 / 100
 	for _, name := range []string{"hillclimb", "aco"} {
@@ -349,7 +359,7 @@ func writeSearchReport(path string, seed int64) error {
 	}
 	report.EnrichedSpace.ACO = aco
 	fmt.Printf("search: enriched space (%d genotypes) ACO best %s (IPC/mm² %.5f) after %d evaluations\n",
-		enriched.Size(), aco.Best.Name(), aco.Best.PerArea, aco.Evaluations)
+		enriched.Size(), aco.Best.Name(), aco.Best.Metric("per_area"), aco.Evaluations)
 
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -255,10 +255,10 @@ func writeParetoReport(path string, seed int64) error {
 		}
 		gen := "(infeasible)"
 		if cf.GenericBest != nil {
-			gen = fmt.Sprintf("generic %s IPC/mm² %.5f", cf.GenericBest.Name(), cf.GenericBest.PerArea)
+			gen = fmt.Sprintf("generic %s IPC/mm² %.5f", cf.GenericBest.Name(), cf.GenericBest.Metric("per_area"))
 		}
 		fmt.Printf("pareto: %s specialized %s IPC/mm² %.5f vs %s (%+.1f%%)\n",
-			cf.Class, cf.Result.Best.Name(), cf.Result.Best.PerArea, gen, 100*cf.PerAreaGain)
+			cf.Class, cf.Result.Best.Name(), cf.Result.Best.Metric("per_area"), gen, 100*cf.PerAreaGain)
 	}
 
 	b, err := json.MarshalIndent(report, "", "  ")

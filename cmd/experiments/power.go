@@ -1,0 +1,258 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hdsmt/internal/area"
+	"hdsmt/internal/config"
+	"hdsmt/internal/engine"
+	"hdsmt/internal/metrics"
+	"hdsmt/internal/pareto"
+	"hdsmt/internal/search"
+	"hdsmt/internal/sim"
+	"hdsmt/internal/workload"
+)
+
+// machineEnergy is one evaluated microarchitecture's energy accounting on
+// the baseline workload: the activity-priced dynamic + leakage energy per
+// instruction and the derived ED/ED² figures.
+type machineEnergy struct {
+	Config  string  `json:"config"`
+	AreaMM2 float64 `json:"area_mm2"`
+	IPC     float64 `json:"ipc"`
+	// EPI is nJ per committed instruction; ED and ED2 the energy-delay and
+	// energy-delay² products (EPI/IPC, EPI/IPC²).
+	EPI float64 `json:"epi_nj"`
+	ED  float64 `json:"ed"`
+	ED2 float64 `json:"ed2"`
+	// DynamicPJ/LeakagePJ split the run's total; Units decomposes the
+	// dynamic energy by unit.
+	DynamicPJ float64        `json:"dynamic_pj"`
+	LeakagePJ float64        `json:"leakage_pj"`
+	Units     metrics.Values `json:"units"`
+}
+
+// powerReport is BENCH_PR5.json: the activity-based power model end to end
+// — the per-unit energy table, the six evaluated machines' EPI/ED/ED²
+// baseline, the exhaustive 4-objective (ipc, area, fairness, energy) front
+// with its Monte-Carlo hypervolume and the ED/ED² incumbents read off it,
+// and budgeted NSGA-II/PACO hypervolume trajectories over the enriched
+// space. Fixed seeds and the deterministic-seed Monte-Carlo estimator make
+// the file byte-identical across invocations.
+type powerReport struct {
+	Name      string `json:"name"`
+	SimBudget uint64 `json:"sim_budget"`
+	SimWarmup uint64 `json:"sim_warmup"`
+	Full      bool   `json:"full"`
+
+	// EnergyModel echoes the per-access energy table the report was priced
+	// with.
+	EnergyModel config.EnergyModel `json:"energy_model"`
+
+	// Baseline prices the paper's six evaluated configurations on the
+	// baseline workload under the heuristic mapping.
+	Baseline struct {
+		Workload string          `json:"workload"`
+		Machines []machineEnergy `json:"machines"`
+	} `json:"baseline"`
+
+	// FourObjective is the exhaustive front over (ipc, area, fairness,
+	// energy): the many-objective result the Monte-Carlo hypervolume
+	// estimator unlocks. EDIncumbent/ED2Incumbent are the front members
+	// minimizing the derived ED/ED² metrics — ED-optimal machines are
+	// Pareto-optimal in (ipc, energy), so with an unpruned archive the
+	// front provably contains them.
+	FourObjective struct {
+		Workloads     []string                 `json:"workloads"`
+		Genotypes     int64                    `json:"genotypes"`
+		Objectives    []string                 `json:"objectives"`
+		FrontSize     int                      `json:"front_size"`
+		Front         []search.TrajectoryPoint `json:"front"`
+		HypervolumeMC float64                  `json:"hypervolume_mc"`
+		EDIncumbent   *search.TrajectoryPoint  `json:"ed_incumbent"`
+		ED2Incumbent  *search.TrajectoryPoint  `json:"ed2_incumbent"`
+	} `json:"four_objective"`
+
+	// EnrichedSpace holds the budgeted 4-objective strategy runs and their
+	// hypervolume trajectories.
+	EnrichedSpace struct {
+		Genotypes int64          `json:"genotypes"`
+		NSGA2     *search.Result `json:"nsga2"`
+		PACO      *search.Result `json:"paco"`
+	} `json:"enriched_space"`
+}
+
+// writePowerReport runs the power benchmark. Every claim the CI smoke step
+// depends on is asserted here and fails the command loudly: every machine
+// and front member carries an energy value, the 4-objective front is
+// non-empty and mutually non-dominated with the ED/ED² incumbents on it,
+// and the budgeted strategies' Monte-Carlo hypervolume trajectories are
+// monotone (the estimator's fixed sampling box guarantees it for an
+// unpruned archive).
+func writePowerReport(path string, seed int64, full bool) error {
+	const wlName = "2W7"
+	wls := []workload.Workload{workload.MustByName(wlName)}
+	simOpt := sim.Options{Budget: 2_000, Warmup: 1_000}
+	report := powerReport{Name: "power-model", SimBudget: simOpt.Budget, SimWarmup: simOpt.Warmup,
+		Full: full, EnergyModel: config.DefaultEnergyModel()}
+
+	// ---- Part 1: the six evaluated machines' energy baseline ------------
+	report.Baseline.Workload = wlName
+	runner, err := sim.NewRunner(engine.Options{})
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+	w := workload.MustByName(wlName)
+	for _, cfg := range config.EvaluatedMicroarchs() {
+		m, err := sim.DefaultMapping(cfg, w)
+		if err != nil {
+			return err
+		}
+		res, err := runner.Run(context.Background(), cfg, w, m, simOpt)
+		if err != nil {
+			return err
+		}
+		eb, err := sim.EnergyOf(cfg.ForThreads(w.Threads()), res)
+		if err != nil {
+			return err
+		}
+		if eb.EPI <= 0 {
+			return fmt.Errorf("power: %s EPI = %v, want positive", cfg.Name, eb.EPI)
+		}
+		a, err := area.Total(cfg)
+		if err != nil {
+			return err
+		}
+		vals := metrics.Values{"ipc": res.IPC, "area": a, "energy": eb.EPI}
+		metrics.Finalize(vals)
+		report.Baseline.Machines = append(report.Baseline.Machines, machineEnergy{
+			Config:    cfg.Name,
+			AreaMM2:   a,
+			IPC:       res.IPC,
+			EPI:       eb.EPI,
+			ED:        vals["ed"],
+			ED2:       vals["ed2"],
+			DynamicPJ: eb.DynamicPJ, LeakagePJ: eb.LeakagePJ,
+			Units: eb.Units,
+		})
+		fmt.Printf("power: %-14s %8.2f mm²  IPC %6.3f  EPI %7.2f nJ  ED %8.2f  ED² %9.2f\n",
+			cfg.Name, a, res.IPC, eb.EPI, vals["ed"], vals["ed2"])
+	}
+
+	// ---- Part 2: the exhaustive 4-objective front -----------------------
+	objs, err := pareto.Parse("ipc,area,fairness,energy")
+	if err != nil {
+		return err
+	}
+	sp := search.NewSpace(3, 0, wls)
+	sp.QueueScales = []int{75, 100, 125}
+	sp.FetchBufScales = []int{75, 100, 125}
+	sp.RemapIntervals = []uint64{0, sim.DefaultRemapInterval}
+	if full {
+		sp = search.EnrichedSpace(4, 0, wls)
+	}
+	report.FourObjective.Workloads = []string{wlName}
+	report.FourObjective.Genotypes = sp.Size()
+	report.FourObjective.Objectives = pareto.Keys(objs)
+
+	exh, err := runSearch(sp, search.Exhaustive{}, search.Options{
+		Sim: simOpt, Objectives: objs, ArchiveCap: 1 << 12,
+	})
+	if err != nil {
+		return err
+	}
+	if len(exh.Front) == 0 {
+		return fmt.Errorf("power: exhaustive 4-objective front is empty")
+	}
+	if err := search.CheckFront(objs, exh.Front); err != nil {
+		return err
+	}
+	report.FourObjective.FrontSize = len(exh.Front)
+	report.FourObjective.Front = exh.Front
+	report.FourObjective.HypervolumeMC = pareto.HypervolumeOf(objs, frontVectors(objs, exh.Front))
+
+	for i := range exh.Front {
+		fp := &exh.Front[i]
+		for _, key := range []string{"energy", "ed", "ed2"} {
+			if _, ok := fp.Values[key]; !ok {
+				return fmt.Errorf("power: front member %s has no %s value", fp.Name(), key)
+			}
+		}
+		if report.FourObjective.EDIncumbent == nil || fp.Metric("ed") < report.FourObjective.EDIncumbent.Metric("ed") {
+			report.FourObjective.EDIncumbent = fp
+		}
+		if report.FourObjective.ED2Incumbent == nil || fp.Metric("ed2") < report.FourObjective.ED2Incumbent.Metric("ed2") {
+			report.FourObjective.ED2Incumbent = fp
+		}
+	}
+	fmt.Printf("power: %d-genotype space: %d-point (ipc, area, fairness, energy) front, MC hypervolume %.1f\n",
+		sp.Size(), len(exh.Front), report.FourObjective.HypervolumeMC)
+	fmt.Printf("power: ED incumbent %s (ED %.2f), ED² incumbent %s (ED² %.2f)\n",
+		report.FourObjective.EDIncumbent.Name(), report.FourObjective.EDIncumbent.Metric("ed"),
+		report.FourObjective.ED2Incumbent.Name(), report.FourObjective.ED2Incumbent.Metric("ed2"))
+
+	// ---- Part 3: budgeted 4-objective strategies on the enriched space --
+	enriched := search.EnrichedSpace(4, 0, wls)
+	report.EnrichedSpace.Genotypes = enriched.Size()
+	budget := 48
+	if full {
+		budget = 128
+	}
+	for _, name := range []string{"nsga2", "paco"} {
+		st, err := search.ByName(name)
+		if err != nil {
+			return err
+		}
+		// ArchiveCap above any reachable front size: a crowding prune can
+		// shrink the dominated region, and assertMonotoneHV would then fail
+		// the run (the default 64-member cap is only safe below 64
+		// evaluations).
+		res, err := runSearch(enriched, st, search.Options{
+			Budget: budget, Seed: seed, Sim: simOpt, Objectives: objs, ArchiveCap: 1 << 12,
+		})
+		if err != nil {
+			return err
+		}
+		if len(res.Front) == 0 {
+			return fmt.Errorf("power: %s produced an empty front", name)
+		}
+		if err := search.CheckFront(objs, res.Front); err != nil {
+			return fmt.Errorf("power: %s: %w", name, err)
+		}
+		if err := assertMonotoneHV(res); err != nil {
+			return fmt.Errorf("power: %s: %w", name, err)
+		}
+		switch name {
+		case "nsga2":
+			report.EnrichedSpace.NSGA2 = res
+		case "paco":
+			report.EnrichedSpace.PACO = res
+		}
+		last := res.Hypervolume[len(res.Hypervolume)-1]
+		fmt.Printf("power: %-6s front %d machines, MC hypervolume %.1f after %d evaluations\n",
+			name, len(res.Front), last.Hypervolume, res.Evaluations)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("power: report written to %s\n", path)
+	return nil
+}
+
+// frontVectors extracts the front's raw objective vectors.
+func frontVectors(objs []pareto.Objective, front []search.TrajectoryPoint) []pareto.Vector {
+	out := make([]pareto.Vector, len(front))
+	for i, fp := range front {
+		out[i] = fp.ObjectiveVector(objs)
+	}
+	return out
+}

@@ -40,6 +40,7 @@ import (
 	"strings"
 
 	"hdsmt/internal/engine"
+	"hdsmt/internal/metrics"
 	"hdsmt/internal/pareto"
 	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
@@ -48,23 +49,24 @@ import (
 
 func main() {
 	var (
-		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive|random|hillclimb|hillclimb-seeded|aco|aco-seeded|nsga2|paco")
-		maxPipes = flag.Int("maxpipes", 4, "maximum pipelines per candidate")
-		areaCap  = flag.Float64("areacap", 0, "area budget in mm² (0 = unlimited)")
-		wlList   = flag.String("workloads", "2W7,4W6", "comma-separated workload set")
-		budget   = flag.Uint64("budget", 10_000, "measured instructions per thread")
-		warmup   = flag.Uint64("warmup", 5_000, "warm-up instructions per thread")
-		evals    = flag.Int("evals", 64, "evaluation budget for the metaheuristic strategies")
-		seed     = flag.Int64("seed", 1, "random seed (fixed seed = reproducible trajectory)")
-		enriched = flag.Bool("enriched", false, "search the full enriched space (policies × remap × sizings)")
-		policies = flag.String("policies", "", "comma-separated fetch-policy axis (empty entry = config default)")
-		remaps   = flag.String("remap", "", "comma-separated dynamic-remap intervals in cycles (0 = static)")
-		qscales  = flag.String("qscales", "", "comma-separated issue/load-queue scales in percent")
-		fbscales = flag.String("fbscales", "", "comma-separated decoupling-buffer scales in percent")
-		out      = flag.String("out", "", "also write the result to this JSON file (search trajectory, or the exhaustive ranking)")
-		objs     = flag.String("objectives", "", "comma-separated multi-objective axes (2-3 of ipc,area,fairness,per_area; empty = scalar IPC/mm²)")
-		archive  = flag.Int("archive", 0, "non-dominated archive capacity (0 = default; crowding pruning beyond it)")
-		frontCSV = flag.String("frontcsv", "", "write the Pareto front to this CSV file (multi-objective runs)")
+		strategy  = flag.String("strategy", "exhaustive", "search strategy: exhaustive|random|hillclimb|hillclimb-seeded|aco|aco-seeded|nsga2|paco")
+		maxPipes  = flag.Int("maxpipes", 4, "maximum pipelines per candidate")
+		areaCap   = flag.Float64("areacap", 0, "area budget in mm² (0 = unlimited)")
+		wlList    = flag.String("workloads", "2W7,4W6", "comma-separated workload set")
+		budget    = flag.Uint64("budget", 10_000, "measured instructions per thread")
+		warmup    = flag.Uint64("warmup", 5_000, "warm-up instructions per thread")
+		evals     = flag.Int("evals", 64, "evaluation budget for the metaheuristic strategies")
+		seed      = flag.Int64("seed", 1, "random seed (fixed seed = reproducible trajectory)")
+		enriched  = flag.Bool("enriched", false, "search the full enriched space (policies × remap × sizings)")
+		policies  = flag.String("policies", "", "comma-separated fetch-policy axis (empty entry = config default)")
+		remaps    = flag.String("remap", "", "comma-separated dynamic-remap intervals in cycles (0 = static)")
+		qscales   = flag.String("qscales", "", "comma-separated issue/load-queue scales in percent")
+		fbscales  = flag.String("fbscales", "", "comma-separated decoupling-buffer scales in percent")
+		out       = flag.String("out", "", "also write the result to this JSON file (search trajectory, or the exhaustive ranking)")
+		objs      = flag.String("objectives", "", "comma-separated multi-objective axes (2+ registered metrics, e.g. ipc,area,fairness,energy; empty = scalar IPC/mm²)")
+		archive   = flag.Int("archive", 0, "non-dominated archive capacity (0 = default; crowding pruning beyond it)")
+		frontCSV  = flag.String("frontcsv", "", "write the Pareto front to this CSV file (multi-objective runs)")
+		frontPath = flag.String("frontpath", "", "persist the non-dominated archive to this JSON file and resume from it when it exists (multi-objective runs)")
 	)
 	flag.Parse()
 	if *frontCSV != "" && *objs == "" {
@@ -74,6 +76,9 @@ func main() {
 	}
 	if *archive != 0 && *objs == "" {
 		fail(fmt.Errorf("-archive needs a multi-objective run: pass -objectives too"))
+	}
+	if *frontPath != "" && *objs == "" {
+		fail(fmt.Errorf("-frontpath needs a multi-objective run: pass -objectives too"))
 	}
 
 	var wls []workload.Workload
@@ -100,6 +105,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Objective names are validated against the metric registry before any
+	// simulation: a typo fails fast with the list of known metrics instead
+	// of producing a zero-valued front.
 	var objectives []pareto.Objective
 	if *objs != "" {
 		if objectives, err = pareto.Parse(*objs); err != nil {
@@ -155,11 +163,12 @@ func main() {
 		sp.Size(), st.Name(), budgetDesc, *seed, len(wls))
 
 	res, err := search.NewDriver(runner).Search(context.Background(), sp, st, search.Options{
-		Budget:     budgetEvals,
-		Seed:       *seed,
-		Sim:        opt,
-		Objectives: objectives,
-		ArchiveCap: *archive,
+		Budget:      budgetEvals,
+		Seed:        *seed,
+		Sim:         opt,
+		Objectives:  objectives,
+		ArchiveCap:  *archive,
+		ArchivePath: *frontPath,
 		Progress: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d evaluations", done, total)
 		},
@@ -170,14 +179,15 @@ func main() {
 	}
 
 	fmt.Println("\nbest-so-far trajectory:")
-	fmt.Printf("%8s  %-24s %10s %10s %12s\n", "evals", "machine", "area mm²", "IPC", "IPC/mm²")
+	fmt.Printf("%8s  %-24s %10s %10s %12s %12s\n", "evals", "machine", "area mm²", "IPC", "IPC/mm²", "EPI nJ")
 	for _, tp := range res.Trajectory {
-		fmt.Printf("%8d  %-24s %10.2f %10.3f %12.5f\n", tp.Evaluations, tp.Name(), tp.Area, tp.IPC, tp.PerArea)
+		fmt.Printf("%8d  %-24s %10.2f %10.3f %12.5f %12s\n", tp.Evaluations, tp.Name(),
+			tp.Metric("area"), tp.Metric("ipc"), tp.Metric("per_area"), metricCell(tp, "energy"))
 	}
 	if res.Best == nil {
 		fmt.Println("no feasible machine found")
 	} else {
-		fmt.Printf("\nbest: %s  IPC/mm² %.5f after %d evaluations\n", res.Best.Name(), res.Best.PerArea, res.Best.Evaluations)
+		fmt.Printf("\nbest: %s  IPC/mm² %.5f after %d evaluations\n", res.Best.Name(), res.Best.Metric("per_area"), res.Best.Evaluations)
 	}
 	printFront(res)
 	fmt.Printf("cost: %d evaluations, %d simulations executed, %d submitted, cache-hit rate %.1f%%\n",
@@ -197,21 +207,33 @@ func main() {
 	}
 }
 
+// metricCell renders one metric value for a table, "-" when the point does
+// not carry it (e.g. fairness on runs that never priced alone-run
+// baselines in).
+func metricCell(tp search.TrajectoryPoint, key string) string {
+	v, ok := tp.Values[key]
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
 // printFront renders the non-dominated archive of a multi-objective run,
 // ordered as the driver archives it (descending first-objective gain).
 func printFront(res *search.Result) {
 	if len(res.Front) == 0 {
 		return
 	}
-	fmt.Printf("\npareto front over (%s): %d machines\n", strings.Join(res.Objectives, ", "), len(res.Front))
-	fmt.Printf("%8s  %-24s %10s %10s %10s %12s\n", "evals", "machine", "area mm²", "IPC", "fairness", "IPC/mm²")
+	fmt.Printf("\npareto front over (%s): %d machines", strings.Join(res.Objectives, ", "), len(res.Front))
+	if res.RestoredFront > 0 {
+		fmt.Printf(" (%d restored from the archive file)", res.RestoredFront)
+	}
+	fmt.Println()
+	fmt.Printf("%8s  %-24s %10s %10s %10s %12s %10s\n", "evals", "machine", "area mm²", "IPC", "fairness", "IPC/mm²", "EPI nJ")
 	for _, fp := range res.Front {
-		fair := "-"
-		if fp.Fairness > 0 {
-			fair = fmt.Sprintf("%.3f", fp.Fairness)
-		}
-		fmt.Printf("%8d  %-24s %10.2f %10.3f %10s %12.5f\n",
-			fp.Evaluations, fp.Name(), fp.Area, fp.IPC, fair, fp.PerArea)
+		fmt.Printf("%8d  %-24s %10.2f %10.3f %10s %12.5f %10s\n",
+			fp.Evaluations, fp.Name(), fp.Metric("area"), fp.Metric("ipc"),
+			metricCell(fp, "fairness"), fp.Metric("per_area"), metricCell(fp, "energy"))
 	}
 	if n := len(res.Hypervolume); n > 0 {
 		fmt.Printf("hypervolume: %.4f after %d archive improvements\n",
@@ -219,8 +241,9 @@ func printFront(res *search.Result) {
 	}
 }
 
-// writeFrontCSV exports the front: one row per machine, raw objective
-// columns included, so the trade-off plot is one spreadsheet away.
+// writeFrontCSV exports the front: one row per machine, one column per
+// registered metric (absent values stay empty), so a newly registered
+// metric shows up here without touching the exporter.
 func writeFrontCSV(path string, res *search.Result) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -228,17 +251,22 @@ func writeFrontCSV(path string, res *search.Result) error {
 	}
 	defer f.Close()
 	w := csv.NewWriter(f)
-	if err := w.Write([]string{"machine", "config", "policy", "remap", "evaluations", "ipc", "area_mm2", "fairness", "per_area"}); err != nil {
+	header := []string{"machine", "config", "policy", "remap", "evaluations"}
+	header = append(header, metrics.Keys()...)
+	if err := w.Write(header); err != nil {
 		return err
 	}
 	for _, fp := range res.Front {
 		rec := []string{
 			fp.Name(), fp.Config, fp.Policy, strconv.FormatUint(fp.Remap, 10),
 			strconv.Itoa(fp.Evaluations),
-			strconv.FormatFloat(fp.IPC, 'g', -1, 64),
-			strconv.FormatFloat(fp.Area, 'g', -1, 64),
-			strconv.FormatFloat(fp.Fairness, 'g', -1, 64),
-			strconv.FormatFloat(fp.PerArea, 'g', -1, 64),
+		}
+		for _, key := range metrics.Keys() {
+			if v, ok := fp.Values[key]; ok {
+				rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				rec = append(rec, "")
+			}
 		}
 		if err := w.Write(rec); err != nil {
 			return err

@@ -31,10 +31,11 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		cache   = flag.String("cache", "", "on-disk memoization store directory (optional)")
-		journal = flag.String("journal", "", "JSONL checkpoint journal path (optional)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cache    = flag.String("cache", "", "on-disk memoization store directory (optional)")
+		journal  = flag.String("journal", "", "JSONL checkpoint journal path (optional)")
+		archives = flag.String("archives", "", "directory for named pareto-front archives (optional; a canceled \"pareto\" job resubmitted with the same archive name resumes its front)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,11 @@ func main() {
 		log.Printf("restored %d results from journal %s", st.Restored, *journal)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(runner).Handler()}
+	var srvOpts []server.Option
+	if *archives != "" {
+		srvOpts = append(srvOpts, server.WithArchiveDir(*archives))
+	}
+	srv := &http.Server{Addr: *addr, Handler: server.New(runner, srvOpts...).Handler()}
 	go func() {
 		log.Printf("hdsmtd listening on %s", *addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,75 @@
+package config
+
+import (
+	"testing"
+)
+
+func TestDefaultEnergyModelValid(t *testing.T) {
+	if err := DefaultEnergyModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultEnergyModel()
+	bad.L2PJ = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero coefficient must fail validation")
+	}
+}
+
+// TestEnergyMonotoneInQueueSize is the satellite monotonicity test at the
+// model level: scaling a structure up never makes an access cheaper. The
+// per-access energies are linear in entry count, so this pins both the
+// coefficients' signs and the scaling rule.
+func TestEnergyMonotoneInQueueSize(t *testing.T) {
+	em := DefaultEnergyModel()
+	for _, base := range Models() {
+		prev := -1.0
+		prevW := -1.0
+		prevB := -1.0
+		for _, pct := range []int{50, 75, 100, 125, 150} {
+			m, err := ScaleModel(base, pct, pct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for kind := 0; kind < 3; kind++ {
+				if e := em.QueueReadEnergy(m.QueueEntries(kind)); e <= 0 {
+					t.Fatalf("%s kind %d: non-positive access energy %v", m.Name, kind, e)
+				}
+			}
+			read := em.QueueReadEnergy(m.IQ)
+			write := em.QueueWriteEnergy(m.IQ)
+			buf := em.FetchBufEnergy(m.FetchBuf)
+			if read < prev || write < prevW || buf < prevB {
+				t.Errorf("%s at %d%%: access energy decreased (read %v<%v, write %v<%v, buf %v<%v)",
+					base.Name, pct, read, prev, write, prevW, buf, prevB)
+			}
+			prev, prevW, prevB = read, write, buf
+		}
+	}
+}
+
+// TestQueueEntriesKindOrder pins the kind-index convention shared with the
+// core's activity counters (isa.IQ=0, FQ=1, LQ=2; config cannot import isa,
+// so the agreement lives in this test).
+func TestQueueEntriesKindOrder(t *testing.T) {
+	m := M6
+	if m.QueueEntries(0) != m.IQ || m.QueueEntries(1) != m.FQ || m.QueueEntries(2) != m.LQ {
+		t.Errorf("QueueEntries order diverges from IQ/FQ/LQ: %d/%d/%d",
+			m.QueueEntries(0), m.QueueEntries(1), m.QueueEntries(2))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range kind must panic")
+		}
+	}()
+	m.QueueEntries(3)
+}
+
+func TestLeakageScalesWithAreaAndTime(t *testing.T) {
+	em := DefaultEnergyModel()
+	if a, b := em.LeakageEnergy(100, 1_000), em.LeakageEnergy(200, 1_000); b <= a {
+		t.Errorf("leakage not monotone in area: %v vs %v", a, b)
+	}
+	if a, b := em.LeakageEnergy(100, 1_000), em.LeakageEnergy(100, 2_000); b <= a {
+		t.Errorf("leakage not monotone in cycles: %v vs %v", a, b)
+	}
+}

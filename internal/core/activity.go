@@ -1,0 +1,118 @@
+package core
+
+// Per-unit activity counters: how many times each microarchitectural
+// structure was accessed over a run. They are the raw material of the
+// activity-based energy model (config.EnergyModel, assembled by
+// sim.EnergyOf) and are deliberately *architectural event* counts, not
+// per-cycle polling counts: every increment sits in code shared by the
+// optimized and the reference stepping paths (fetchOne/fetchStage,
+// dispatchStage, issueOne, writebackStage, commitOne), so the counters are
+// bit-identical in both modes — the equivalence tests compare full Results
+// values, Activity included. All counters are plain fields or
+// construction-time slices: steady-state stepping stays allocation-free.
+
+// QueueKinds is the number of issue-queue kinds (isa.IQ/FQ/LQ order).
+const QueueKinds = 3
+
+// PipeActivity counts one pipeline's private-structure accesses.
+type PipeActivity struct {
+	// FetchBufWrites counts uops written into this pipeline's decoupling
+	// buffer (every fetched instruction, wrong path included).
+	FetchBufWrites uint64 `json:"fetch_buf_writes"`
+	// QueueWrites/QueueReads count issue-queue inserts (dispatch) and
+	// removals-by-issue, indexed by isa.Queue (IQ, FQ, LQ).
+	QueueWrites [QueueKinds]uint64 `json:"queue_writes"`
+	QueueReads  [QueueKinds]uint64 `json:"queue_reads"`
+	// FUOps counts operations started on this pipeline's functional units,
+	// indexed like the queues (integer, floating-point, load/store).
+	FUOps [QueueKinds]uint64 `json:"fu_ops"`
+}
+
+func (a PipeActivity) sub(base PipeActivity) PipeActivity {
+	out := PipeActivity{FetchBufWrites: a.FetchBufWrites - base.FetchBufWrites}
+	for k := 0; k < QueueKinds; k++ {
+		out.QueueWrites[k] = a.QueueWrites[k] - base.QueueWrites[k]
+		out.QueueReads[k] = a.QueueReads[k] - base.QueueReads[k]
+		out.FUOps[k] = a.FUOps[k] - base.FUOps[k]
+	}
+	return out
+}
+
+// Activity counts whole-processor unit accesses over the measured phase of
+// a run (warm-up activity is subtracted, like every other Results field).
+// Wrong-path work is included — it toggles real transistors — while
+// per-cycle bookkeeping (ready-list scans, waiter-list walks) is not: those
+// differ between stepping paths and consume no data-path energy.
+type Activity struct {
+	// Fetched counts instructions through the fetch stage (correct + wrong
+	// path); ICacheReads counts I-cache line accesses (one per fetch-engine
+	// cache probe, hits and misses alike), BranchLookups the predictor/BTB
+	// accesses for control instructions at fetch.
+	Fetched       uint64 `json:"fetched"`
+	ICacheReads   uint64 `json:"icache_reads"`
+	BranchLookups uint64 `json:"branch_lookups"`
+	// Decoded counts uops through decode/rename (= dispatched);
+	// RenameReads the source rename-map lookups, RenameWrites the
+	// destination allocations.
+	Decoded      uint64 `json:"decoded"`
+	RenameReads  uint64 `json:"rename_reads"`
+	RenameWrites uint64 `json:"rename_writes"`
+	// RegReads counts physical-register source reads at issue, RegWrites
+	// the result writebacks.
+	RegReads  uint64 `json:"reg_reads"`
+	RegWrites uint64 `json:"reg_writes"`
+	// DCacheReads counts issued loads (L1D probes), DCacheWrites committed
+	// stores, L2Accesses the L1 misses (instruction and data) that probe
+	// the shared L2.
+	DCacheReads  uint64 `json:"dcache_reads"`
+	DCacheWrites uint64 `json:"dcache_writes"`
+	L2Accesses   uint64 `json:"l2_accesses"`
+	// Pipes holds the per-pipeline structure accesses, indexed like
+	// Microarch.Pipelines.
+	Pipes []PipeActivity `json:"pipes,omitempty"`
+}
+
+// sub returns the per-field difference a - base (measurement-phase deltas).
+// The Pipes slice is freshly allocated: sub runs once per results call, not
+// in the stepping loop.
+func (a Activity) sub(base Activity) Activity {
+	out := Activity{
+		Fetched:       a.Fetched - base.Fetched,
+		ICacheReads:   a.ICacheReads - base.ICacheReads,
+		BranchLookups: a.BranchLookups - base.BranchLookups,
+		Decoded:       a.Decoded - base.Decoded,
+		RenameReads:   a.RenameReads - base.RenameReads,
+		RenameWrites:  a.RenameWrites - base.RenameWrites,
+		RegReads:      a.RegReads - base.RegReads,
+		RegWrites:     a.RegWrites - base.RegWrites,
+		DCacheReads:   a.DCacheReads - base.DCacheReads,
+		DCacheWrites:  a.DCacheWrites - base.DCacheWrites,
+		L2Accesses:    a.L2Accesses - base.L2Accesses,
+	}
+	if len(a.Pipes) > 0 {
+		out.Pipes = make([]PipeActivity, len(a.Pipes))
+		for i := range a.Pipes {
+			var b PipeActivity
+			if i < len(base.Pipes) {
+				b = base.Pipes[i]
+			}
+			out.Pipes[i] = a.Pipes[i].sub(b)
+		}
+	}
+	return out
+}
+
+// clone returns a deep copy (the warm-up baseline snapshot must not alias
+// the live counters' Pipes slice).
+func (a Activity) clone() Activity {
+	out := a
+	if len(a.Pipes) > 0 {
+		out.Pipes = make([]PipeActivity, len(a.Pipes))
+		copy(out.Pipes, a.Pipes)
+	}
+	return out
+}
+
+// Activity returns the processor's unit-access counters since construction
+// (warm-up included; Results carries the measured-phase delta).
+func (p *Processor) Activity() Activity { return p.activity.clone() }

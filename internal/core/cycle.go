@@ -159,6 +159,7 @@ func (p *Processor) commitOne(t *thread, u *pipeline.UOp) {
 		// Stores retire their cache write at commit, so wrong-path stores
 		// never touch memory state.
 		p.hier.Store(u.Inst.EffAddr, p.cycle)
+		p.activity.DCacheWrites++
 	}
 	if u.Inst.HasDest() {
 		t.renameMap.Commit(u)
@@ -215,6 +216,7 @@ func (p *Processor) writebackStage() {
 		t := p.threads[u.Thread]
 		t.doneUops++
 		if u.DestPhys != regfile.None {
+			p.activity.RegWrites++
 			p.wakeReg(u.DestPhys)
 		}
 		if u.Inst.Class.IsLoad() {
@@ -542,10 +544,23 @@ func (p *Processor) issueScanAll(c uint64) {
 
 func (p *Processor) issueOne(u *pipeline.UOp, c, extraRF uint64) {
 	t := p.threads[u.Thread]
+	for _, ph := range u.Src {
+		if ph != regfile.None {
+			p.activity.RegReads++
+		}
+	}
 	u.ReadSources(p.rf)
+	kind := isa.QueueFor(u.Inst.Class)
+	pa := &p.activity.Pipes[u.Pipe]
+	pa.QueueReads[kind]++
+	pa.FUOps[kind]++
 	lat := uint64(isa.Latency(u.Inst.Class))
 	if u.Inst.Class.IsLoad() {
 		res := p.hier.Load(u.Inst.EffAddr, c)
+		p.activity.DCacheReads++
+		if res.L1Miss {
+			p.activity.L2Accesses++
+		}
 		lat += uint64(res.Latency)
 		if !u.Inst.WrongPath {
 			if res.L1Miss {
@@ -630,6 +645,12 @@ func (p *Processor) dispatchStage() {
 			if u.Inst.HasDest() {
 				t.renameMap.Rename(u)
 			}
+			p.activity.Decoded++
+			p.activity.RenameReads += uint64(len(srcs))
+			if u.Inst.HasDest() {
+				p.activity.RenameWrites++
+			}
+			p.activity.Pipes[b.Index].QueueWrites[isa.QueueFor(u.Inst.Class)]++
 			u.IssueAt = u.FetchCycle + frontLatency + uint64(p.cfg.Params.RegAccessLatency-1)
 			u.Stage = pipeline.StageDispatched
 			u.DispatchSeq = p.dispatchSeq
@@ -716,6 +737,10 @@ func (p *Processor) fetchStage() {
 		line := t.pc &^ 63
 		if t.lineBuf != line {
 			res := p.hier.Fetch(t.pc, c)
+			p.activity.ICacheReads++
+			if res.L1Miss {
+				p.activity.L2Accesses++
+			}
 			if res.L1Miss || res.TLBMiss {
 				// The thread's fetch stalls until the line arrives in the
 				// fill buffer; the cache port was consumed regardless.
@@ -746,6 +771,8 @@ func (p *Processor) fetchThread(t *thread, b *pipeline.Backend, c uint64, budget
 		if !b.FetchBuf.PushTail(u) {
 			panic("core: fetch buffer overflow after Full check")
 		}
+		p.activity.Fetched++
+		p.activity.Pipes[b.Index].FetchBufWrites++
 		t.icount++
 		if u.Inst.Class.IsLoad() {
 			t.inflightLoads++
@@ -805,6 +832,7 @@ func (p *Processor) fetchOne(t *thread, c uint64) *pipeline.UOp {
 		return u
 	}
 
+	p.activity.BranchLookups++
 	predTaken, predTarget, bubble := p.predictControl(t, in)
 	u.PredTaken = predTaken
 	u.PredTarget = predTarget

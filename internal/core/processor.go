@@ -98,12 +98,17 @@ type Processor struct {
 	remapPipes    []int
 
 	// Warm-up: instructions each thread retires before measurement starts.
-	warmup     uint64
-	startCycle uint64
-	baseStats  Stats
-	baseThread []ThreadStats
+	warmup       uint64
+	startCycle   uint64
+	baseStats    Stats
+	baseThread   []ThreadStats
+	baseActivity Activity
 
 	stats Stats
+	// activity holds the per-unit access counters behind the energy model
+	// (see activity.go). Incremented only in code shared by both stepping
+	// paths, so optimized and reference runs count identically.
+	activity Activity
 }
 
 // Stats aggregates whole-processor counters over a run.
@@ -197,6 +202,7 @@ func New(cfg config.Microarch, specs []ThreadSpec, mapping []int, opts ...Option
 	for i, m := range cfg.Pipelines {
 		p.pipes = append(p.pipes, pipeline.NewBackend(i, m, cfg.Params.FetchWidth))
 	}
+	p.activity.Pipes = make([]PipeActivity, len(p.pipes))
 	for i, spec := range specs {
 		if spec.Program == nil {
 			return nil, fmt.Errorf("core: thread %d has no program", i)
@@ -308,6 +314,10 @@ type Results struct {
 	IPC float64
 	// PerThreadIPC is each thread's committed/cycles.
 	PerThreadIPC []float64
+
+	// Activity is the measured-phase per-unit access counters feeding the
+	// activity-based energy model (sim.EnergyOf).
+	Activity Activity
 }
 
 // Run simulates until one thread retires maxPerThread measured instructions
@@ -348,6 +358,7 @@ func (p *Processor) Run(maxPerThread uint64) (Results, error) {
 	// Snapshot the measurement baseline and arm per-thread targets.
 	p.startCycle = p.cycle
 	p.baseStats = p.stats
+	p.baseActivity = p.activity.clone()
 	p.baseThread = p.baseThread[:0]
 	for i, t := range p.threads {
 		p.baseThread = append(p.baseThread, p.ThreadStats(i))
@@ -383,6 +394,7 @@ func (p *Processor) results() Results {
 		r.PerThreadIPC = append(r.PerThreadIPC, float64(committed)/float64(cycles))
 	}
 	r.IPC = float64(total) / float64(cycles)
+	r.Activity = p.activity.sub(p.baseActivity)
 	return r
 }
 

@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// The metric registry is the one place a metric is described: its key, its
+// optimization sense, its units, how the multi-objective layer should box
+// it, whether evaluating it needs per-benchmark alone-run baselines, and —
+// for derived metrics — how to compute it from the base metrics. Every
+// consumer (search scores, Pareto objectives, the CLI's -objectives flag,
+// the server's job validation, report exporters) resolves metrics here, so
+// registering a new metric is the whole job of adding one: no score struct,
+// trajectory point, extractor switch or CLI table needs touching.
+
+// Sense is a metric's optimization direction.
+type Sense int
+
+// The two senses. Maximize is the zero value, matching the common case
+// (IPC, fairness).
+const (
+	Maximize Sense = iota
+	Minimize
+)
+
+// String renders the sense ("max"/"min").
+func (s Sense) String() string {
+	if s == Minimize {
+		return "min"
+	}
+	return "max"
+}
+
+// Metric describes one registered metric.
+type Metric struct {
+	// Key names the metric ("ipc", "area", "energy", ...). Keys are unique
+	// across the registry and are the identity every layer passes around.
+	Key string
+	// Sense is the optimization direction.
+	Sense Sense
+	// Units is the human-readable unit ("instr/cycle", "mm²", "nJ/instr").
+	Units string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Ref is the hypervolume reference coordinate: the worst value a point
+	// may take and still contribute dominated volume. For a maximized
+	// metric any value at or below Ref contributes nothing; for a
+	// minimized one, any value at or above it.
+	Ref float64
+	// GainCap bounds the metric's achievable gain over Ref (see
+	// pareto.Gain): no simulatable machine exceeds it. A fixed, a-priori
+	// cap lets the Monte-Carlo hypervolume estimator sample one fixed box
+	// for every archive state, which keeps the estimate deterministic and
+	// monotone over a growing archive.
+	GainCap float64
+	// NeedsAloneRuns marks metrics whose evaluation requires per-benchmark
+	// alone-run baseline simulations (fairness). The search driver prices
+	// those in only when such a metric is among the run's objectives.
+	NeedsAloneRuns bool
+	// Derive, when non-nil, computes the metric from already-present base
+	// values instead of being measured directly. Derived metrics are
+	// materialized by Finalize after the base metrics land.
+	Derive func(Values) float64
+}
+
+// Values holds one evaluated point's metric values by key. It marshals
+// deterministically (keys sorted), so results embedding it reproduce byte
+// for byte.
+type Values map[string]float64
+
+// Clone returns an independent copy of v.
+func (v Values) Clone() Values {
+	out := make(Values, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// MarshalJSON renders the map with sorted keys — plain map marshaling is
+// already sorted in encoding/json, but the contract is load-bearing here
+// (byte-identical benchmark reports), so it is pinned explicitly.
+func (v Values) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		x := v[k]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			// Match encoding/json's float64 behaviour: fail loudly instead
+			// of emitting a bare NaN/Inf token that corrupts the document.
+			return nil, fmt.Errorf("metrics: value %q = %v is not a finite number", k, x)
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// registry is the ordered metric list; order is registration order, which
+// for the built-ins below doubles as presentation order. byKey indexes it.
+var (
+	registry []Metric
+	byKey    = map[string]int{}
+)
+
+// Register adds a metric to the registry. Duplicate keys and derived
+// metrics whose key is empty panic: registration happens at init time, and
+// a malformed metric is a programming error, not an input error.
+func Register(m Metric) {
+	if m.Key == "" {
+		panic("metrics: registering a metric with no key")
+	}
+	if _, dup := byKey[m.Key]; dup {
+		panic(fmt.Sprintf("metrics: metric %q registered twice", m.Key))
+	}
+	byKey[m.Key] = len(registry)
+	registry = append(registry, m)
+}
+
+// Lookup resolves a metric by key.
+func Lookup(key string) (Metric, bool) {
+	i, ok := byKey[key]
+	if !ok {
+		return Metric{}, false
+	}
+	return registry[i], true
+}
+
+// All returns the registered metrics in registration order.
+func All() []Metric {
+	out := make([]Metric, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Keys lists the registered metric keys in registration order.
+func Keys() []string {
+	out := make([]string, len(registry))
+	for i, m := range registry {
+		out[i] = m.Key
+	}
+	return out
+}
+
+// Finalize materializes every registered derived metric whose base inputs
+// are present, in registration order (so a derived metric may build on an
+// earlier one). Already-present values are never overwritten, and a Derive
+// returning NaN or an infinity records nothing — the metric is simply
+// absent, as for a base metric that was not measured.
+func Finalize(v Values) {
+	for _, m := range registry {
+		if m.Derive == nil {
+			continue
+		}
+		if _, ok := v[m.Key]; ok {
+			continue
+		}
+		x := m.Derive(v)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		v[m.Key] = x
+	}
+}
+
+// ratio divides a by b, signalling "absent" (NaN, dropped by Finalize)
+// when either input is missing or the denominator is not positive.
+func ratio(v Values, a, b string) float64 {
+	x, okA := v[a]
+	y, okB := v[b]
+	if !okA || !okB || y <= 0 {
+		return math.NaN()
+	}
+	return x / y
+}
+
+// The built-in metrics of the hdSMT evaluation.
+//
+// Reference points and gain caps: area's reference must sit above any
+// machine the search space can decode (the largest evaluated
+// configurations are well under 200 mm²; 500 leaves headroom for enriched
+// sizings) and its gain is then at most the reference itself, since area
+// is positive. IPC is bounded by the 8-wide shared fetch engine. Fairness
+// is a harmonic mean of relative speedups, which alone-run warm-up scaling
+// keeps near or below 1; 4 is a generous bound. Energy per instruction for
+// these machines lands in the tens of nJ (see config.DefaultEnergyModel);
+// 500 nJ bounds any decodable machine, and the ED/ED² references follow
+// from the energy and IPC bounds.
+func init() {
+	Register(Metric{
+		Key: "ipc", Sense: Maximize, Units: "instr/cycle",
+		Desc: "harmonic-mean throughput over the workload set",
+		Ref:  0, GainCap: 8,
+	})
+	Register(Metric{
+		Key: "area", Sense: Minimize, Units: "mm²",
+		Desc: "total die area of the machine (0.18 µm model)",
+		Ref:  500, GainCap: 500,
+	})
+	Register(Metric{
+		Key: "fairness", Sense: Maximize, Units: "hmean speedup",
+		Desc: "mean harmonic fairness vs per-benchmark alone runs",
+		Ref:  0, GainCap: 4,
+		NeedsAloneRuns: true,
+	})
+	Register(Metric{
+		Key: "energy", Sense: Minimize, Units: "nJ/instr",
+		Desc: "mean energy per committed instruction (activity + leakage)",
+		Ref:  500, GainCap: 500,
+	})
+	Register(Metric{
+		Key: "per_area", Sense: Maximize, Units: "IPC/mm²",
+		Desc: "throughput per unit area, the paper's scalar objective",
+		Ref:  0, GainCap: 1,
+		Derive: func(v Values) float64 { return ratio(v, "ipc", "area") },
+	})
+	Register(Metric{
+		Key: "ed", Sense: Minimize, Units: "nJ·cycle/instr²",
+		Desc: "energy-delay product per instruction (EPI/IPC)",
+		Ref:  2000, GainCap: 2000,
+		Derive: func(v Values) float64 { return ratio(v, "energy", "ipc") },
+	})
+	Register(Metric{
+		Key: "ed2", Sense: Minimize, Units: "nJ·cycle²/instr³",
+		Desc: "energy-delay-squared per instruction (EPI/IPC²)",
+		Ref:  8000, GainCap: 8000,
+		Derive: func(v Values) float64 { return ratio(v, "ed", "ipc") },
+	})
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	keys := Keys()
+	want := []string{"ipc", "area", "fairness", "energy", "per_area", "ed", "ed2"}
+	if len(keys) < len(want) {
+		t.Fatalf("registry has %d metrics, want at least %d", len(keys), len(want))
+	}
+	for i, k := range want {
+		if keys[i] != k {
+			t.Errorf("registry[%d] = %q, want %q", i, keys[i], k)
+		}
+	}
+	for _, k := range want {
+		m, ok := Lookup(k)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", k)
+		}
+		if m.Units == "" || m.Desc == "" {
+			t.Errorf("%q: units/desc empty", k)
+		}
+		if m.GainCap <= 0 {
+			t.Errorf("%q: no gain cap", k)
+		}
+	}
+	if ipc, _ := Lookup("ipc"); ipc.Sense != Maximize {
+		t.Error("ipc must maximize")
+	}
+	if en, _ := Lookup("energy"); en.Sense != Minimize || en.Ref <= 0 {
+		t.Error("energy must minimize with a positive reference")
+	}
+	if fair, _ := Lookup("fairness"); !fair.NeedsAloneRuns {
+		t.Error("fairness must declare its alone-run requirement")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown key resolved")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	Register(Metric{Key: "ipc"})
+}
+
+func TestFinalizeDerivesInOrder(t *testing.T) {
+	v := Values{"ipc": 2, "area": 50, "energy": 20}
+	Finalize(v)
+	if got, want := v["per_area"], 0.04; math.Abs(got-want) > 1e-12 {
+		t.Errorf("per_area = %v, want %v", got, want)
+	}
+	if got, want := v["ed"], 10.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ed = %v, want %v", got, want)
+	}
+	// ed2 builds on ed — registration order lets it.
+	if got, want := v["ed2"], 5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ed2 = %v, want %v", got, want)
+	}
+}
+
+func TestFinalizeSkipsUnderivable(t *testing.T) {
+	v := Values{"ipc": 2} // no area, no energy
+	Finalize(v)
+	for _, key := range []string{"per_area", "ed", "ed2"} {
+		if _, ok := v[key]; ok {
+			t.Errorf("%q derived without its inputs", key)
+		}
+	}
+	// Present values are never overwritten.
+	v2 := Values{"ipc": 2, "area": 50, "per_area": 99}
+	Finalize(v2)
+	if v2["per_area"] != 99 {
+		t.Errorf("Finalize overwrote per_area: %v", v2["per_area"])
+	}
+}
+
+func TestValuesJSONDeterministic(t *testing.T) {
+	v := Values{"zeta": 1.5, "alpha": 2, "mid": 0.25}
+	b1, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"alpha":2,"mid":0.25,"zeta":1.5}`; string(b1) != want {
+		t.Errorf("Values JSON = %s, want %s", b1, want)
+	}
+	var back Values
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["zeta"] != 1.5 || back["alpha"] != 2 {
+		t.Errorf("round trip lost values: %v", back)
+	}
+}

@@ -2,7 +2,19 @@ package pareto
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
+)
+
+// Monte-Carlo defaults: the sample count balances estimator noise
+// (relative error ~1/sqrt(f·N) for a front filling fraction f of the
+// sampling box) against the per-call cost, and the seed is a fixed
+// constant — the estimate is a deterministic function of the objective
+// list and the vectors, which the byte-identical benchmark reports and
+// the monotone-trajectory assertions both rely on.
+const (
+	DefaultMCSamples = 1 << 16
+	defaultMCSeed    = int64(0x1e3779b97f4a7c15)
 )
 
 // HypervolumeOf measures the volume of objective space dominated by the
@@ -10,20 +22,12 @@ import (
 // of the union of axis-aligned boxes spanned by the reference point and
 // each vector, in gain coordinates (see Gain). Vectors that fail to
 // strictly improve on the reference in every objective contribute nothing.
-// Exact algorithms are implemented for 1, 2 and 3 objectives — the spans
-// Parse accepts; more objectives panic (the CLI cannot construct them).
+// Exact sweep algorithms serve 1, 2 and 3 objectives; beyond three the
+// deterministic Monte-Carlo estimator takes over (HypervolumeMC with the
+// default sample count — the exact result for the same vectors truncated
+// to 3 objectives is its test oracle).
 func HypervolumeOf(objs []Objective, vectors []Vector) float64 {
-	var pts []Vector
-next:
-	for _, v := range vectors {
-		g := Gain(objs, v)
-		for _, x := range g {
-			if x <= 0 {
-				continue next
-			}
-		}
-		pts = append(pts, g)
-	}
+	pts := positiveGains(objs, vectors)
 	if len(pts) == 0 {
 		return 0
 	}
@@ -41,7 +45,77 @@ next:
 	case 3:
 		return hv3(pts)
 	}
-	panic(fmt.Sprintf("pareto: exact hypervolume implemented for <= 3 objectives, got %d", len(objs)))
+	return hvMC(objs, pts, DefaultMCSamples)
+}
+
+// positiveGains converts raw vectors to gain space, dropping points that
+// fail to strictly improve on the reference in some objective (they
+// dominate no volume).
+func positiveGains(objs []Objective, vectors []Vector) []Vector {
+	var pts []Vector
+next:
+	for _, v := range vectors {
+		g := Gain(objs, v)
+		for _, x := range g {
+			if x <= 0 {
+				continue next
+			}
+		}
+		pts = append(pts, g)
+	}
+	return pts
+}
+
+// HypervolumeMC estimates the hypervolume by uniform sampling of the
+// fixed gain box Π[0, Cap] defined by the objectives' gain caps: the
+// dominated fraction of the samples times the box volume. The sample
+// sequence depends only on the objective count and the sample budget —
+// never on the vectors — so the estimate is monotone over a growing
+// archive (every sample a smaller front dominated stays dominated) and
+// identical across processes. Works for any dimension; the exact 2D/3D
+// algorithms are its oracle in the tests.
+func HypervolumeMC(objs []Objective, vectors []Vector, samples int) float64 {
+	pts := positiveGains(objs, vectors)
+	if len(pts) == 0 {
+		return 0
+	}
+	return hvMC(objs, pts, samples)
+}
+
+// hvMC runs the estimate on already-filtered gain vectors.
+func hvMC(objs []Objective, pts []Vector, samples int) float64 {
+	if samples <= 0 {
+		samples = DefaultMCSamples
+	}
+	boxVol := 1.0
+	for _, o := range objs {
+		if o.Cap <= 0 {
+			panic(fmt.Sprintf("pareto: objective %q has no gain cap; Monte-Carlo hypervolume needs a bounded box (register the metric with GainCap)", o.Key))
+		}
+		boxVol *= o.Cap
+	}
+	rng := rand.New(rand.NewSource(defaultMCSeed))
+	u := make([]float64, len(objs))
+	dominated := 0
+	for s := 0; s < samples; s++ {
+		for d, o := range objs {
+			u[d] = rng.Float64() * o.Cap
+		}
+		for _, p := range pts {
+			inside := true
+			for d := range u {
+				if u[d] > p[d] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				dominated++
+				break
+			}
+		}
+	}
+	return boxVol * float64(dominated) / float64(samples)
 }
 
 // hv2 is the 2D sweep: sort by the first gain descending and accumulate

@@ -1,0 +1,165 @@
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cappedObjs builds test objectives with explicit gain caps, the
+// prerequisite of the Monte-Carlo estimator's fixed sampling box.
+func cappedObjs(n int) []Objective {
+	base := []Objective{
+		{Key: "a", Sense: Maximize, Ref: 0, Cap: 4},
+		{Key: "b", Sense: Minimize, Ref: 10, Cap: 10},
+		{Key: "c", Sense: Maximize, Ref: 0, Cap: 2},
+		{Key: "d", Sense: Minimize, Ref: 8, Cap: 8},
+		{Key: "e", Sense: Maximize, Ref: 0, Cap: 3},
+	}
+	return base[:n]
+}
+
+// randomFront draws raw vectors whose gains fall inside the caps.
+func randomFront(rng *rand.Rand, objs []Objective, n int) []Vector {
+	out := make([]Vector, n)
+	for i := range out {
+		v := make(Vector, len(objs))
+		for d, o := range objs {
+			gain := rng.Float64() * o.Cap
+			if o.Sense == Minimize {
+				v[d] = o.Ref - gain
+			} else {
+				v[d] = o.Ref + gain
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestMonteCarloVsExact2D3D is the satellite convergence test: on 2D and
+// 3D fronts — where the exact sweep algorithms are available as the oracle
+// — the Monte-Carlo estimate lands within a few percent at the default
+// sample budget, and tightens as the budget grows.
+func TestMonteCarloVsExact2D3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range []int{2, 3} {
+		objs := cappedObjs(dims)
+		for trial := 0; trial < 5; trial++ {
+			front := randomFront(rng, objs, 12)
+			exact := HypervolumeOf(objs, front)
+			if exact <= 0 {
+				t.Fatalf("%dD trial %d: degenerate exact hypervolume %v", dims, trial, exact)
+			}
+			coarse := HypervolumeMC(objs, front, 1<<12)
+			fine := HypervolumeMC(objs, front, 1<<17)
+			if rel := math.Abs(fine-exact) / exact; rel > 0.03 {
+				t.Errorf("%dD trial %d: MC(2^17) = %v vs exact %v (rel err %.3f > 3%%)", dims, trial, fine, exact, rel)
+			}
+			if math.Abs(fine-exact) > math.Abs(coarse-exact)+0.05*exact {
+				// Convergence, with slack for lucky coarse draws: the fine
+				// estimate must not be meaningfully worse than the coarse one.
+				t.Errorf("%dD trial %d: MC did not converge (coarse err %v, fine err %v)",
+					dims, trial, math.Abs(coarse-exact), math.Abs(fine-exact))
+			}
+		}
+	}
+}
+
+// TestMonteCarloDeterministic pins the fixed-seed contract: the estimate
+// is a pure function of (objectives, vectors, samples).
+func TestMonteCarloDeterministic(t *testing.T) {
+	objs := cappedObjs(4)
+	front := randomFront(rand.New(rand.NewSource(5)), objs, 8)
+	a := HypervolumeMC(objs, front, 1<<14)
+	b := HypervolumeMC(objs, front, 1<<14)
+	if a != b {
+		t.Errorf("two identical MC calls differ: %v vs %v", a, b)
+	}
+	if c, d := HypervolumeOf(objs, front), HypervolumeMC(objs, front, DefaultMCSamples); c != d {
+		t.Errorf("HypervolumeOf (4D) = %v, want the default-budget MC estimate %v", c, d)
+	}
+}
+
+// TestMonteCarlo4DOracle checks the estimator against cases whose 4D
+// hypervolume is known in closed form: a single point dominates exactly
+// the box of its gains, and nested points add nothing.
+func TestMonteCarlo4DOracle(t *testing.T) {
+	objs := cappedObjs(4)
+	// Gains (2, 5, 1, 4) → volume 40 of a 4×10×2×8 = 640 box.
+	point := Vector{2, 5, 1, 4}
+	want := 40.0
+	got := HypervolumeMC(objs, []Vector{point}, 1<<17)
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Errorf("single-point 4D MC = %v, want %v ± 5%%", got, want)
+	}
+	// A dominated second point changes nothing.
+	withDominated := HypervolumeMC(objs, []Vector{point, {1, 6, 0.5, 5}}, 1<<17)
+	if withDominated != got {
+		t.Errorf("dominated point changed the estimate: %v vs %v", withDominated, got)
+	}
+}
+
+// TestMonteCarloMonotoneUnderAdds pins the property the power benchmark's
+// trajectory assertions rely on: with the fixed sampling box, adding
+// points never decreases the estimate.
+func TestMonteCarloMonotoneUnderAdds(t *testing.T) {
+	objs := cappedObjs(4)
+	rng := rand.New(rand.NewSource(23))
+	var front []Vector
+	last := 0.0
+	for i := 0; i < 40; i++ {
+		front = append(front, randomFront(rng, objs, 1)[0])
+		hv := HypervolumeMC(objs, front, 1<<13)
+		if hv < last {
+			t.Fatalf("MC hypervolume fell from %v to %v at point %d", last, hv, i)
+		}
+		last = hv
+	}
+}
+
+// TestMonteCarloNeedsCaps pins the refusal: an uncapped objective has no
+// sampling box, and silently improvising one would break determinism.
+func TestMonteCarloNeedsCaps(t *testing.T) {
+	objs := cappedObjs(4)
+	objs[2].Cap = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("MC hypervolume over an uncapped objective must panic")
+		}
+	}()
+	HypervolumeMC(objs, []Vector{{1, 5, 1, 4}}, 1<<10)
+}
+
+// TestRegistryObjectivesHaveCaps guards the built-ins: every registered
+// metric must be usable in a many-objective run, which needs its gain cap.
+func TestRegistryObjectivesHaveCaps(t *testing.T) {
+	for _, key := range ObjectiveNames() {
+		o, err := ByName(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Cap <= 0 {
+			t.Errorf("objective %q has no gain cap; Monte-Carlo hypervolume would refuse it", key)
+		}
+		// The cap must bound the gains reachable under the reference —
+		// sanity: a minimized objective's gain is at most Ref (values are
+		// non-negative), and the cap must not be smaller than that bound
+		// promises. (For maximized objectives the cap is the a-priori bound
+		// itself; nothing to cross-check.)
+		if o.Sense == Minimize && o.Cap < o.Ref {
+			t.Errorf("objective %q: cap %v below its own reference %v undercounts fronts near zero", key, o.Cap, o.Ref)
+		}
+	}
+}
+
+func ExampleHypervolumeMC() {
+	objs := []Objective{
+		{Key: "ipc", Sense: Maximize, Ref: 0, Cap: 4},
+		{Key: "area", Sense: Minimize, Ref: 10, Cap: 10},
+	}
+	front := []Vector{{2, 4}, {3, 6}}
+	fmt.Printf("exact %.1f\n", HypervolumeOf(objs, front))
+	// Output: exact 16.0
+}

@@ -2,17 +2,25 @@
 // named objectives with configurable optimization senses, dominance over
 // raw objective vectors, a deduplicating non-dominated archive with
 // incremental filtering and crowding-distance pruning to a bounded size,
-// and a 2D/3D hypervolume indicator against a fixed reference point.
+// and a hypervolume indicator against a fixed reference point — exact
+// through three objectives, a deterministic-seed Monte-Carlo estimate
+// beyond.
 //
-// The package is deliberately ignorant of what a design point is: callers
-// identify points by an opaque content key and hand in raw objective
-// values; everything here is pure arithmetic, so a fixed proposal order
-// reproduces archives — and their JSON renderings — byte for byte.
+// Objectives are resolved from the metric registry (internal/metrics):
+// the registry is the single source of a metric's sense, reference point
+// and gain cap, so a newly registered metric is immediately addressable
+// as a search objective. The package is otherwise ignorant of what a
+// design point is: callers identify points by an opaque content key and
+// hand in raw objective values; everything here is pure arithmetic, so a
+// fixed proposal order reproduces archives — and their JSON renderings —
+// byte for byte.
 package pareto
 
 import (
 	"fmt"
 	"strings"
+
+	"hdsmt/internal/metrics"
 )
 
 // Sense is an objective's optimization direction.
@@ -35,7 +43,8 @@ func (s Sense) String() string {
 
 // Objective is one axis of the search's objective space.
 type Objective struct {
-	// Key names the objective ("ipc", "area", "fairness", "per_area").
+	// Key names the objective — a metric key from the registry ("ipc",
+	// "area", "fairness", "energy", ...).
 	Key string `json:"key"`
 	// Sense is the optimization direction.
 	Sense Sense `json:"sense"`
@@ -44,42 +53,38 @@ type Objective struct {
 	// value at or below Ref contributes nothing; for a minimized one, any
 	// value at or above it.
 	Ref float64 `json:"ref"`
+	// Cap bounds the achievable gain over Ref (metrics.Metric.GainCap):
+	// the Monte-Carlo hypervolume estimator samples the fixed box
+	// Π[0, Cap], which keeps its estimate deterministic and monotone over
+	// a growing archive. Zero means unknown — exact hypervolume still
+	// works, the Monte-Carlo path refuses.
+	Cap float64 `json:"cap,omitempty"`
 }
 
-// The built-in objectives of the hdSMT space. Area's reference point must
-// sit above any machine the space can decode; the largest evaluated
-// configurations are well under 200 mm², so 500 leaves headroom for
-// enriched sizings while keeping the slab factor finite.
-var builtin = []Objective{
-	{Key: "ipc", Sense: Maximize, Ref: 0},
-	{Key: "area", Sense: Minimize, Ref: 500},
-	{Key: "fairness", Sense: Maximize, Ref: 0},
-	{Key: "per_area", Sense: Maximize, Ref: 0},
-}
-
-// ByName resolves a built-in objective by key.
+// ByName resolves an objective from the metric registry.
 func ByName(key string) (Objective, error) {
-	for _, o := range builtin {
-		if o.Key == key {
-			return o, nil
-		}
+	m, ok := metrics.Lookup(key)
+	if !ok {
+		return Objective{}, fmt.Errorf("pareto: unknown objective %q (known metrics: %s)",
+			key, strings.Join(metrics.Keys(), ", "))
 	}
-	return Objective{}, fmt.Errorf("pareto: unknown objective %q (want ipc, area, fairness or per_area)", key)
+	sense := Maximize
+	if m.Sense == metrics.Minimize {
+		sense = Minimize
+	}
+	return Objective{Key: m.Key, Sense: sense, Ref: m.Ref, Cap: m.GainCap}, nil
 }
 
-// ObjectiveNames lists the built-in objective keys in presentation order.
-func ObjectiveNames() []string {
-	out := make([]string, len(builtin))
-	for i, o := range builtin {
-		out[i] = o.Key
-	}
-	return out
-}
+// ObjectiveNames lists the addressable objective keys — the metric
+// registry's keys, in registration order.
+func ObjectiveNames() []string { return metrics.Keys() }
 
-// Parse resolves a comma-separated objective list ("ipc,area,fairness").
-// Between two and three distinct objectives are accepted: one objective is
-// a scalar search (the driver's default per-area path covers it), and the
-// hypervolume indicator here is exact only through three dimensions.
+// Parse resolves a comma-separated objective list ("ipc,area,fairness" or
+// "ipc,area,fairness,energy"). Between two and len(ObjectiveNames())
+// distinct objectives are accepted: one objective is a scalar search (the
+// driver's default per-area path covers it). Beyond three objectives the
+// hypervolume indicator switches to the deterministic Monte-Carlo
+// estimator.
 func Parse(csv string) ([]Objective, error) {
 	var out []Objective
 	seen := map[string]bool{}
@@ -98,8 +103,9 @@ func Parse(csv string) ([]Objective, error) {
 		}
 		out = append(out, o)
 	}
-	if len(out) < 2 || len(out) > 3 {
-		return nil, fmt.Errorf("pareto: %d objectives given, want 2 or 3 (scalar search handles 1)", len(out))
+	if max := len(ObjectiveNames()); len(out) < 2 || len(out) > max {
+		return nil, fmt.Errorf("pareto: %d objectives given, want 2 to %d of: %s (scalar search handles 1)",
+			len(out), max, strings.Join(metrics.Keys(), ", "))
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -28,10 +29,24 @@ func TestParse(t *testing.T) {
 	if objs[1].Sense != Minimize || objs[0].Sense != Maximize {
 		t.Errorf("senses = %v/%v, want min area, max ipc", objs[1].Sense, objs[0].Sense)
 	}
-	for _, bad := range []string{"", "ipc", "ipc,ipc", "ipc,area,fairness,per_area", "ipc,nope"} {
+	// Four-objective lists are accepted since the Monte-Carlo hypervolume
+	// estimator landed; the energy objective resolves from the registry.
+	objs4, err := Parse("ipc,area,fairness,energy")
+	if err != nil {
+		t.Fatalf("4-objective parse: %v", err)
+	}
+	if len(objs4) != 4 || objs4[3].Key != "energy" || objs4[3].Sense != Minimize || objs4[3].Cap <= 0 {
+		t.Errorf("Parse 4-objective = %+v", objs4)
+	}
+	for _, bad := range []string{"", "ipc", "ipc,ipc", "ipc,nope"} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
 		}
+	}
+	// Unknown objectives fail fast and name the known metrics, so a typo'd
+	// CLI flag reports the menu rather than producing a zero-valued front.
+	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "ipc") || !strings.Contains(err.Error(), "energy") {
+		t.Errorf("ByName(nope) error %v must list the known metrics", err)
 	}
 	for _, key := range ObjectiveNames() {
 		if _, err := ByName(key); err != nil {

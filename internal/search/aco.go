@@ -139,8 +139,8 @@ func (a ACO) Run(ctx context.Context, sp *Space, rng *rand.Rand, eval Evaluator)
 				tau[d][c] *= 1 - a.Evaporation
 			}
 		}
-		if iterBest >= 0 && bestScore.PerArea > 0 {
-			deposit(ants[iterBest], a.Deposit*scores[iterBest].PerArea/bestScore.PerArea)
+		if iterBest >= 0 && bestScore.Metric("per_area") > 0 {
+			deposit(ants[iterBest], a.Deposit*scores[iterBest].Metric("per_area")/bestScore.Metric("per_area"))
 		}
 		if best != nil {
 			deposit(best, a.Deposit*a.Elite)

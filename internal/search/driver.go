@@ -2,8 +2,11 @@ package search
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"hdsmt/internal/engine"
 	"hdsmt/internal/metrics"
@@ -31,25 +34,38 @@ type Options struct {
 	// the front and its hypervolume trajectory. Empty means the scalar
 	// IPC/mm² search (scores then carry the one-element [per_area] vector,
 	// so the multi-objective strategies degrade gracefully to scalar
-	// optimizers). A "fairness" objective additionally prices per-benchmark
-	// alone-run simulations into every first visit.
+	// optimizers). Objectives resolve from the metric registry; one whose
+	// metric needs alone-run baselines (fairness) additionally prices
+	// per-benchmark alone simulations into every first visit.
 	Objectives []pareto.Objective
 	// ArchiveCap bounds the non-dominated archive (crowding-distance
 	// pruning beyond it; 0 = pareto.DefaultArchiveCap). Pruning can make
 	// the hypervolume trajectory non-monotone — size the cap above the
 	// expected front for indicator studies.
 	ArchiveCap int
+	// ArchivePath, when non-empty on a multi-objective run, persists the
+	// non-dominated archive as JSON at this path (atomic rewrite on every
+	// archive change) and — when the file already exists — seeds the
+	// archive from it before the strategy runs, so a canceled run resumed
+	// with the same path restores its front instead of rediscovering it.
+	// Meant to sit next to the engine's checkpoint journal: the journal
+	// resumes the simulations, the archive file resumes the front.
+	ArchivePath string
 	// Progress, when non-nil, is called after each charged evaluation with
 	// (evaluations spent, target), where target is the effective number of
 	// evaluations the search can charge: min(Budget, distinct candidates),
 	// or the distinct-candidate count when Budget is unbounded. Not part
 	// of the result.
 	Progress func(done, total int)
+	// FrontProgress, when non-nil, is called after every archive change on
+	// a multi-objective run with the incumbent front (canonical order) and
+	// its hypervolume — the hook behind the server's mid-run front
+	// streaming. Not part of the result.
+	FrontProgress func(front []TrajectoryPoint, hypervolume float64)
 }
 
 // TrajectoryPoint is one recorded machine: the incumbent of a best-so-far
-// improvement (Trajectory), or a front member (Front). Evaluations is the
-// budget spent when the point was found.
+// improvement (Trajectory), or a front member (Front).
 type TrajectoryPoint struct {
 	// Evaluations is the budget spent when this point was found.
 	Evaluations int `json:"evaluations"`
@@ -59,27 +75,26 @@ type TrajectoryPoint struct {
 	Policy string `json:"policy,omitempty"`
 	// Remap is the dynamic-remap interval in cycles (0 = static).
 	Remap uint64 `json:"remap,omitempty"`
-
-	IPC     float64 `json:"ipc"`
-	Area    float64 `json:"area"`
-	PerArea float64 `json:"per_area"`
-	// Fairness is the mean harmonic-mean fairness over the workloads,
-	// present only on runs whose objective list includes it.
-	Fairness float64 `json:"fairness,omitempty"`
+	// Values holds the machine's metric values by registry key (the
+	// settled Score's Values; see Score).
+	Values metrics.Values `json:"values"`
 }
 
 // Name renders the point like Candidate.Name ("2M4+2M2", "3M4q75 FLUSH
 // r2048").
 func (tp TrajectoryPoint) Name() string { return renderName(tp.Config, tp.Policy, tp.Remap) }
 
+// Metric returns one of the point's metric values by registry key (0 when
+// absent).
+func (tp TrajectoryPoint) Metric(key string) float64 { return tp.Values[key] }
+
 // ObjectiveVector extracts the point's raw values over the given objective
-// list, in list order — the one key-to-field mapping front checks and
+// list, in list order — the one key-to-value mapping front checks and
 // exporters share. Unknown keys panic, like objectiveValue.
 func (tp TrajectoryPoint) ObjectiveVector(objs []pareto.Objective) pareto.Vector {
-	sc := Score{IPC: tp.IPC, Area: tp.Area, Fairness: tp.Fairness, PerArea: tp.PerArea}
 	v := make(pareto.Vector, len(objs))
 	for i, o := range objs {
-		v[i] = objectiveValue(sc, o.Key)
+		v[i] = objectiveValue(Score{Values: tp.Values}, o.Key)
 	}
 	return v
 }
@@ -139,6 +154,10 @@ type Result struct {
 	Submitted    uint64  `json:"submitted"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
+	// RestoredFront counts archive members seeded from Options.ArchivePath
+	// before the strategy ran (0 on fresh runs).
+	RestoredFront int `json:"restored_front,omitempty"`
+
 	// Best is the scalar IPC/mm² incumbent (nil when no feasible point was
 	// found); Trajectory is every incumbent in discovery order, Best last.
 	// Both are maintained on multi-objective runs too, anchoring the front
@@ -149,7 +168,8 @@ type Result struct {
 	// Front is the archive at the end of a multi-objective run: mutually
 	// non-dominated machines in the archive's canonical order (descending
 	// first-objective gain). Hypervolume records the front-quality
-	// trajectory — one point per evaluation that changed the archive.
+	// trajectory — one point per evaluation that changed the archive
+	// (evaluation 0 is the restored front, when ArchivePath seeded one).
 	Front       []TrajectoryPoint  `json:"front,omitempty"`
 	Hypervolume []HypervolumePoint `json:"hypervolume,omitempty"`
 }
@@ -191,11 +211,14 @@ func (d *Driver) Search(ctx context.Context, sp Space, st Strategy, opts Options
 	if len(state.objs) > 0 {
 		res.Objectives = pareto.Keys(state.objs)
 		state.archive = pareto.NewArchive(state.objs, opts.ArchiveCap)
-		for _, o := range state.objs {
-			if o.Key == "fairness" {
-				state.needFairness = true
+		state.needsAlone = needsAloneRuns(state.objs)
+		if opts.ArchivePath != "" {
+			if err := state.restoreArchive(); err != nil {
+				return nil, err
 			}
 		}
+	} else if opts.ArchivePath != "" {
+		return nil, fmt.Errorf("search: ArchivePath needs a multi-objective run (set Objectives)")
 	}
 	var chargeable int
 	state.distinct, chargeable = sp.census()
@@ -217,27 +240,33 @@ func (d *Driver) Search(ctx context.Context, sp Space, st Strategy, opts Options
 		res.Best = &res.Trajectory[len(res.Trajectory)-1]
 	}
 	if state.archive != nil {
-		res.Front = make([]TrajectoryPoint, 0, state.archive.Len())
-		for _, m := range state.archive.Members() {
-			res.Front = append(res.Front, m.Payload.(TrajectoryPoint))
-		}
+		res.Front = state.front()
 	}
 	return res, nil
 }
 
-// objectiveValue extracts one objective's raw value from a settled score.
-func objectiveValue(sc Score, key string) float64 {
-	switch key {
-	case "ipc":
-		return sc.IPC
-	case "area":
-		return sc.Area
-	case "fairness":
-		return sc.Fairness
-	case "per_area":
-		return sc.PerArea
+// needsAloneRuns reports whether any objective's metric requires
+// per-benchmark alone-run baseline simulations (metrics.Metric
+// .NeedsAloneRuns — fairness, today).
+func needsAloneRuns(objs []pareto.Objective) bool {
+	for _, o := range objs {
+		if m, ok := metrics.Lookup(o.Key); ok && m.NeedsAloneRuns {
+			return true
+		}
 	}
-	panic(fmt.Sprintf("search: objective %q has no extractor", key))
+	return false
+}
+
+// objectiveValue extracts one objective's raw value from a settled score.
+// A missing value panics: the driver guarantees (settleJob's availability
+// check) that every settled feasible score carries every objective metric,
+// so absence here is a programming error, not an input error.
+func objectiveValue(sc Score, key string) float64 {
+	v, ok := sc.Values[key]
+	if !ok {
+		panic(fmt.Sprintf("search: objective %q has no value on this score (known metrics: %v)", key, metrics.Keys()))
+	}
+	return v
 }
 
 // evalState is the driver-side half of one search: the budget ledger, the
@@ -262,16 +291,16 @@ type evalState struct {
 	// submitted/hits attribute engine traffic to this search per ticket.
 	submitted, hits uint64
 
-	// Multi-objective state: the run's objectives, whether fairness (and
-	// its alone runs) is among them, and the non-dominated archive (each
+	// Multi-objective state: the run's objectives, whether a metric among
+	// them needs alone-run baselines, and the non-dominated archive (each
 	// entry carries its TrajectoryPoint rendering as the payload).
-	objs         []pareto.Objective
-	needFairness bool
-	archive      *pareto.Archive
+	objs       []pareto.Objective
+	needsAlone bool
+	archive    *pareto.Archive
 }
 
 // cellTickets is one workload's in-flight simulations for a candidate: the
-// shared run and — on fairness-objective runs — one alone run per
+// shared run and — on alone-run-priced objective runs — one alone run per
 // benchmark.
 type cellTickets struct {
 	shared *engine.Ticket
@@ -315,7 +344,9 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 			}
 			s.memo[j.cand.Key()] = sc
 			scores[j.pos] = sc
-			s.record(j, sc)
+			if err := s.record(j, sc); err != nil {
+				return err
+			}
 		}
 		jobs = nil
 		for _, d := range backfill {
@@ -385,10 +416,9 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 }
 
 // submitCells fans out one candidate's simulations: per workload the
-// shared run plus — when the run's objectives include fairness — one
-// alone-run baseline per benchmark (AloneRequest on the ForThreads-
-// normalized configuration, like the shared run, so keys match across
-// callers).
+// shared run plus — when an objective's metric needs them — one alone-run
+// baseline per benchmark (AloneRequest on the ForThreads-normalized
+// configuration, like the shared run, so keys match across callers).
 func (s *evalState) submitCells(ctx context.Context, cand Candidate) ([]cellTickets, error) {
 	var cells []cellTickets
 	for _, w := range s.space.Workloads {
@@ -400,7 +430,7 @@ func (s *evalState) submitCells(ctx context.Context, cand Candidate) ([]cellTick
 		if cell.shared, err = s.submit(ctx, req); err != nil {
 			return nil, err
 		}
-		if s.needFairness {
+		if s.needsAlone {
 			for b := range w.Benchmarks {
 				tk, err := s.submit(ctx, sim.AloneRequest(req.Cfg, w, b, s.opts.Sim))
 				if err != nil {
@@ -429,20 +459,38 @@ func (s *evalState) submit(ctx context.Context, req engine.Request) (*engine.Tic
 }
 
 // settleJob waits for one candidate's simulations and assembles its score:
-// harmonic-mean IPC over the workloads, per-area, the mean harmonic
-// fairness when the run asks for it, and the gain vector over the run's
-// objectives.
+// the base metrics — harmonic-mean IPC over the workloads, area, mean
+// energy per instruction from the runs' activity counters, mean harmonic
+// fairness when an objective prices its alone runs in — then every
+// derivable registered metric (metrics.Finalize), and the gain vector over
+// the run's objectives. A run whose objective metric cannot be produced
+// (e.g. energy over results journaled before activity counters existed)
+// fails loudly rather than archiving zeros.
 func (s *evalState) settleJob(ctx context.Context, j job) (Score, error) {
-	sc := Score{Settled: true, Feasible: true, Area: j.cand.Area}
+	sc := Score{Settled: true, Feasible: true, Values: metrics.Values{"area": j.cand.Area}}
 	ipcs := make([]float64, len(j.cells))
-	fairSum := 0.0
+	fairSum, energySum := 0.0, 0.0
+	energyOK := true
 	for k, cell := range j.cells {
 		shared, err := cell.shared.Wait(ctx)
 		if err != nil {
 			return Score{}, fmt.Errorf("search: evaluating %s: %w", j.cand.Name(), err)
 		}
 		ipcs[k] = shared.IPC
-		if s.needFairness {
+		if energyOK {
+			// Price energy from the shared run's activity counters. The
+			// counters cost nothing extra, so energy is computed for every
+			// run — but a result restored from a pre-activity journal has
+			// none; the metric is then simply absent (and the availability
+			// check below rejects the run only if an objective needs it).
+			eb, err := sim.EnergyOf(j.cand.Cfg.ForThreads(s.space.Workloads[k].Threads()), shared)
+			if err != nil {
+				energyOK = false
+			} else {
+				energySum += eb.EPI
+			}
+		}
+		if s.needsAlone {
 			alone := make([]float64, len(cell.alone))
 			for b, tk := range cell.alone {
 				r, err := tk.Wait(ctx)
@@ -458,37 +506,42 @@ func (s *evalState) settleJob(ctx context.Context, j job) (Score, error) {
 			fairSum += f.HarmonicFairness
 		}
 	}
-	sc.IPC = metrics.HMean(ipcs)
-	sc.PerArea = sc.IPC / sc.Area
-	if s.needFairness {
-		sc.Fairness = fairSum / float64(len(j.cells))
+	sc.Values["ipc"] = metrics.HMean(ipcs)
+	if energyOK {
+		sc.Values["energy"] = energySum / float64(len(j.cells))
 	}
+	if s.needsAlone {
+		sc.Values["fairness"] = fairSum / float64(len(j.cells))
+	}
+	metrics.Finalize(sc.Values)
 	if len(s.objs) > 0 {
 		raw := make(pareto.Vector, len(s.objs))
 		for i, o := range s.objs {
-			raw[i] = objectiveValue(sc, o.Key)
+			v, ok := sc.Values[o.Key]
+			if !ok {
+				return Score{}, fmt.Errorf("search: objective %q has no value for %s (results predate its base counters?)", o.Key, j.cand.Name())
+			}
+			raw[i] = v
 		}
 		sc.Objectives = pareto.Gain(s.objs, raw)
 	} else {
-		sc.Objectives = pareto.Vector{sc.PerArea}
+		sc.Objectives = pareto.Vector{sc.Metric("per_area")}
 	}
 	return sc, nil
 }
 
-// record advances the best-so-far curve and the multi-objective archive,
-// then reports progress.
-func (s *evalState) record(j job, sc Score) {
+// record advances the best-so-far curve and the multi-objective archive
+// (persisting it and streaming the front when the options ask), then
+// reports progress.
+func (s *evalState) record(j job, sc Score) error {
 	tp := TrajectoryPoint{
 		Evaluations: j.charge,
 		Config:      j.cand.Cfg.Name,
 		Policy:      j.cand.Policy,
 		Remap:       j.cand.Remap,
-		IPC:         sc.IPC,
-		Area:        sc.Area,
-		PerArea:     sc.PerArea,
-		Fairness:    sc.Fairness,
+		Values:      sc.Values,
 	}
-	if sc.Feasible && (s.res.Best == nil || sc.PerArea > s.res.Best.PerArea) {
+	if sc.Feasible && (s.res.Best == nil || sc.Metric("per_area") > s.res.Best.Metric("per_area")) {
 		s.res.Trajectory = append(s.res.Trajectory, tp)
 		s.res.Best = &s.res.Trajectory[len(s.res.Trajectory)-1]
 	}
@@ -498,14 +551,133 @@ func (s *evalState) record(j job, sc Score) {
 			raw[i] = objectiveValue(sc, o.Key)
 		}
 		if s.archive.Add(pareto.Entry{Key: j.cand.Key(), Name: j.cand.Name(), Vector: raw, Payload: tp}) {
+			hv := s.archive.Hypervolume()
 			s.res.Hypervolume = append(s.res.Hypervolume, HypervolumePoint{
 				Evaluations: j.charge,
-				Hypervolume: s.archive.Hypervolume(),
+				Hypervolume: hv,
 			})
+			if err := s.archiveChanged(hv); err != nil {
+				return err
+			}
 		}
 	}
 	s.settled++
 	if s.opts.Progress != nil {
 		s.opts.Progress(s.settled, s.target)
 	}
+	return nil
+}
+
+// front renders the archive in canonical order.
+func (s *evalState) front() []TrajectoryPoint {
+	out := make([]TrajectoryPoint, 0, s.archive.Len())
+	for _, m := range s.archive.Members() {
+		out = append(out, m.Payload.(TrajectoryPoint))
+	}
+	return out
+}
+
+// archiveChanged runs the change hooks: persistence and front streaming.
+func (s *evalState) archiveChanged(hv float64) error {
+	var front []TrajectoryPoint
+	if s.opts.ArchivePath != "" || s.opts.FrontProgress != nil {
+		front = s.front()
+	}
+	if s.opts.ArchivePath != "" {
+		if err := saveArchive(s.opts.ArchivePath, s.res.Objectives, front); err != nil {
+			return err
+		}
+	}
+	if s.opts.FrontProgress != nil {
+		s.opts.FrontProgress(front, hv)
+	}
+	return nil
+}
+
+// persistedArchive is the on-disk shape of a saved front: the objective
+// keys pin what the vectors meant, so a resume under different objectives
+// fails loudly instead of silently merging incomparable fronts.
+type persistedArchive struct {
+	Objectives []string          `json:"objectives"`
+	Front      []TrajectoryPoint `json:"front"`
+}
+
+// saveArchive writes the front atomically (temp file + rename), so a
+// process killed mid-save leaves the previous checkpoint intact.
+func saveArchive(path string, objectives []string, front []TrajectoryPoint) error {
+	b, err := json.MarshalIndent(persistedArchive{Objectives: objectives, Front: front}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("search: marshaling archive: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("search: saving archive: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("search: saving archive: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("search: saving archive: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("search: saving archive: %w", err)
+	}
+	return nil
+}
+
+// restoreArchive seeds the archive from Options.ArchivePath when the file
+// exists. Restored members keep their recorded metric values and re-derive
+// their keys from the canonical configuration name, so a member the
+// strategy rediscovers deduplicates instead of re-entering. A hypervolume
+// trajectory point at evaluation 0 records the restored front's quality.
+func (s *evalState) restoreArchive() error {
+	b, err := os.ReadFile(s.opts.ArchivePath)
+	if os.IsNotExist(err) {
+		return nil // fresh run: the first archive change creates the file
+	}
+	if err != nil {
+		return fmt.Errorf("search: reading archive: %w", err)
+	}
+	var pa persistedArchive
+	if err := json.Unmarshal(b, &pa); err != nil {
+		return fmt.Errorf("search: parsing archive %s: %w", s.opts.ArchivePath, err)
+	}
+	if len(pa.Objectives) != len(s.res.Objectives) {
+		return fmt.Errorf("search: archive %s was built over objectives %v, this run uses %v",
+			s.opts.ArchivePath, pa.Objectives, s.res.Objectives)
+	}
+	for i, key := range pa.Objectives {
+		if key != s.res.Objectives[i] {
+			return fmt.Errorf("search: archive %s was built over objectives %v, this run uses %v",
+				s.opts.ArchivePath, pa.Objectives, s.res.Objectives)
+		}
+	}
+	for _, tp := range pa.Front {
+		cand, err := candidateFromTrajectory(tp)
+		if err != nil {
+			return fmt.Errorf("search: restoring archive member %s: %w", tp.Name(), err)
+		}
+		// A member missing an objective value is a corrupt or foreign file;
+		// fail the run, not the process (ObjectiveVector would panic).
+		for _, o := range s.objs {
+			if _, ok := tp.Values[o.Key]; !ok {
+				return fmt.Errorf("search: archive member %s in %s has no %q value",
+					tp.Name(), s.opts.ArchivePath, o.Key)
+			}
+		}
+		if s.archive.Add(pareto.Entry{Key: cand.Key(), Name: cand.Name(), Vector: tp.ObjectiveVector(s.objs), Payload: tp}) {
+			s.res.RestoredFront++
+		}
+	}
+	if s.res.RestoredFront > 0 {
+		s.res.Hypervolume = append(s.res.Hypervolume, HypervolumePoint{
+			Evaluations: 0,
+			Hypervolume: s.archive.Hypervolume(),
+		})
+	}
+	return nil
 }

@@ -62,7 +62,7 @@ func TestScoreSettledContract(t *testing.T) {
 		if (Score{}).Settled {
 			t.Error("the zero Score must read as unsettled")
 		}
-		if len(scores[0].Objectives) != 1 || scores[0].Objectives[0] != scores[0].PerArea {
+		if len(scores[0].Objectives) != 1 || scores[0].Objectives[0] != scores[0].Metric("per_area") {
 			t.Errorf("scalar run must carry the [per_area] gain vector, got %v", scores[0].Objectives)
 		}
 		return nil
@@ -222,8 +222,8 @@ func TestFairnessObjective(t *testing.T) {
 		t.Fatal("empty front")
 	}
 	for _, fp := range res.Front {
-		if fp.Fairness <= 0 || fp.Fairness > 1.5 {
-			t.Errorf("%s fairness = %v, want within (0, 1.5]", fp.Name(), fp.Fairness)
+		if fp.Metric("fairness") <= 0 || fp.Metric("fairness") > 1.5 {
+			t.Errorf("%s fairness = %v, want within (0, 1.5]", fp.Name(), fp.Metric("fairness"))
 		}
 	}
 	assertMutuallyNonDominated(t, objs, res.Front)
@@ -340,8 +340,8 @@ func TestSpecialize(t *testing.T) {
 		// The specialized machine can only match or beat the generic one
 		// on its own class when the search found the generic point too;
 		// at tiny budgets we only assert the comparison is well-formed.
-		if cf.GenericBest.PerArea <= 0 || cf.Result.Best.PerArea <= 0 {
-			t.Errorf("%s: degenerate per-area values %v / %v", want, cf.GenericBest.PerArea, cf.Result.Best.PerArea)
+		if cf.GenericBest.Metric("per_area") <= 0 || cf.Result.Best.Metric("per_area") <= 0 {
+			t.Errorf("%s: degenerate per-area values %v / %v", want, cf.GenericBest.Metric("per_area"), cf.Result.Best.Metric("per_area"))
 		}
 	}
 	if got := len(rep.Gains()); got != 3 {

@@ -214,8 +214,8 @@ func TestExhaustiveMatchesSimExplore(t *testing.T) {
 	if ranking[0].Config != res.Best.Config {
 		t.Errorf("exhaustive best %s, sim.Explore ranks %s first", res.Best.Config, ranking[0].Config)
 	}
-	if diff := ranking[0].PerArea - res.Best.PerArea; diff > 1e-12 || diff < -1e-12 {
-		t.Errorf("objective mismatch: %v vs %v", res.Best.PerArea, ranking[0].PerArea)
+	if diff := ranking[0].PerArea - res.Best.Metric("per_area"); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("objective mismatch: %v vs %v", res.Best.Metric("per_area"), ranking[0].PerArea)
 	}
 	// 19 machines, minus 1M2 (one context cannot hold the 2-thread
 	// workload — context-infeasible, never simulated).
@@ -339,7 +339,7 @@ func TestBudgetAccounting(t *testing.T) {
 	if res2.CacheHitRate != 1 {
 		t.Errorf("warm rerun cache-hit rate = %v, want 1", res2.CacheHitRate)
 	}
-	if res2.Best == nil || res.Best == nil || res2.Best.PerArea != res.Best.PerArea {
+	if res2.Best == nil || res.Best == nil || res2.Best.Metric("per_area") != res.Best.Metric("per_area") {
 		t.Error("warm rerun found a different best")
 	}
 }

@@ -86,8 +86,8 @@ func (d *Driver) Specialize(ctx context.Context, sp Space, st Strategy, opts Opt
 				return nil, fmt.Errorf("search: scoring generic best on %s: %w", t, err)
 			}
 			cf.GenericBest = gb
-			if res.Best != nil && gb != nil && gb.PerArea > 0 {
-				cf.PerAreaGain = metrics.Improvement(res.Best.PerArea, gb.PerArea)
+			if res.Best != nil && gb != nil && gb.Metric("per_area") > 0 {
+				cf.PerAreaGain = metrics.Improvement(res.Best.Metric("per_area"), gb.Metric("per_area"))
 			}
 		}
 		report.Classes = append(report.Classes, cf)
@@ -111,12 +111,8 @@ func (d *Driver) scorePoint(ctx context.Context, sp *Space, tp TrajectoryPoint, 
 	}
 	state := &evalState{
 		driver: d, space: sp, opts: opts,
-		objs: opts.Objectives,
-	}
-	for _, o := range state.objs {
-		if o.Key == "fairness" {
-			state.needFairness = true
-		}
+		objs:       opts.Objectives,
+		needsAlone: needsAloneRuns(opts.Objectives),
 	}
 	j := job{cand: cand, charge: 0}
 	if j.cells, err = state.submitCells(ctx, cand); err != nil {
@@ -128,7 +124,7 @@ func (d *Driver) scorePoint(ctx context.Context, sp *Space, tp TrajectoryPoint, 
 	}
 	return &TrajectoryPoint{
 		Config: cand.Cfg.Name, Policy: cand.Policy, Remap: cand.Remap,
-		IPC: sc.IPC, Area: sc.Area, PerArea: sc.PerArea, Fairness: sc.Fairness,
+		Values: sc.Values,
 	}, nil
 }
 
@@ -140,7 +136,7 @@ func candidateFromTrajectory(tp TrajectoryPoint) (Candidate, error) {
 	if err != nil {
 		return Candidate{}, err
 	}
-	return Candidate{Cfg: cfg, Policy: tp.Policy, Remap: tp.Remap, Area: tp.Area}, nil
+	return Candidate{Cfg: cfg, Policy: tp.Policy, Remap: tp.Remap, Area: tp.Metric("area")}, nil
 }
 
 // Gains lists the report's specialized-vs-generic per-area deltas in class

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hdsmt/internal/metrics"
 	"hdsmt/internal/pareto"
 )
 
-// Score is one evaluated point's objectives. Infeasible points (no
+// Score is one evaluated point's verdict. Infeasible points (no
 // pipelines, area cap, too few contexts for a workload) are Settled but
-// Feasible false with zero metrics; they cost no simulation and no budget.
+// Feasible false with no metric values; they cost no simulation and no
+// budget.
 //
 // Settled distinguishes a decided score from the zero-value placeholder an
 // Evaluator batch holds before its jobs land: the zero Score is *unsettled*
@@ -19,31 +21,34 @@ import (
 // and every score an Evaluator returns is settled. Strategies may rely on
 // it; the driver's tests assert it.
 type Score struct {
-	Settled  bool    `json:"settled"`
-	Feasible bool    `json:"feasible"`
-	IPC      float64 `json:"ipc"`      // harmonic mean over the space's workloads
-	Area     float64 `json:"area"`     // mm²
-	PerArea  float64 `json:"per_area"` // IPC/mm², the scalar objective
-	// Fairness is the mean over the space's workloads of the harmonic-mean
-	// fairness (sim.HarmonicFairness of per-thread relative speedups).
-	// Computed — at the cost of per-benchmark alone-run simulations, mostly
-	// cache hits after the first candidate — only when the run's objective
-	// list asks for it; 0 otherwise.
-	Fairness float64 `json:"fairness,omitempty"`
+	Settled  bool `json:"settled"`
+	Feasible bool `json:"feasible"`
+	// Values holds the point's metric values by registry key
+	// (internal/metrics): the measured base metrics — always ipc, area and
+	// (when the run's activity counters allow) energy; fairness only when
+	// an objective needs its alone-run baselines — plus every derivable
+	// registered metric (per_area, ed, ed²). Adding a metric to the
+	// registry adds it here without touching this struct. Nil on
+	// infeasible scores.
+	Values metrics.Values `json:"values,omitempty"`
 	// Objectives is the point's gain vector over the run's objective list
 	// (pareto.Gain: maximization-oriented, reference point at the origin),
-	// [PerArea] when the run is scalar. Multi-objective strategies compare
+	// [per_area] when the run is scalar. Multi-objective strategies compare
 	// points with pareto.GainDominates; nil on infeasible scores.
 	Objectives pareto.Vector `json:"objectives,omitempty"`
 }
 
+// Metric returns one of the score's metric values by registry key (0 when
+// absent — infeasible scores carry none).
+func (s Score) Metric(key string) float64 { return s.Values[key] }
+
 // Better reports whether s beats o under the complexity-effectiveness
-// objective. Any feasible score beats any infeasible one.
+// objective (IPC/mm²). Any feasible score beats any infeasible one.
 func (s Score) Better(o Score) bool {
 	if s.Feasible != o.Feasible {
 		return s.Feasible
 	}
-	return s.PerArea > o.PerArea
+	return s.Metric("per_area") > o.Metric("per_area")
 }
 
 // Dominates reports whether s Pareto-dominates o on the run's gain

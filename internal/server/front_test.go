@@ -1,0 +1,186 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hdsmt/internal/engine"
+	"hdsmt/internal/search"
+	"hdsmt/internal/server"
+	"hdsmt/internal/sim"
+)
+
+// postJobExpectError submits a spec and returns the HTTP status code,
+// for submit-time validation tests.
+func postJobExpectError(t *testing.T, ts *httptest.Server, spec any) int {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// newArchiveServer builds a test server with an archive directory, for the
+// persistence and streaming satellites.
+func newArchiveServer(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	r, err := sim.NewRunner(engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ts := httptest.NewServer(server.New(r, server.WithArchiveDir(dir)).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		r.Close()
+	})
+	return ts, dir
+}
+
+// paretoSpec is a tiny 4-objective pareto job over the enriched metric
+// set — energy included, so the job also proves the activity counters
+// survive the server path.
+func paretoSpec(seed int64, budget int, archive string) map[string]any {
+	return map[string]any{
+		"kind":          "pareto",
+		"strategy":      "random",
+		"search_budget": budget,
+		"seed":          seed,
+		"workloads":     []string{"2W7"},
+		"max_pipes":     2,
+		"budget":        1_500,
+		"warmup":        500,
+		"objectives":    []string{"ipc", "area", "fairness", "energy"},
+		"archive":       archive,
+	}
+}
+
+// TestParetoJobFrontStreaming is the satellite streaming test over HTTP:
+// once a pareto job settles, GET /jobs/{id} carries the incumbent front
+// and its hypervolume — the same payload a client polling mid-run watches
+// grow. (Mid-run observation is inherently racy at test budgets; the
+// settled status pins the plumbing.)
+func TestParetoJobFrontStreaming(t *testing.T) {
+	ts, _ := newArchiveServer(t)
+	st := postJob(t, ts, paretoSpec(7, 4, ""))
+	final := awaitJob(t, ts, st.ID)
+	if final.State != "done" {
+		t.Fatalf("job state %s: %s", final.State, final.Error)
+	}
+	if len(final.Front) == 0 {
+		t.Fatal("settled pareto status carries no front")
+	}
+	if final.Hypervolume <= 0 {
+		t.Errorf("settled pareto status hypervolume = %v, want positive", final.Hypervolume)
+	}
+	for _, fp := range final.Front {
+		for _, key := range []string{"ipc", "area", "fairness", "energy"} {
+			if fp.Metric(key) <= 0 {
+				t.Errorf("streamed front member %s: metric %q = %v, want positive", fp.Name(), key, fp.Metric(key))
+			}
+		}
+	}
+	// The final result's front and the streamed status front agree.
+	var res search.Result
+	if code := getJSON(t, ts.URL+"/jobs/"+st.ID+"/result", &res); code != 200 {
+		t.Fatalf("result fetch = %d", code)
+	}
+	if len(res.Front) != len(final.Front) {
+		t.Errorf("status front has %d members, result front %d", len(final.Front), len(res.Front))
+	}
+}
+
+// TestParetoJobArchiveResume is the satellite persistence test over HTTP:
+// a pareto job named into the server's archive directory checkpoints its
+// front; a second job with the same name restores it.
+func TestParetoJobArchiveResume(t *testing.T) {
+	ts, dir := newArchiveServer(t)
+	first := awaitJob(t, ts, postJob(t, ts, paretoSpec(7, 4, "resume-me")).ID)
+	if first.State != "done" {
+		t.Fatalf("first job state %s: %s", first.State, first.Error)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "resume-me.json")); err != nil {
+		t.Fatalf("archive file missing after first job: %v", err)
+	}
+	second := awaitJob(t, ts, postJob(t, ts, paretoSpec(99, 2, "resume-me")).ID)
+	if second.State != "done" {
+		t.Fatalf("second job state %s: %s", second.State, second.Error)
+	}
+	var res search.Result
+	if code := getJSON(t, ts.URL+"/jobs/"+second.ID+"/result", &res); code != 200 {
+		t.Fatalf("result fetch = %d", code)
+	}
+	if res.RestoredFront == 0 {
+		t.Error("second job restored nothing from the named archive")
+	}
+}
+
+// TestArchiveNameExclusive pins the clobber guard: while a pareto job
+// holds an archive name, a second job naming the same archive is refused
+// with 409 — two concurrent checkpointers would silently overwrite each
+// other's front. The name frees up once the holder settles.
+func TestArchiveNameExclusive(t *testing.T) {
+	ts, _ := newArchiveServer(t)
+	// A deliberately slow holder: a large budget over bigger simulations.
+	slow := paretoSpec(7, 400, "contended")
+	slow["budget"] = 20_000
+	slow["warmup"] = 10_000
+	slow["max_pipes"] = 3
+	holder := postJob(t, ts, slow)
+	if code := postJobExpectError(t, ts, paretoSpec(9, 2, "contended")); code != 409 {
+		t.Errorf("concurrent archive claim: POST = %d, want 409", code)
+	}
+	// Cancel the holder; once it settles, the name is claimable again.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+holder.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	awaitJob(t, ts, holder.ID)
+	retry := awaitJob(t, ts, postJob(t, ts, paretoSpec(9, 2, "contended")).ID)
+	if retry.State != "done" {
+		t.Errorf("post-release job state %s: %s", retry.State, retry.Error)
+	}
+}
+
+// TestArchiveSpecValidation pins the submit-time guards: archive names on
+// non-pareto jobs, path-escaping names, and archives on servers without a
+// directory all 400.
+func TestArchiveSpecValidation(t *testing.T) {
+	ts, _ := newArchiveServer(t)
+	for name, spec := range map[string]map[string]any{
+		"search-kind": {"kind": "search", "strategy": "random", "search_budget": 2, "archive": "x"},
+		"path-escape": paretoSpec(1, 2, "../evil"),
+		"dot-prefix":  paretoSpec(1, 2, ".hidden"),
+	} {
+		if code := postJobExpectError(t, ts, spec); code != 400 {
+			t.Errorf("%s: POST = %d, want 400", name, code)
+		}
+	}
+	// A server without an archive directory refuses named archives.
+	bare, _ := newTestServer(t)
+	if code := postJobExpectError(t, bare, paretoSpec(1, 2, "x")); code != 400 {
+		t.Errorf("archiveless server: POST = %d, want 400", code)
+	}
+	// Unknown objective names fail fast with the registry listing.
+	badObj := paretoSpec(1, 2, "")
+	badObj["objectives"] = []string{"ipc", "wattage"}
+	if code := postJobExpectError(t, ts, badObj); code != 400 {
+		t.Errorf("unknown objective: POST = %d, want 400", code)
+	}
+}

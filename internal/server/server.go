@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -88,11 +90,18 @@ type JobSpec struct {
 	QueueScales    []int    `json:"queue_scales,omitempty"`
 	FetchBufScales []int    `json:"fetch_buf_scales,omitempty"`
 
-	// pareto jobs only. Objectives lists the objective keys (2 or 3 of
-	// ipc, area, fairness, per_area; empty = ipc,area,fairness) and
-	// ArchiveCap bounds the non-dominated archive (0 = default).
+	// pareto jobs only. Objectives lists the objective keys (2+ metric
+	// names from the registry — ipc, area, fairness, energy, per_area, ed,
+	// ed2; empty = ipc,area,fairness; names are validated against the
+	// registry at submit time) and ArchiveCap bounds the non-dominated
+	// archive (0 = default). Archive, when non-empty, names a persisted
+	// archive file in the server's archive directory (New's dir option):
+	// the job's non-dominated front is checkpointed there on every change,
+	// and a later pareto job submitted with the same name — e.g. after the
+	// first was canceled — restores the front instead of rediscovering it.
 	Objectives []string `json:"objectives,omitempty"`
 	ArchiveCap int      `json:"archive_cap,omitempty"`
+	Archive    string   `json:"archive,omitempty"`
 }
 
 func (s JobSpec) options() sim.Options {
@@ -124,6 +133,13 @@ type Status struct {
 	Progress Progress `json:"progress"`
 	Created  string   `json:"created,omitempty"`
 	Finished string   `json:"finished,omitempty"`
+
+	// Front and Hypervolume stream a pareto job's incumbent non-dominated
+	// front mid-run: they update on every archive change, so a client
+	// polling GET /jobs/{id} watches the front grow instead of waiting for
+	// the final result.
+	Front       []search.TrajectoryPoint `json:"front,omitempty"`
+	Hypervolume float64                  `json:"hypervolume,omitempty"`
 }
 
 // SweepResult is the result payload of a "sweep" job: one measurement per
@@ -145,18 +161,22 @@ type job struct {
 	total    int
 	created  time.Time
 	finished time.Time
+	front    []search.TrajectoryPoint
+	hv       float64
 }
 
 func (j *job) status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:       j.id,
-		Kind:     j.spec.Kind,
-		State:    j.state,
-		Error:    j.errmsg,
-		Progress: Progress{Done: j.done, Total: j.total},
-		Created:  j.created.UTC().Format(time.RFC3339),
+		ID:          j.id,
+		Kind:        j.spec.Kind,
+		State:       j.state,
+		Error:       j.errmsg,
+		Progress:    Progress{Done: j.done, Total: j.total},
+		Created:     j.created.UTC().Format(time.RFC3339),
+		Front:       j.front,
+		Hypervolume: j.hv,
 	}
 	if !j.finished.IsZero() {
 		st.Finished = j.finished.UTC().Format(time.RFC3339)
@@ -167,16 +187,39 @@ func (j *job) status() Status {
 // Server is the HTTP job server. Create one with New and mount Handler.
 type Server struct {
 	runner *sim.Runner
+	// archiveDir, when non-empty, hosts named pareto-archive files
+	// (JobSpec.Archive); meant to sit next to the engine's journal and
+	// cache directory so a restarted daemon resumes both simulations and
+	// fronts.
+	archiveDir string
 
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID int
+	// archives maps a claimed archive path to the running job holding it:
+	// two concurrent jobs checkpointing the same file would silently
+	// clobber each other's front, so a name is exclusive until its job
+	// settles.
+	archives map[string]string
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithArchiveDir enables named pareto-archive persistence under dir
+// (created on first use).
+func WithArchiveDir(dir string) Option {
+	return func(s *Server) { s.archiveDir = dir }
 }
 
 // New builds a Server executing jobs on r. The caller keeps ownership of
 // r (and closes it after shutting the HTTP listener down).
-func New(r *sim.Runner) *Server {
-	return &Server{runner: r, jobs: map[string]*job{}}
+func New(r *sim.Runner, opts ...Option) *Server {
+	s := &Server{runner: r, jobs: map[string]*job{}, archives: map[string]string{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the server's route mux.
@@ -252,8 +295,10 @@ func resolveCells(spec JobSpec) ([]sim.SweepCell, error) {
 // resolveSearch validates a search or pareto spec at submit time and
 // assembles its space, strategy and driver options. Pareto jobs default
 // the strategy to nsga2 and carry an objective list (default
-// ipc,area,fairness); search jobs stay scalar and ignore Objectives.
-func resolveSearch(spec JobSpec) (search.Space, search.Strategy, search.Options, error) {
+// ipc,area,fairness — names resolved against the metric registry, so a
+// typo'd objective 400s with the list of known metrics); search jobs stay
+// scalar and ignore Objectives.
+func (s *Server) resolveSearch(spec JobSpec) (search.Space, search.Strategy, search.Options, error) {
 	var zero search.Space
 	strategy := spec.Strategy
 	if strategy == "" && spec.Kind == "pareto" {
@@ -325,15 +370,39 @@ func resolveSearch(spec JobSpec) (search.Space, search.Strategy, search.Options,
 		}
 		opts.Objectives = objs
 		opts.ArchiveCap = spec.ArchiveCap
+		if spec.Archive != "" {
+			path, err := s.archivePath(spec.Archive)
+			if err != nil {
+				return zero, nil, search.Options{}, err
+			}
+			opts.ArchivePath = path
+		}
 	default:
 		// Scalar searches must not silently drop multi-objective fields: a
 		// client that meant "pareto" would otherwise get a frontless result
 		// with a 200.
-		if len(spec.Objectives) > 0 || spec.ArchiveCap != 0 {
-			return zero, nil, search.Options{}, fmt.Errorf("objectives/archive_cap need kind \"pareto\", not %q", spec.Kind)
+		if len(spec.Objectives) > 0 || spec.ArchiveCap != 0 || spec.Archive != "" {
+			return zero, nil, search.Options{}, fmt.Errorf("objectives/archive_cap/archive need kind \"pareto\", not %q", spec.Kind)
 		}
 	}
 	return sp, st, opts, nil
+}
+
+// archivePath resolves a client-chosen archive name inside the server's
+// archive directory. Names are restricted to a flat namespace — no path
+// separators or dot-prefixes — so a job spec cannot write outside the
+// directory the operator configured.
+func (s *Server) archivePath(name string) (string, error) {
+	if s.archiveDir == "" {
+		return "", fmt.Errorf("this server has no archive directory (start hdsmtd with -archives)")
+	}
+	if name != filepath.Base(name) || strings.HasPrefix(name, ".") || strings.ContainsAny(name, "/\\") {
+		return "", fmt.Errorf("archive name %q must be a plain file name", name)
+	}
+	if err := os.MkdirAll(s.archiveDir, 0o755); err != nil {
+		return "", fmt.Errorf("creating archive directory: %w", err)
+	}
+	return filepath.Join(s.archiveDir, name+".json"), nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -343,12 +412,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if spec.Kind == "search" || spec.Kind == "pareto" {
-		sp, st, opts, err := resolveSearch(spec)
+		sp, st, opts, err := s.resolveSearch(spec)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		j, ctx := s.newJob(spec, opts.Budget)
+		if opts.ArchivePath != "" {
+			if holder, ok := s.claimArchive(opts.ArchivePath, j.id); !ok {
+				s.mu.Lock()
+				delete(s.jobs, j.id)
+				s.mu.Unlock()
+				j.cancel()
+				httpError(w, http.StatusConflict,
+					fmt.Errorf("archive %q is in use by running job %s", spec.Archive, holder))
+				return
+			}
+		}
 		go s.executeSearch(ctx, j, sp, st, opts)
 		writeJSON(w, http.StatusAccepted, j.status())
 		return
@@ -444,10 +524,29 @@ func (s *Server) execute(ctx context.Context, j *job, cells []sim.SweepCell) {
 	}
 }
 
+// claimArchive binds an archive path to a job; it fails when another
+// running job already holds it.
+func (s *Server) claimArchive(path, jobID string) (holder string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if holder, busy := s.archives[path]; busy {
+		return holder, false
+	}
+	s.archives[path] = jobID
+	return jobID, true
+}
+
 // executeSearch runs a search job on the server's shared runner: every
 // point evaluation goes through the one engine, so overlapping searches
 // (and sweeps) share their simulations.
 func (s *Server) executeSearch(ctx context.Context, j *job, sp search.Space, st search.Strategy, opts search.Options) {
+	if opts.ArchivePath != "" {
+		defer func() {
+			s.mu.Lock()
+			delete(s.archives, opts.ArchivePath)
+			s.mu.Unlock()
+		}()
+	}
 	j.mu.Lock()
 	j.state = "running"
 	j.mu.Unlock()
@@ -456,6 +555,12 @@ func (s *Server) executeSearch(ctx context.Context, j *job, sp search.Space, st 
 		j.mu.Lock()
 		j.done = done
 		j.total = total // the driver's effective target: min(budget, space)
+		j.mu.Unlock()
+	}
+	opts.FrontProgress = func(front []search.TrajectoryPoint, hv float64) {
+		j.mu.Lock()
+		j.front = front
+		j.hv = hv
 		j.mu.Unlock()
 	}
 	result, err := search.NewDriver(s.runner).Search(ctx, sp, st, opts)

@@ -358,9 +358,9 @@ func TestSearchJobRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if direct.Best.Config != got.Best.Config || direct.Best.PerArea != got.Best.PerArea {
+	if direct.Best.Config != got.Best.Config || direct.Best.Metric("per_area") != got.Best.Metric("per_area") {
 		t.Errorf("HTTP search best %s (%.6f) != direct best %s (%.6f)",
-			got.Best.Config, got.Best.PerArea, direct.Best.Config, direct.Best.PerArea)
+			got.Best.Config, got.Best.Metric("per_area"), direct.Best.Config, direct.Best.Metric("per_area"))
 	}
 }
 

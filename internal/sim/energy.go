@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+
+	"hdsmt/internal/area"
+	"hdsmt/internal/config"
+	"hdsmt/internal/core"
+	"hdsmt/internal/metrics"
+)
+
+// Energy accounting: joins a run's per-unit activity counters
+// (core.Results.Activity) with the activity-energy model
+// (config.EnergyModel) and the area model (leakage is area-proportional)
+// into total energy and energy-per-instruction — the base of the "energy"
+// metric and the derived ED/ED² metrics in the registry.
+
+// EnergyBreakdown is one run's energy accounting.
+type EnergyBreakdown struct {
+	Config string `json:"config"`
+	// DynamicPJ is the switching energy summed over every counted unit
+	// access; LeakagePJ the area-proportional static energy over the run's
+	// cycles; TotalPJ their sum.
+	DynamicPJ float64 `json:"dynamic_pj"`
+	LeakagePJ float64 `json:"leakage_pj"`
+	TotalPJ   float64 `json:"total_pj"`
+	// EPI is the headline figure: total energy per committed instruction,
+	// in nanojoules (the registry's "energy" metric).
+	EPI float64 `json:"epi_nj"`
+	// Units decomposes the dynamic energy by unit, in picojoules, for
+	// reports (fetch, icache, branch, decode, rename, fetch_buf, queues,
+	// regfile, fu, dcache, l2).
+	Units metrics.Values `json:"units"`
+}
+
+// EnergyOf prices one completed run under the default energy model.
+func EnergyOf(cfg config.Microarch, r core.Results) (EnergyBreakdown, error) {
+	return EnergyOfModel(config.DefaultEnergyModel(), cfg, r)
+}
+
+// EnergyOfModel prices one completed run under an explicit energy model.
+// cfg must be the simulated machine (the same value the request carried):
+// per-pipeline activity is priced against that pipeline's structure sizes.
+func EnergyOfModel(em config.EnergyModel, cfg config.Microarch, r core.Results) (EnergyBreakdown, error) {
+	if err := em.Validate(); err != nil {
+		return EnergyBreakdown{}, err
+	}
+	act := r.Activity
+	if len(act.Pipes) != len(cfg.Pipelines) {
+		return EnergyBreakdown{}, fmt.Errorf("sim: activity covers %d pipelines, %s has %d (result predates activity counters?)",
+			len(act.Pipes), cfg.Name, len(cfg.Pipelines))
+	}
+
+	out := EnergyBreakdown{Config: cfg.Name, Units: metrics.Values{}}
+	add := func(unit string, pj float64) {
+		out.Units[unit] += pj
+		out.DynamicPJ += pj
+	}
+	add("fetch", float64(act.Fetched)*em.FetchPJ)
+	add("icache", float64(act.ICacheReads)*em.ICachePJ)
+	add("branch", float64(act.BranchLookups)*em.BranchPJ)
+	add("decode", float64(act.Decoded)*em.DecodePJ)
+	add("rename", float64(act.RenameReads)*em.RenameReadPJ+float64(act.RenameWrites)*em.RenameWritePJ)
+	add("regfile", float64(act.RegReads)*em.RegReadPJ+float64(act.RegWrites)*em.RegWritePJ)
+	add("dcache", float64(act.DCacheReads+act.DCacheWrites)*em.DCachePJ)
+	add("l2", float64(act.L2Accesses)*em.L2PJ)
+
+	fuPJ := [core.QueueKinds]float64{em.FUIntPJ, em.FUFPPJ, em.FULdStPJ}
+	for i, pa := range act.Pipes {
+		model := cfg.Pipelines[i]
+		// The monolithic M8 declares no decoupling buffer; the core gives
+		// it a fetch-width latch instead, priced at that size.
+		bufEntries := model.FetchBuf
+		if bufEntries == 0 {
+			bufEntries = cfg.Params.FetchWidth
+		}
+		add("fetch_buf", float64(pa.FetchBufWrites)*em.FetchBufEnergy(bufEntries))
+		for k := 0; k < core.QueueKinds; k++ {
+			entries := model.QueueEntries(k)
+			add("queues", float64(pa.QueueWrites[k])*em.QueueWriteEnergy(entries)+
+				float64(pa.QueueReads[k])*em.QueueReadEnergy(entries))
+			add("fu", float64(pa.FUOps[k])*fuPJ[k])
+		}
+	}
+
+	a, err := area.Total(cfg)
+	if err != nil {
+		return EnergyBreakdown{}, err
+	}
+	out.LeakagePJ = em.LeakageEnergy(a, r.Cycles)
+	out.TotalPJ = out.DynamicPJ + out.LeakagePJ
+
+	var committed uint64
+	for _, n := range r.Committed {
+		committed += n
+	}
+	if committed == 0 {
+		return EnergyBreakdown{}, fmt.Errorf("sim: run of %s committed no instructions; EPI undefined", cfg.Name)
+	}
+	out.EPI = out.TotalPJ / float64(committed) / 1000 // pJ → nJ
+	return out, nil
+}

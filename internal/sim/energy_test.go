@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hdsmt/internal/config"
+	"hdsmt/internal/core"
+	"hdsmt/internal/engine"
+	"hdsmt/internal/mapping"
+	"hdsmt/internal/workload"
+)
+
+// runFor simulates one small cell and returns its results.
+func runFor(t *testing.T, cfgName string, wlName string) (config.Microarch, core.Results) {
+	t.Helper()
+	cfg := config.MustParse(cfgName)
+	w := workload.MustByName(wlName)
+	m, err := DefaultMapping(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(cfg, w, m, Options{Budget: 2_000, Warmup: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.ForThreads(w.Threads()), r
+}
+
+func TestEnergyOfRealRun(t *testing.T) {
+	cfg, r := runFor(t, "2M4+2M2", "2W7")
+	eb, err := EnergyOf(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.DynamicPJ <= 0 || eb.LeakagePJ <= 0 || eb.EPI <= 0 {
+		t.Fatalf("degenerate energy breakdown: %+v", eb)
+	}
+	if eb.TotalPJ != eb.DynamicPJ+eb.LeakagePJ {
+		t.Errorf("total %v != dynamic %v + leakage %v", eb.TotalPJ, eb.DynamicPJ, eb.LeakagePJ)
+	}
+	// Every counted unit must price to something on a real run.
+	for _, unit := range []string{"fetch", "icache", "branch", "decode", "rename", "fetch_buf", "queues", "regfile", "fu", "dcache", "l2"} {
+		if eb.Units[unit] <= 0 {
+			t.Errorf("unit %q priced at %v, want positive", unit, eb.Units[unit])
+		}
+	}
+	// Order-of-magnitude sanity: tens of nJ per instruction at 0.18 µm.
+	if eb.EPI < 1 || eb.EPI > 500 {
+		t.Errorf("EPI %v nJ/instr outside the plausible range [1, 500]", eb.EPI)
+	}
+}
+
+// TestEnergyMonotoneInQueueScaleEndToEnd is the satellite monotonicity
+// test end to end: pricing the *same activity* on a machine with larger
+// queues never yields less energy — bigger structures never cost less per
+// access.
+func TestEnergyMonotoneInQueueScaleEndToEnd(t *testing.T) {
+	_, r := runFor(t, "2M4", "2W7")
+	prev := -1.0
+	for _, pct := range []int{50, 75, 100, 125, 150} {
+		m, err := config.ScaleModel(config.M4, pct, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := config.NewMicroarch(m, m)
+		eb, err := EnergyOf(cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eb.DynamicPJ < prev {
+			t.Errorf("dynamic energy fell to %v at queue scale %d%% (was %v)", eb.DynamicPJ, pct, prev)
+		}
+		prev = eb.DynamicPJ
+	}
+}
+
+// TestEnergyOfRejectsMissingActivity pins the stale-journal behaviour: a
+// result without activity counters (journaled before they existed) must
+// error rather than price to zero.
+func TestEnergyOfRejectsMissingActivity(t *testing.T) {
+	cfg, r := runFor(t, "2M4", "2W7")
+	r.Activity.Pipes = nil
+	if _, err := EnergyOf(cfg, r); err == nil || !strings.Contains(err.Error(), "activity") {
+		t.Errorf("EnergyOf without activity counters: err = %v, want activity complaint", err)
+	}
+}
+
+// TestEnergyLeakageScalesWithArea pins the static half: the same activity
+// on a bigger machine pays more leakage.
+func TestEnergyLeakageScalesWithArea(t *testing.T) {
+	_, r := runFor(t, "2M4", "2W7")
+	small, err := EnergyOf(config.MustParse("2M4"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same pipeline count (the activity slice must fit), bigger machine.
+	big, err := EnergyOf(config.MustParse("2M6"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.LeakagePJ <= small.LeakagePJ {
+		t.Errorf("leakage on 2M6 (%v) not above 2M4 (%v)", big.LeakagePJ, small.LeakagePJ)
+	}
+}
+
+// TestEnergyFlowsThroughEngine pins the serialization path: a result
+// round-tripped through the engine's JSON journal keeps its activity
+// counters, so energy derived from a restored result matches the live one.
+func TestEnergyFlowsThroughEngine(t *testing.T) {
+	cfg := config.MustParse("2M4")
+	w := workload.MustByName("2W7")
+	dir := t.TempDir()
+	opt := Options{Budget: 1_500, Warmup: 500}
+
+	run := func() core.Results {
+		r, err := NewRunner(engine.Options{JournalPath: dir + "/journal.jsonl"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		m := mapping.Mapping{0, 1}
+		res, err := r.Run(t.Context(), cfg, w, m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	live := run()
+	restored := run() // second engine preloads the journal
+	liveE, err := EnergyOf(cfg.ForThreads(2), live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredE, err := EnergyOf(cfg.ForThreads(2), restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveE.TotalPJ != restoredE.TotalPJ {
+		t.Errorf("journal round-trip changed energy: %v vs %v", liveE.TotalPJ, restoredE.TotalPJ)
+	}
+}
