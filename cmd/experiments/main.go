@@ -16,7 +16,6 @@ import (
 
 	"hdsmt/internal/area"
 	"hdsmt/internal/config"
-	"hdsmt/internal/engine"
 	"hdsmt/internal/mapping"
 	"hdsmt/internal/perf"
 	"hdsmt/internal/search"
@@ -46,8 +45,12 @@ func main() {
 		powerOut  = flag.String("power", "", "run the power-model benchmark (per-machine EPI/ED/ED², the 4-objective ipc/area/fairness/energy front, NSGA-II/PACO hypervolume trajectories), write the report to this JSON file, and exit")
 		powerSd   = flag.Int64("powerseed", 1, "random seed for -power")
 		powerFull = flag.Bool("powerfull", false, "run -power at full scale (exhaustive 4-objective front over the whole enriched space; default is the CI-sized short mode)")
+		tracePath = flag.String("tracepath", "", "write a Chrome trace_event JSON of every engine job to this file (open in chrome://tracing or Perfetto)")
+		quiet     = flag.Bool("quiet", false, "suppress the periodic progress line on stderr")
 	)
 	flag.Parse()
+	obsInit(*tracePath, *quiet)
+	defer obsClose()
 
 	if *list {
 		printWorkloads()
@@ -90,7 +93,7 @@ func main() {
 
 	// One shared runner for every sweep below, so cells common to several
 	// figures (and the ablations) are simulated once.
-	runner, err := sim.NewRunner(engine.Options{Workers: *parallel})
+	runner, err := sim.NewRunner(obsEngineOptions(*parallel))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
@@ -286,7 +289,7 @@ func writeSearchReport(path string, seed int64) error {
 		SimBudget: simOpt.Budget, SimWarmup: simOpt.Warmup}
 
 	runOn := func(sp search.Space, st search.Strategy, opts search.Options) (*search.Result, error) {
-		runner, err := sim.NewRunner(engine.Options{})
+		runner, err := sim.NewRunner(obsEngineOptions(0))
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +306,7 @@ func writeSearchReport(path string, seed int64) error {
 	report.SmallSpace.Genotypes = small.Size()
 	report.SmallSpace.Candidates = len(small.Candidates())
 
-	exh, err := runOn(small, search.Exhaustive{}, search.Options{Sim: simOpt})
+	exh, err := runOn(small, search.Exhaustive{}, search.Options{Sim: simOpt, Telemetry: obs.reg})
 	if err != nil {
 		return err
 	}
@@ -320,7 +323,7 @@ func writeSearchReport(path string, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res, err := runOn(small, st, search.Options{Budget: budget, Seed: seed, Sim: simOpt})
+		res, err := runOn(small, st, search.Options{Budget: budget, Seed: seed, Sim: simOpt, Telemetry: obs.reg})
 		if err != nil {
 			return err
 		}
@@ -350,7 +353,7 @@ func writeSearchReport(path string, seed int64) error {
 	// sizing axes in play. A budgeted ACO walk records the trajectory.
 	enriched := search.EnrichedSpace(4, 0, wls)
 	report.EnrichedSpace.Genotypes = enriched.Size()
-	aco, err := runOn(enriched, search.NewACO(), search.Options{Budget: 48, Seed: seed, Sim: simOpt})
+	aco, err := runOn(enriched, search.NewACO(), search.Options{Budget: 48, Seed: seed, Sim: simOpt, Telemetry: obs.reg})
 	if err != nil {
 		return err
 	}

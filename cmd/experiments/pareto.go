@@ -7,7 +7,6 @@ import (
 	"os"
 	"strings"
 
-	"hdsmt/internal/engine"
 	"hdsmt/internal/pareto"
 	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
@@ -94,7 +93,7 @@ func writeParetoReport(path string, seed int64) error {
 	report.Seeding.Workloads = []string{wlName}
 	report.Seeding.Genotypes = small.Size()
 
-	exh, err := runSearch(small, search.Exhaustive{}, search.Options{Sim: simOpt})
+	exh, err := runSearch(small, search.Exhaustive{}, search.Options{Sim: simOpt, Telemetry: obs.reg})
 	if err != nil {
 		return err
 	}
@@ -112,7 +111,7 @@ func writeParetoReport(path string, seed int64) error {
 		if err != nil {
 			return err
 		}
-		res, err := runSearch(small, st, search.Options{Budget: budget, Seed: seed, Sim: simOpt})
+		res, err := runSearch(small, st, search.Options{Budget: budget, Seed: seed, Sim: simOpt, Telemetry: obs.reg})
 		if err != nil {
 			return err
 		}
@@ -152,13 +151,13 @@ func writeParetoReport(path string, seed int64) error {
 
 	// One shared runner: the scalar pass simulates every candidate once,
 	// the multi-objective pass re-reads the same results from the engine.
-	runner, err := sim.NewRunner(engine.Options{})
+	runner, err := sim.NewRunner(obsEngineOptions(0))
 	if err != nil {
 		return err
 	}
 	defer runner.Close()
 	drv := search.NewDriver(runner)
-	scalar, err := drv.Search(context.Background(), enriched, search.Exhaustive{}, search.Options{Sim: simOpt})
+	scalar, err := drv.Search(context.Background(), enriched, search.Exhaustive{}, search.Options{Sim: simOpt, Telemetry: obs.reg})
 	if err != nil {
 		return err
 	}
@@ -167,7 +166,7 @@ func writeParetoReport(path string, seed int64) error {
 	}
 	report.EnrichedSpace.ScalarBest = scalar.Best
 	mo, err := drv.Search(context.Background(), enriched, search.Exhaustive{}, search.Options{
-		Sim: simOpt, Objectives: ipcArea, ArchiveCap: 1 << 12,
+		Sim: simOpt, Objectives: ipcArea, ArchiveCap: 1 << 12, Telemetry: obs.reg,
 	})
 	if err != nil {
 		return err
@@ -203,7 +202,7 @@ func writeParetoReport(path string, seed int64) error {
 			return err
 		}
 		res, err := runSearch(enriched, st, search.Options{
-			Budget: 48, Seed: seed, Sim: simOpt, Objectives: threeObjs,
+			Budget: 48, Seed: seed, Sim: simOpt, Objectives: threeObjs, Telemetry: obs.reg,
 		})
 		if err != nil {
 			return err
@@ -235,13 +234,13 @@ func writeParetoReport(path string, seed int64) error {
 		workload.MustByName("2W7"), // MIX
 	}
 	spec := search.NewSpace(3, 0, classWls)
-	specRunner, err := sim.NewRunner(engine.Options{})
+	specRunner, err := sim.NewRunner(obsEngineOptions(0))
 	if err != nil {
 		return err
 	}
 	defer specRunner.Close()
 	rep, err := search.NewDriver(specRunner).Specialize(context.Background(), spec, search.NewNSGA2(),
-		search.Options{Budget: 16, Seed: seed, Sim: simOpt, Objectives: threeObjs})
+		search.Options{Budget: 16, Seed: seed, Sim: simOpt, Objectives: threeObjs, Telemetry: obs.reg})
 	if err != nil {
 		return err
 	}
@@ -275,7 +274,7 @@ func writeParetoReport(path string, seed int64) error {
 // runSearch runs one search on a fresh engine, so simulation counts are
 // honest (no cross-strategy cache help).
 func runSearch(sp search.Space, st search.Strategy, opts search.Options) (*search.Result, error) {
-	runner, err := sim.NewRunner(engine.Options{})
+	runner, err := sim.NewRunner(obsEngineOptions(0))
 	if err != nil {
 		return nil, err
 	}

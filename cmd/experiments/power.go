@@ -8,7 +8,6 @@ import (
 
 	"hdsmt/internal/area"
 	"hdsmt/internal/config"
-	"hdsmt/internal/engine"
 	"hdsmt/internal/metrics"
 	"hdsmt/internal/pareto"
 	"hdsmt/internal/search"
@@ -101,7 +100,7 @@ func writePowerReport(path string, seed int64, full bool) error {
 
 	// ---- Part 1: the six evaluated machines' energy baseline ------------
 	report.Baseline.Workload = wlName
-	runner, err := sim.NewRunner(engine.Options{})
+	runner, err := sim.NewRunner(obsEngineOptions(0))
 	if err != nil {
 		return err
 	}
@@ -160,7 +159,7 @@ func writePowerReport(path string, seed int64, full bool) error {
 	report.FourObjective.Objectives = pareto.Keys(objs)
 
 	exh, err := runSearch(sp, search.Exhaustive{}, search.Options{
-		Sim: simOpt, Objectives: objs, ArchiveCap: 1 << 12,
+		Sim: simOpt, Objectives: objs, ArchiveCap: 1 << 12, Telemetry: obs.reg,
 	})
 	if err != nil {
 		return err
@@ -212,7 +211,7 @@ func writePowerReport(path string, seed int64, full bool) error {
 		// the run (the default 64-member cap is only safe below 64
 		// evaluations).
 		res, err := runSearch(enriched, st, search.Options{
-			Budget: budget, Seed: seed, Sim: simOpt, Objectives: objs, ArchiveCap: 1 << 12,
+			Budget: budget, Seed: seed, Sim: simOpt, Objectives: objs, ArchiveCap: 1 << 12, Telemetry: obs.reg,
 		})
 		if err != nil {
 			return err

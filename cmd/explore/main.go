@@ -38,12 +38,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"hdsmt/internal/engine"
 	"hdsmt/internal/metrics"
 	"hdsmt/internal/pareto"
 	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
+	"hdsmt/internal/telemetry"
 	"hdsmt/internal/workload"
 )
 
@@ -67,6 +69,8 @@ func main() {
 		archive   = flag.Int("archive", 0, "non-dominated archive capacity (0 = default; crowding pruning beyond it)")
 		frontCSV  = flag.String("frontcsv", "", "write the Pareto front to this CSV file (multi-objective runs)")
 		frontPath = flag.String("frontpath", "", "persist the non-dominated archive to this JSON file and resume from it when it exists (multi-objective runs)")
+		tracePath = flag.String("tracepath", "", "write a Chrome trace_event JSON of every engine job to this file (open in chrome://tracing or Perfetto)")
+		quiet     = flag.Bool("quiet", false, "suppress the periodic progress line on stderr")
 	)
 	flag.Parse()
 	if *frontCSV != "" && *objs == "" {
@@ -91,13 +95,23 @@ func main() {
 	}
 	opt := sim.Options{Budget: *budget, Warmup: *warmup}
 
+	// Telemetry spans the whole run: the engine and the search driver feed
+	// one registry, the periodic stderr progress line reads it back, and
+	// -tracepath records every engine job as a Chrome trace. Wall-clock
+	// estimates stay on stderr and in the trace file — never in -out JSON.
+	reg := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tracer = telemetry.NewTracer()
+	}
+
 	// The legacy table (CandidateConfigs + sim.Explore, M8 baseline
 	// included) serves plain exhaustive runs — -out then writes the
 	// ranking JSON; any enriched axis or objective list routes through
 	// internal/search.
 	if *strategy == "exhaustive" && !*enriched && *objs == "" &&
 		*policies == "" && *remaps == "" && *qscales == "" && *fbscales == "" {
-		exhaustive(wls, *maxPipes, *areaCap, opt, *out)
+		exhaustive(wls, *maxPipes, *areaCap, opt, *out, reg, tracer, *tracePath, *quiet)
 		return
 	}
 
@@ -143,7 +157,7 @@ func main() {
 		fail(err)
 	}
 
-	runner, err := sim.NewRunner(engine.Options{})
+	runner, err := sim.NewRunner(engine.Options{Telemetry: reg, Tracer: tracer})
 	if err != nil {
 		fail(err)
 	}
@@ -162,6 +176,10 @@ func main() {
 	fmt.Printf("searching %d-genotype space with %s (%s, seed %d) over %d workloads...\n",
 		sp.Size(), st.Name(), budgetDesc, *seed, len(wls))
 
+	var rep *telemetry.Reporter
+	if !*quiet {
+		rep = telemetry.StartReporter(os.Stderr, reg, 2*time.Second)
+	}
 	res, err := search.NewDriver(runner).Search(context.Background(), sp, st, search.Options{
 		Budget:      budgetEvals,
 		Seed:        *seed,
@@ -169,14 +187,14 @@ func main() {
 		Objectives:  objectives,
 		ArchiveCap:  *archive,
 		ArchivePath: *frontPath,
-		Progress: func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d evaluations", done, total)
-		},
+		Telemetry:   reg,
+		Progress:    func(done, total int) { rep.SetTotal(total) },
 	})
-	fmt.Fprintln(os.Stderr)
+	rep.Stop()
 	if err != nil {
 		fail(err)
 	}
+	writeTrace(tracer, *tracePath)
 
 	fmt.Println("\nbest-so-far trajectory:")
 	fmt.Printf("%8s  %-24s %10s %10s %12s %12s\n", "evals", "machine", "area mm²", "IPC", "IPC/mm²", "EPI nJ")
@@ -289,31 +307,49 @@ func writeJSON(path string, v any) {
 }
 
 // exhaustive is the legacy cross-check baseline: CandidateConfigs +
-// sim.Explore (M8 baseline included) with per-candidate progress. out,
-// when non-empty, receives the full ranking as JSON.
-func exhaustive(wls []workload.Workload, maxPipes int, areaCap float64, opt sim.Options, out string) {
+// sim.Explore (M8 baseline included) with the telemetry-fed progress
+// line. out, when non-empty, receives the full ranking as JSON.
+func exhaustive(wls []workload.Workload, maxPipes int, areaCap float64, opt sim.Options, out string,
+	reg *telemetry.Registry, tracer *telemetry.Tracer, tracePath string, quiet bool) {
 	cands, err := sim.CandidateConfigs(maxPipes, areaCap)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("exploring %d candidate configurations over %d workloads...\n\n", len(cands), len(wls))
 
-	runner, err := sim.NewRunner(engine.Options{})
+	runner, err := sim.NewRunner(engine.Options{Telemetry: reg, Tracer: tracer})
 	if err != nil {
 		fail(err)
 	}
 	defer runner.Close()
-	rs, err := runner.Explore(context.Background(), wls, cands, opt, func(done int) {
-		fmt.Fprintf(os.Stderr, "\r%d/%d candidates", done, len(cands))
-	})
-	fmt.Fprintln(os.Stderr)
+	var rep *telemetry.Reporter
+	if !quiet {
+		rep = telemetry.StartReporter(os.Stderr, reg, 2*time.Second)
+	}
+	rep.SetTotal(len(cands) * len(wls))
+	rs, err := runner.Explore(context.Background(), wls, cands, opt, func(int) {})
+	rep.Stop()
 	if err != nil {
 		fail(err)
 	}
+	writeTrace(tracer, tracePath)
 	fmt.Print(sim.RenderExploration(rs))
 	if out != "" {
 		writeJSON(out, rs)
 	}
+}
+
+// writeTrace flushes the recorded spans to path (no-op when tracing is
+// off). Called before rendering so a broken disk fails loudly, after the
+// run so the trace covers every job.
+func writeTrace(tracer *telemetry.Tracer, path string) {
+	if path == "" {
+		return
+	}
+	if err := tracer.WriteFile(path); err != nil {
+		fail(err)
+	}
+	fmt.Printf("trace written to %s (%d events; open in chrome://tracing)\n", path, tracer.Len())
 }
 
 func splitInts(s string) []int {

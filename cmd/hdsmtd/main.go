@@ -10,6 +10,7 @@
 //	curl -s localhost:8080/jobs/job-000001
 //	curl -s localhost:8080/jobs/job-000001/result
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,6 +29,7 @@ import (
 	"hdsmt/internal/engine"
 	"hdsmt/internal/server"
 	"hdsmt/internal/sim"
+	"hdsmt/internal/telemetry"
 )
 
 func main() {
@@ -36,13 +39,19 @@ func main() {
 		cache    = flag.String("cache", "", "on-disk memoization store directory (optional)")
 		journal  = flag.String("journal", "", "JSONL checkpoint journal path (optional)")
 		archives = flag.String("archives", "", "directory for named pareto-front archives (optional; a canceled \"pareto\" job resubmitted with the same archive name resumes its front)")
+		debug    = flag.Bool("debug", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
+	// One registry spans every layer: the engine's cache counters, the
+	// search drivers' per-strategy progress and the server's per-kind job
+	// instruments all land in the same GET /metrics scrape.
+	reg := telemetry.NewRegistry()
 	runner, err := sim.NewRunner(engine.Options{
 		Workers:     *workers,
 		CacheDir:    *cache,
 		JournalPath: *journal,
+		Telemetry:   reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hdsmtd: %v\n", err)
@@ -53,11 +62,25 @@ func main() {
 		log.Printf("restored %d results from journal %s", st.Restored, *journal)
 	}
 
-	var srvOpts []server.Option
+	srvOpts := []server.Option{server.WithTelemetry(reg)}
 	if *archives != "" {
 		srvOpts = append(srvOpts, server.WithArchiveDir(*archives))
 	}
-	srv := &http.Server{Addr: *addr, Handler: server.New(runner, srvOpts...).Handler()}
+	handler := server.New(runner, srvOpts...).Handler()
+	if *debug {
+		// Profiling is opt-in: the handlers expose stacks and heap
+		// contents, so they stay off unless the operator asks.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("hdsmtd listening on %s", *addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -17,11 +17,14 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hdsmt/internal/core"
+	"hdsmt/internal/telemetry"
 )
 
 // Runner executes one simulation request. It must be deterministic: the
@@ -48,6 +51,19 @@ type Options struct {
 	// every completed job appends one line, and a new engine pointed at
 	// the same path preloads all completed results, resuming the sweep.
 	JournalPath string
+	// Telemetry, when non-nil, is the metrics registry the engine
+	// registers its instruments in (hit/miss/executed counters, queue- and
+	// shard-depth gauges, the job-latency histogram, per-worker busy
+	// time). Nil means a private registry: the counters still back Stats,
+	// they are just not exported anywhere. Counters carry only
+	// deterministic counts; wall-clock quantities (latency, busy time)
+	// exist solely as telemetry series, never in results.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records per-job lifecycle spans — queue wait,
+	// store lookup, simulate, journal append, plus memo-hit/coalesce
+	// instants — for Chrome trace_event export. Nil (the default) records
+	// nothing and costs one pointer comparison per site.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) workers() int {
@@ -90,6 +106,10 @@ type Stats struct {
 	Errors uint64
 	// Restored counts journal entries preloaded at construction.
 	Restored uint64
+	// CorruptStore counts on-disk store entries that were corrupt or
+	// unreadable: each is logged and re-run as a miss (the rewrite heals
+	// the entry) instead of being silently swallowed.
+	CorruptStore uint64
 }
 
 // task is one scheduled execution of a request. Coalesced submissions
@@ -109,6 +129,9 @@ type task struct {
 	// one caller canceling its sweep cannot poison a coalesced job that
 	// another caller still wants.
 	waiters []context.Context
+	// created stamps the enqueue time for the job-latency histogram and
+	// the queue-wait trace span. Telemetry only — never part of results.
+	created time.Time
 }
 
 func (t *task) resolve(res core.Results, err error) {
@@ -143,7 +166,8 @@ type Engine struct {
 
 	closed atomic.Bool
 
-	submitted, hits, diskHits, coalesced, executed, errors, restored atomic.Uint64
+	tel    *instruments
+	tracer *telemetry.Tracer
 }
 
 // New builds an engine executing requests with runner under opts. If a
@@ -153,8 +177,13 @@ func New(runner Runner, opts Options) (*Engine, error) {
 	if runner == nil {
 		return nil, fmt.Errorf("engine: nil runner")
 	}
-	e := &Engine{runner: runner, opts: opts}
+	e := &Engine{runner: runner, opts: opts, tracer: opts.Tracer}
 	e.ctx, e.cancel = context.WithCancel(context.Background())
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	e.tel = newInstruments(reg)
 
 	if opts.CacheDir != "" {
 		st, err := newDiskStore(opts.CacheDir)
@@ -182,13 +211,18 @@ func New(runner Runner, opts Options) (*Engine, error) {
 		for _, ent := range entries {
 			sh := e.shardFor(ent.Key)
 			sh.memo[ent.Key] = ent.Result
-			e.restored.Add(1)
+			e.tel.restored.Inc()
 		}
 	}
+	e.registerGauges(reg)
 
+	e.tracer.SetThreadName(0, "submit")
 	for w := 0; w < opts.workers(); w++ {
+		if e.tracer.Enabled() {
+			e.tracer.SetThreadName(w+1, fmt.Sprintf("worker-%d", w))
+		}
 		e.wg.Add(1)
-		go e.work()
+		go e.work(w)
 	}
 	return e, nil
 }
@@ -216,16 +250,19 @@ func (e *Engine) Close() {
 	}
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters. The counters are the
+// telemetry series themselves (exact for any realistic count), so Stats
+// and a /metrics scrape can never disagree.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Submitted: e.submitted.Load(),
-		Hits:      e.hits.Load(),
-		DiskHits:  e.diskHits.Load(),
-		Coalesced: e.coalesced.Load(),
-		Executed:  e.executed.Load(),
-		Errors:    e.errors.Load(),
-		Restored:  e.restored.Load(),
+		Submitted:    uint64(e.tel.submitted.Value()),
+		Hits:         uint64(e.tel.memoHits.Value()),
+		DiskHits:     uint64(e.tel.diskHits.Value()),
+		Coalesced:    uint64(e.tel.coalesced.Value()),
+		Executed:     uint64(e.tel.executed.Value()),
+		Errors:       uint64(e.tel.errors.Value()),
+		Restored:     uint64(e.tel.restored.Value()),
+		CorruptStore: uint64(e.tel.storeCorrupt.Value()),
 	}
 }
 
@@ -283,14 +320,17 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
 	if e.closed.Load() {
 		return nil, fmt.Errorf("engine: submit on closed engine")
 	}
-	e.submitted.Add(1)
+	e.tel.submitted.Inc()
 	key := req.Key()
 	sh := e.shardFor(key)
 
 	sh.mu.Lock()
 	if res, ok := sh.memo[key]; ok {
 		sh.mu.Unlock()
-		e.hits.Add(1)
+		e.tel.memoHits.Inc()
+		if e.tracer.Enabled() {
+			e.tracer.Instant(0, "memo-hit", "engine", traceArgs(req, key))
+		}
 		t := &task{done: make(chan struct{})}
 		t.resolve(res, nil)
 		return &Ticket{t: t, hit: true}, nil
@@ -298,7 +338,10 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
 	if t, ok := sh.inflight[key]; ok {
 		t.waiters = append(t.waiters, ctx)
 		sh.mu.Unlock()
-		e.coalesced.Add(1)
+		e.tel.coalesced.Inc()
+		if e.tracer.Enabled() {
+			e.tracer.Instant(0, "coalesce", "engine", traceArgs(req, key))
+		}
 		return &Ticket{t: t}, nil
 	}
 	t := &task{
@@ -307,6 +350,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		done:       make(chan struct{}),
 		engineDone: e.ctx.Done(),
 		waiters:    []context.Context{ctx},
+		created:    time.Now(),
 	}
 	sh.inflight[key] = t
 	sh.mu.Unlock()
@@ -394,16 +438,30 @@ func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]core.Results, 
 	return out, nil
 }
 
-// work is one worker's loop on the shared queue.
-func (e *Engine) work() {
+// work is one worker's loop on the shared queue. w is the worker index,
+// used for the busy-time counter and as the trace track (tid w+1; tid 0
+// is the submit side).
+func (e *Engine) work(w int) {
 	defer e.wg.Done()
+	busy := e.tel.workerBusy.With(fmt.Sprintf("%d", w))
 	for {
 		select {
 		case t := <-e.queue:
-			e.execute(e.shardFor(t.key), t)
+			start := time.Now()
+			e.execute(e.shardFor(t.key), t, w)
+			busy.Add(time.Since(start).Seconds())
 		case <-e.ctx.Done():
 			return
 		}
+	}
+}
+
+// traceArgs labels a job's trace events; called only when tracing is on.
+func traceArgs(req Request, key string) map[string]string {
+	return map[string]string{
+		"config":   req.Cfg.Name,
+		"workload": req.Workload.Name,
+		"key":      key[:12],
 	}
 }
 
@@ -411,28 +469,49 @@ func (e *Engine) work() {
 // stored, journaled and handed to every waiter. The simulation itself runs
 // under the engine's context — a submitter's cancellation skips the task
 // only when every coalesced waiter has canceled.
-func (e *Engine) execute(sh *shard, t *task) {
+func (e *Engine) execute(sh *shard, t *task, w int) {
 	if e.withdrawIfUnwanted(sh, t) {
 		return
 	}
+	tid := w + 1
+	if e.tracer.Enabled() {
+		e.tracer.Complete(tid, "queue-wait", "engine", t.created, time.Now(), nil)
+	}
 	if e.store != nil {
-		if res, ok, err := e.store.load(t.key); err == nil && ok {
-			e.diskHits.Add(1)
+		sp := e.tracer.Begin(tid, "store-lookup", "engine")
+		res, ok, err := e.store.load(t.key)
+		sp.End()
+		switch {
+		case err != nil:
+			// A corrupt or unreadable entry is a counted, logged event —
+			// not a silent miss. The job re-runs and the rewrite below
+			// heals the entry.
+			e.tel.storeCorrupt.Inc()
+			log.Printf("engine: corrupt store entry for %s: %v (re-running)", t.req, err)
+		case ok:
+			e.tel.diskHits.Inc()
 			if e.journal != nil {
 				// A cache-served job still completes this sweep's cell;
 				// journal it so the checkpoint stays self-contained even
 				// if the cache directory later disappears.
+				jsp := e.tracer.Begin(tid, "journal-append", "engine")
 				_ = e.journal.append(t.key, res)
+				jsp.End()
 			}
 			e.finish(sh, t, res, nil)
+			e.tel.jobSeconds.Observe(time.Since(t.created).Seconds())
 			return
 		}
 	}
 
+	sp := e.tracer.Begin(tid, "simulate", "engine")
 	res, err := e.runner(e.ctx, t.req)
-	e.executed.Add(1)
+	if e.tracer.Enabled() {
+		sp.EndWith(traceArgs(t.req, t.key))
+	}
+	e.tel.executed.Inc()
 	if err != nil {
-		e.errors.Add(1)
+		e.tel.errors.Inc()
 		e.finish(sh, t, core.Results{}, err)
 		return
 	}
@@ -441,9 +520,12 @@ func (e *Engine) execute(sh *shard, t *task) {
 		_ = e.store.save(t.key, res)
 	}
 	if e.journal != nil {
+		jsp := e.tracer.Begin(tid, "journal-append", "engine")
 		_ = e.journal.append(t.key, res)
+		jsp.End()
 	}
 	e.finish(sh, t, res, nil)
+	e.tel.jobSeconds.Observe(time.Since(t.created).Seconds())
 }
 
 // finish publishes a task's outcome: successful results enter the memo

@@ -40,9 +40,10 @@ func (s *diskStore) load(key string) (res core.Results, ok bool, err error) {
 		return core.Results{}, false, err
 	}
 	if err := json.Unmarshal(b, &res); err != nil {
-		// A torn write from a killed process: treat as absent and let the
-		// job re-run (the rewrite heals the entry).
-		return core.Results{}, false, nil
+		// A torn write from a killed process. Surface it: the caller counts
+		// and logs the corruption, re-runs the job, and the rewrite heals
+		// the entry.
+		return core.Results{}, false, fmt.Errorf("decoding cached entry %s: %w", key, err)
 	}
 	return res, true, nil
 }

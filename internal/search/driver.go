@@ -7,11 +7,13 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"hdsmt/internal/engine"
 	"hdsmt/internal/metrics"
 	"hdsmt/internal/pareto"
 	"hdsmt/internal/sim"
+	"hdsmt/internal/telemetry"
 )
 
 // Options configures one search run.
@@ -62,6 +64,12 @@ type Options struct {
 	// its hypervolume — the hook behind the server's mid-run front
 	// streaming. Not part of the result.
 	FrontProgress func(front []TrajectoryPoint, hypervolume float64)
+	// Telemetry, when non-nil, receives per-strategy counters (charged
+	// evaluations, engine submissions, cache-served submissions) and a
+	// best-so-far age gauge (evaluations since the scalar incumbent last
+	// improved). Purely observational: the Result carries the same ledger,
+	// so a nil registry loses nothing but live visibility.
+	Telemetry *telemetry.Registry
 }
 
 // TrajectoryPoint is one recorded machine: the incumbent of a best-so-far
@@ -208,6 +216,7 @@ func (d *Driver) Search(ctx context.Context, sp Space, st Strategy, opts Options
 		memo: map[string]Score{},
 		objs: opts.Objectives,
 	}
+	state.instrument(opts.Telemetry, st.Name())
 	if len(state.objs) > 0 {
 		res.Objectives = pareto.Keys(state.objs)
 		state.archive = pareto.NewArchive(state.objs, opts.ArchiveCap)
@@ -297,6 +306,28 @@ type evalState struct {
 	objs       []pareto.Objective
 	needsAlone bool
 	archive    *pareto.Archive
+
+	// Per-strategy telemetry (nil series no-op when Options.Telemetry is
+	// unset). bestAge backs the sampled gauge — an atomic because scrapes
+	// race the driver goroutine.
+	telEvals, telSubmitted, telHits *telemetry.Counter
+	bestAge                         atomic.Int64
+}
+
+// instrument registers the run's per-strategy series in reg (nil = off).
+func (s *evalState) instrument(reg *telemetry.Registry, strategy string) {
+	if reg == nil {
+		return
+	}
+	s.telEvals = reg.CounterVec(telemetry.MetricSearchEvaluations,
+		"charged point evaluations", "strategy").With(strategy)
+	s.telSubmitted = reg.CounterVec(telemetry.MetricSearchSubmitted,
+		"simulation requests submitted to the engine", "strategy").With(strategy)
+	s.telHits = reg.CounterVec(telemetry.MetricSearchCacheHits,
+		"submissions served from the engine's in-memory store", "strategy").With(strategy)
+	reg.GaugeFuncWith(telemetry.MetricSearchBestAge,
+		"evaluations since the scalar incumbent last improved", "strategy", strategy,
+		func() float64 { return float64(s.bestAge.Load()) })
 }
 
 // cellTickets is one workload's in-flight simulations for a candidate: the
@@ -401,6 +432,7 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 			return scores, ErrBudgetExhausted
 		}
 		s.res.Evaluations++
+		s.telEvals.Inc()
 		j := job{pos: len(scores), cand: cand, charge: s.res.Evaluations}
 		if j.cells, err = s.submitCells(ctx, cand); err != nil {
 			return nil, err
@@ -452,8 +484,10 @@ func (s *evalState) submit(ctx context.Context, req engine.Request) (*engine.Tic
 		return nil, fmt.Errorf("search: submitting %s: %w", req, err)
 	}
 	s.submitted++
+	s.telSubmitted.Inc()
 	if tk.CacheHit() {
 		s.hits++
+		s.telHits.Inc()
 	}
 	return tk, nil
 }
@@ -544,6 +578,9 @@ func (s *evalState) record(j job, sc Score) error {
 	if sc.Feasible && (s.res.Best == nil || sc.Metric("per_area") > s.res.Best.Metric("per_area")) {
 		s.res.Trajectory = append(s.res.Trajectory, tp)
 		s.res.Best = &s.res.Trajectory[len(s.res.Trajectory)-1]
+	}
+	if s.res.Best != nil {
+		s.bestAge.Store(int64(j.charge - s.res.Best.Evaluations))
 	}
 	if s.archive != nil && sc.Feasible {
 		raw := make(pareto.Vector, len(s.objs))

@@ -32,6 +32,7 @@ import (
 	"hdsmt/internal/pareto"
 	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
+	"hdsmt/internal/telemetry"
 	"hdsmt/internal/workload"
 )
 
@@ -193,6 +194,15 @@ type Server struct {
 	// fronts.
 	archiveDir string
 
+	// reg backs GET /metrics and the per-kind job instruments below. Pass
+	// the same registry to the runner's engine.Options (WithTelemetry) so
+	// one scrape covers both layers; without the option a private registry
+	// exposes the server families alone.
+	reg         *telemetry.Registry
+	jobsTotal   *telemetry.CounterVec
+	jobSeconds  *telemetry.HistogramVec
+	jobInflight *telemetry.Gauge
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID int
@@ -212,6 +222,14 @@ func WithArchiveDir(dir string) Option {
 	return func(s *Server) { s.archiveDir = dir }
 }
 
+// WithTelemetry scrapes reg at GET /metrics and registers the server's
+// per-kind job instruments there. Hand the same registry to the engine
+// (engine.Options.Telemetry) so one scrape covers request handling,
+// search progress and simulation cache behavior together.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
 // New builds a Server executing jobs on r. The caller keeps ownership of
 // r (and closes it after shutting the HTTP listener down).
 func New(r *sim.Runner, opts ...Option) *Server {
@@ -219,6 +237,15 @@ func New(r *sim.Runner, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.jobsTotal = s.reg.CounterVec(telemetry.MetricServerJobs,
+		"jobs accepted, by kind", "kind")
+	s.jobSeconds = s.reg.HistogramVec(telemetry.MetricServerJobSeconds,
+		"job duration from acceptance to settlement, by kind", "kind", nil)
+	s.jobInflight = s.reg.Gauge(telemetry.MetricServerInflight,
+		"jobs currently executing")
 	return s
 }
 
@@ -231,10 +258,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// handleMetrics renders the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 // resolveCells expands a spec into its (config, workload) cells at submit
@@ -469,13 +503,30 @@ func (s *Server) newJob(spec JobSpec, total int) (*job, context.Context) {
 	j.id = fmt.Sprintf("job-%06d", s.nextID)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	s.jobsTotal.With(spec.Kind).Inc()
 	return j, ctx
+}
+
+// jobStarted and jobSettled bracket a job's execution for the in-flight
+// gauge and the per-kind duration histogram. Wall-clock durations go to
+// /metrics only — results and artifacts stay byte-reproducible.
+func (s *Server) jobStarted() { s.jobInflight.Inc() }
+
+func (s *Server) jobSettled(j *job) {
+	s.jobInflight.Dec()
+	j.mu.Lock()
+	d := j.finished.Sub(j.created)
+	kind := j.spec.Kind
+	j.mu.Unlock()
+	s.jobSeconds.With(kind).Observe(d.Seconds())
 }
 
 // execute runs a job to completion. One goroutine per job coordinates;
 // all simulation fan-out happens inside the shared engine, which bounds
 // total concurrency across every job on the server.
 func (s *Server) execute(ctx context.Context, j *job, cells []sim.SweepCell) {
+	s.jobStarted()
+	defer s.jobSettled(j)
 	j.mu.Lock()
 	j.state = "running"
 	j.mu.Unlock()
@@ -540,6 +591,11 @@ func (s *Server) claimArchive(path, jobID string) (holder string, ok bool) {
 // point evaluation goes through the one engine, so overlapping searches
 // (and sweeps) share their simulations.
 func (s *Server) executeSearch(ctx context.Context, j *job, sp search.Space, st search.Strategy, opts search.Options) {
+	s.jobStarted()
+	defer s.jobSettled(j)
+	// The search shares the server's registry, so a /metrics scrape sees
+	// its per-strategy progress next to the engine's cache counters.
+	opts.Telemetry = s.reg
 	if opts.ArchivePath != "" {
 		defer func() {
 			s.mu.Lock()

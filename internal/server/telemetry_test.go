@@ -1,0 +1,138 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hdsmt/internal/engine"
+	"hdsmt/internal/server"
+	"hdsmt/internal/sim"
+	"hdsmt/internal/telemetry"
+)
+
+// newMetricsServer wires one registry through both layers — the engine
+// under the runner and the server's job instruments — the way cmd/hdsmtd
+// does, so one /metrics scrape covers the whole stack.
+func newMetricsServer(t *testing.T) (*httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	r, err := sim.NewRunner(engine.Options{Workers: 4, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(r, server.WithTelemetry(reg)).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		r.Close()
+	})
+	return ts, reg
+}
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMetricsEndpoint drives one simulation job and one search job, then
+// asserts the scrape carries all three layers' key families.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newMetricsServer(t)
+	run := map[string]any{
+		"kind": "run", "config": "M8", "workload": "2W1",
+		"budget": 3_000, "warmup": 2_000,
+	}
+	if st := awaitJob(t, ts, postJob(t, ts, run).ID); st.State != "done" {
+		t.Fatalf("run job state %s: %s", st.State, st.Error)
+	}
+	srch := map[string]any{
+		"kind": "search", "strategy": "random", "search_budget": 2, "seed": 7,
+		"workloads": []string{"2W7"}, "max_pipes": 2,
+		"budget": 1_500, "warmup": 500,
+	}
+	if st := awaitJob(t, ts, postJob(t, ts, srch).ID); st.State != "done" {
+		t.Fatalf("search job state %s: %s", st.State, st.Error)
+	}
+
+	out := scrape(t, ts)
+	for _, want := range []string{
+		telemetry.MetricEngineExecuted + " ",
+		telemetry.MetricEngineCacheRatio + " ",
+		telemetry.MetricEngineQueueDepth + " ",
+		telemetry.MetricEngineShardDepth + `{shard="0"} `,
+		telemetry.MetricEngineJobSeconds + "_count ",
+		telemetry.MetricServerJobs + `{kind="run"} 1`,
+		telemetry.MetricServerJobs + `{kind="search"} 1`,
+		telemetry.MetricServerJobSeconds + `_bucket{kind="run",le="+Inf"} 1`,
+		telemetry.MetricServerInflight + " 0",
+		telemetry.MetricSearchEvaluations + `{strategy="random"} 2`,
+		telemetry.MetricSearchSubmitted + `{strategy="random"} `,
+		telemetry.MetricSearchBestAge + `{strategy="random"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// Two scrapes of a quiet server render identically.
+	if again := scrape(t, ts); again != out {
+		t.Error("consecutive scrapes of an idle server differ")
+	}
+}
+
+// TestConcurrentFrontPollers hammers GET /jobs/{id} from many goroutines
+// while a pareto job is mutating its streamed front and hypervolume —
+// run under -race in CI, this pins the status path's locking.
+func TestConcurrentFrontPollers(t *testing.T) {
+	ts, _ := newArchiveServer(t)
+	st := postJob(t, ts, paretoSpec(7, 4, "polled"))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/jobs/" + st.ID)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	final := awaitJob(t, ts, st.ID)
+	close(stop)
+	wg.Wait()
+	if final.State != "done" {
+		t.Fatalf("job state %s: %s", final.State, final.Error)
+	}
+	if len(final.Front) == 0 {
+		t.Error("settled status carries no front despite pollers")
+	}
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "test counter")
+	g := reg.Gauge("g", "test gauge")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %v, want 8000", got)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	// Counters are monotone: a negative add is ignored.
+	c.Add(-5)
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter after negative add = %v, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_seconds", "test histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	// Cumulative: <=0.1 -> 2, <=1 -> 3, <=10 -> 4, +Inf -> 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Buckets[i], w)
+		}
+	}
+	if snap.Count != 5 {
+		t.Errorf("count = %d, want 5", snap.Count)
+	}
+	if math.Abs(snap.Sum-55.65) > 1e-9 {
+		t.Errorf("sum = %v, want 55.65", snap.Sum)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("same_total", "help")
+	b := reg.Counter("same_total", "help")
+	if a != b {
+		t.Error("re-registering a counter must return the same instrument")
+	}
+	cv := reg.CounterVec("vec_total", "help", "kind")
+	if cv.With("x") != cv.With("x") {
+		t.Error("vec series must be shared per label value")
+	}
+	if cv.With("x") == cv.With("y") {
+		t.Error("distinct label values must be distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different type must panic")
+		}
+	}()
+	reg.Gauge("same_total", "help")
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func() []Sample {
+		reg := NewRegistry()
+		// Register in scrambled order; snapshot must not care.
+		reg.CounterVec("zz_total", "z", "kind").With("b").Add(2)
+		reg.Gauge("aa", "a").Set(1)
+		reg.CounterVec("zz_total", "z", "kind").With("a").Inc()
+		reg.Histogram("mm_seconds", "m", []float64{1}).Observe(0.5)
+		return reg.Snapshot()
+	}
+	first, second := build(), build()
+	if len(first) != len(second) || len(first) != 4 {
+		t.Fatalf("snapshot sizes: %d vs %d, want 4", len(first), len(second))
+	}
+	wantOrder := []string{"aa", "mm_seconds", "zz_total", "zz_total"}
+	for i, s := range first {
+		if s.Name != wantOrder[i] {
+			t.Errorf("sample %d = %s, want %s", i, s.Name, wantOrder[i])
+		}
+		if s.Name != second[i].Name || s.LabelValue != second[i].LabelValue {
+			t.Errorf("snapshot order differs at %d: %v vs %v", i, s, second[i])
+		}
+	}
+	// Label values sorted within a family.
+	if first[2].LabelValue != "a" || first[3].LabelValue != "b" {
+		t.Errorf("label order = %s, %s; want a, b", first[2].LabelValue, first[3].LabelValue)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", "jobs completed").Add(3)
+	reg.CounterVec("req_total", "requests", "kind").With("run").Add(2)
+	reg.GaugeFunc("depth", "queue depth", func() float64 { return 7 })
+	reg.HistogramVec("lat_seconds", "latency", "kind", []float64{0.5, 1}).With("run").Observe(0.25)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP jobs_total jobs completed",
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		`req_total{kind="run"} 2`,
+		"# TYPE depth gauge",
+		"depth 7",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{kind="run",le="0.5"} 1`,
+		`lat_seconds_bucket{kind="run",le="+Inf"} 1`,
+		`lat_seconds_sum{kind="run"} 0.25`,
+		`lat_seconds_count{kind="run"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Two scrapes render identically (deterministic ordering).
+	var b2 strings.Builder
+	if err := reg.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("two scrapes of an unchanged registry differ")
+	}
+}
+
+func TestTotalSumsSeries(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("evals_total", "evals", "strategy")
+	cv.With("aco").Add(4)
+	cv.With("nsga2").Add(6)
+	if got := reg.Total("evals_total"); got != 10 {
+		t.Errorf("Total = %v, want 10", got)
+	}
+	if got := reg.Total("absent"); got != 0 {
+		t.Errorf("Total(absent) = %v, want 0", got)
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+}
+
+func TestReporterLine(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricEngineSubmitted, "s").Add(10)
+	reg.Counter(MetricEngineMemoHits, "h").Add(4)
+	reg.Counter(MetricEngineExecuted, "e").Add(6)
+	r := StartReporter(nil, reg, time.Hour)
+	defer func() { close(r.stop); <-r.done }()
+
+	line := r.line()
+	if !strings.Contains(line, "10 jobs") || !strings.Contains(line, "cache-hit 40%") {
+		t.Errorf("jobs-mode line = %q", line)
+	}
+
+	// A search instrumented in the same registry switches the unit and,
+	// with a total, adds an ETA.
+	reg.CounterVec(MetricSearchEvaluations, "evals", "strategy").With("aco").Add(5)
+	r.SetTotal(20)
+	line = r.line()
+	if !strings.Contains(line, "5/20 evaluations") || !strings.Contains(line, "ETA") {
+		t.Errorf("evaluations-mode line = %q", line)
+	}
+}

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tracer records spans and instants for one run and exports them as
+// Chrome trace_event JSON — open the file in about://tracing (Chrome) or
+// https://ui.perfetto.dev to see the engine's job pipeline laid out per
+// worker over time.
+//
+// A nil *Tracer is the disabled state: every method no-ops after a single
+// pointer comparison and allocates nothing, so instrumented code guards
+// argument assembly with Enabled() and otherwise calls unconditionally.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// traceEvent is one Chrome trace_event. Complete events ("X") carry a
+// duration; instants ("i") mark a point; metadata ("M") names threads.
+type traceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"` // microseconds since trace start
+	Dur   int64             `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"` // instant scope
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// NewTracer builds an enabled tracer; timestamps are relative to now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// Enabled reports whether spans are being recorded. Callers use it to
+// skip assembling argument maps for a disabled tracer.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+func (t *Tracer) since(at time.Time) int64 { return at.Sub(t.start).Microseconds() }
+
+func (t *Tracer) append(ev traceEvent) {
+	ev.PID = 1
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Span is one in-flight complete event. The zero Span (from a nil tracer)
+// is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Begin opens a span on track tid. End (or EndWith) closes it.
+func (t *Tracer) Begin(tid int, name, cat string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, start: time.Now()}
+}
+
+// End records the span without arguments.
+func (s Span) End() { s.EndWith(nil) }
+
+// EndWith records the span with arguments.
+func (s Span) EndWith(args map[string]string) {
+	if s.t == nil {
+		return
+	}
+	end := time.Now()
+	s.t.append(traceEvent{
+		Name: s.name, Cat: s.cat, Phase: "X",
+		TS: s.t.since(s.start), Dur: end.Sub(s.start).Microseconds(),
+		TID: s.tid, Args: args,
+	})
+}
+
+// Complete records a span whose start and end were measured by the caller
+// (e.g. a queue-wait reconstructed from a task's enqueue time).
+func (t *Tracer) Complete(tid int, name, cat string, start, end time.Time, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.append(traceEvent{
+		Name: name, Cat: cat, Phase: "X",
+		TS: t.since(start), Dur: end.Sub(start).Microseconds(),
+		TID: tid, Args: args,
+	})
+}
+
+// Instant records a point event on track tid.
+func (t *Tracer) Instant(tid int, name, cat string, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.append(traceEvent{
+		Name: name, Cat: cat, Phase: "i", Scope: "t",
+		TS: t.since(time.Now()), TID: tid, Args: args,
+	})
+}
+
+// SetThreadName labels track tid in the trace viewer ("submit",
+// "worker-3", ...).
+func (t *Tracer) SetThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.append(traceEvent{
+		Name: "thread_name", Phase: "M", TID: tid,
+		Args: map[string]string{"name": name},
+	})
+}
+
+// WriteJSON writes the trace in Chrome trace_event JSON object form.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: nil tracer has no trace to write")
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}{DisplayTimeUnit: "ms", TraceEvents: events})
+}
+
+// WriteFile writes the trace to path (0644).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: writing trace: %w", err)
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: writing trace: %w", err)
+	}
+	return nil
+}
