@@ -2,7 +2,8 @@
 // submit runs, evaluations or whole BEST/HEUR/WORST sweeps as async jobs,
 // poll their progress, and fetch aggregated results. All jobs share one
 // engine and one memoization store; with -cache or -journal, results also
-// persist across restarts.
+// persist across restarts, and with -job-journal the job table itself is
+// durable — a killed daemon restarts knowing every job it ever accepted.
 //
 //	hdsmtd -addr :8080 -workers 8 -cache /var/tmp/hdsmt-cache
 //
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"hdsmt/internal/engine"
+	"hdsmt/internal/faultinject"
 	"hdsmt/internal/server"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/telemetry"
@@ -40,8 +42,30 @@ func main() {
 		journal  = flag.String("journal", "", "JSONL checkpoint journal path (optional)")
 		archives = flag.String("archives", "", "directory for named pareto-front archives (optional; a canceled \"pareto\" job resubmitted with the same archive name resumes its front)")
 		debug    = flag.Bool("debug", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+
+		jobJournal  = flag.String("job-journal", "", "JSONL job journal path (optional): makes the job table durable across restarts — settled jobs re-list, archive-backed pareto jobs resume, the rest are marked interrupted")
+		maxActive   = flag.Int("max-active", 0, "max concurrently executing jobs (0 = unlimited)")
+		maxPending  = flag.Int("max-pending", 64, "accept-queue depth beyond -max-active; a full queue answers 429 + Retry-After (only meaningful with -max-active)")
+		tenantQuota = flag.Int("tenant-quota", 0, "max unsettled jobs per tenant, keyed by the X-API-Key header (0 = unlimited)")
+		rate        = flag.Float64("rate", 0, "sustained job-submission rate in jobs/s, token bucket shared by all tenants (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "token-bucket depth for -rate (0 = max(rate, 1))")
+		jobTimeout  = flag.Duration("job-timeout", 0, "default per-job execution deadline, any kind (0 = none); jobs may lower it with timeout_sec")
+		maxBody     = flag.Int64("max-body", 1<<20, "largest accepted POST /jobs body in bytes")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, how long to let accepted jobs finish before exiting")
+		faults      = flag.String("fault", "", "fault-injection spec for chaos testing, e.g. 'engine.store.save:err=0.3,engine.simulate:delay=5ms@0.5' (see internal/faultinject; empty = disabled)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault-injection schedule (same seed + same spec = same faults)")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		plan, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdsmtd: -fault: %v\n", err)
+			os.Exit(2)
+		}
+		faultinject.Enable(*faultSeed, plan)
+		log.Printf("FAULT INJECTION ARMED (seed %d): %s", *faultSeed, faultinject.Summary())
+	}
 
 	// One registry spans every layer: the engine's cache counters, the
 	// search drivers' per-strategy progress and the server's per-kind job
@@ -62,11 +86,36 @@ func main() {
 		log.Printf("restored %d results from journal %s", st.Restored, *journal)
 	}
 
-	srvOpts := []server.Option{server.WithTelemetry(reg)}
+	srvOpts := []server.Option{
+		server.WithTelemetry(reg),
+		server.WithMaxBodyBytes(*maxBody),
+		server.WithAdmission(server.AdmissionConfig{
+			MaxActive:   *maxActive,
+			MaxPending:  *maxPending,
+			TenantQuota: *tenantQuota,
+			Rate:        *rate,
+			Burst:       *burst,
+		}),
+	}
 	if *archives != "" {
 		srvOpts = append(srvOpts, server.WithArchiveDir(*archives))
 	}
-	handler := server.New(runner, srvOpts...).Handler()
+	if *jobJournal != "" {
+		srvOpts = append(srvOpts, server.WithJobJournal(*jobJournal))
+	}
+	if *jobTimeout > 0 {
+		srvOpts = append(srvOpts, server.WithDeadlines(map[string]time.Duration{
+			"run": *jobTimeout, "evaluate": *jobTimeout, "sweep": *jobTimeout,
+			"search": *jobTimeout, "pareto": *jobTimeout,
+		}))
+	}
+	jobSrv, err := server.New(runner, srvOpts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdsmtd: %v\n", err)
+		os.Exit(1)
+	}
+	defer jobSrv.Close()
+	handler := jobSrv.Handler()
 	if *debug {
 		// Profiling is opt-in: the handlers expose stacks and heap
 		// contents, so they stay off unless the operator asks.
@@ -80,7 +129,17 @@ func main() {
 		handler = mux
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	// The header/read timeouts bound what one slow or malicious client
+	// can hold open; there is deliberately no WriteTimeout because result
+	// payloads for large sweeps can be slow to stream and job execution
+	// itself is bounded by -job-timeout, not the connection.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		log.Printf("hdsmtd listening on %s", *addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -91,6 +150,20 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+	// Graceful drain: stop accepting (503 + Retry-After), let accepted
+	// jobs settle — journaled, so nothing is lost either way — then take
+	// the listener down. A second signal aborts the wait.
+	log.Printf("draining (up to %s; signal again to abort)", *drainWait)
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainWait)
+	go func() {
+		<-stop
+		log.Printf("second signal: aborting drain")
+		dcancel()
+	}()
+	if err := jobSrv.Drain(dctx); err != nil {
+		log.Printf("drain incomplete: %v (unfinished jobs will be recovered from the job journal)", err)
+	}
+	dcancel()
 	log.Printf("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -1,0 +1,145 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdsmt/internal/client"
+	"hdsmt/internal/core"
+	"hdsmt/internal/engine"
+	"hdsmt/internal/retry"
+	"hdsmt/internal/server"
+	"hdsmt/internal/sim"
+)
+
+// TestSubmitHonorsRetryAfter: 429 responses are retried, waiting exactly
+// the server's Retry-After rather than the local backoff schedule.
+func TestSubmitHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "server saturated"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(server.Status{ID: "job-000042", State: "pending"})
+	}))
+	defer ts.Close()
+
+	var waits []time.Duration
+	c := client.New(ts.URL, client.WithRetryPolicy(retry.Policy{
+		Attempts: 5,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			return nil
+		},
+	}))
+	st, err := c.Submit(context.Background(), server.JobSpec{Kind: "run"})
+	if err != nil {
+		t.Fatalf("Submit = %v", err)
+	}
+	if st.ID != "job-000042" {
+		t.Errorf("id = %q", st.ID)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("slept %d times, want 2", len(waits))
+	}
+	for i, w := range waits {
+		if w != 7*time.Second {
+			t.Errorf("wait %d = %v, want the server's 7s hint", i, w)
+		}
+	}
+}
+
+// TestValidationErrorsArePermanent: a 400 must surface immediately — one
+// request, no retries — as an *APIError carrying the server's message.
+func TestValidationErrorsArePermanent(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "unknown job kind"})
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetryPolicy(retry.Policy{
+		Attempts: 5,
+		Sleep:    func(context.Context, time.Duration) error { return nil },
+	}))
+	_, err := c.Submit(context.Background(), server.JobSpec{Kind: "nope"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("Submit = %v, want 400 APIError", err)
+	}
+	if apiErr.Message != "unknown job kind" {
+		t.Errorf("message = %q", apiErr.Message)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (no retries on 4xx)", got)
+	}
+}
+
+// TestClientEndToEnd drives a real server: submit with an API key, wait,
+// fetch the result, and get an honest 409 trying to cancel a settled job.
+func TestClientEndToEnd(t *testing.T) {
+	r, err := sim.NewRunner(engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv, err := server.New(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithAPIKey("e2e"), client.WithPollInterval(10*time.Millisecond))
+	ctx := context.Background()
+	st, err := c.Submit(ctx, server.JobSpec{
+		Kind: "run", Config: "M8", Workload: "2W1", Budget: 2_000, Warmup: 1_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "e2e" {
+		t.Errorf("tenant = %q, want e2e (X-API-Key propagated)", st.Tenant)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Fatalf("state = %s (%s)", final.State, final.Error)
+	}
+	var res core.Results
+	if err := c.Result(ctx, st.ID, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Error("empty result")
+	}
+	_, err = c.Cancel(ctx, st.ID)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Errorf("Cancel settled job = %v, want 409 APIError", err)
+	}
+	if _, err := c.Status(ctx, "job-999999"); err == nil {
+		t.Error("Status of unknown job succeeded")
+	}
+	jobs, err := c.List(ctx)
+	if err != nil || len(jobs) != 1 {
+		t.Errorf("List = %d jobs, %v; want 1, nil", len(jobs), err)
+	}
+}

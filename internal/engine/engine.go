@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"hdsmt/internal/core"
+	"hdsmt/internal/faultinject"
 	"hdsmt/internal/telemetry"
 )
 
@@ -110,6 +111,14 @@ type Stats struct {
 	// unreadable: each is logged and re-run as a miss (the rewrite heals
 	// the entry) instead of being silently swallowed.
 	CorruptStore uint64
+	// Panics counts runner panics recovered by the worker: each fails its
+	// one job (counted under Errors too) instead of taking the process
+	// down.
+	Panics uint64
+	// JournalTruncated counts journal lines skipped at load because they
+	// would not parse — a crash-truncated final line or corruption. The
+	// replay heals the file as affected jobs re-run and re-append.
+	JournalTruncated uint64
 }
 
 // task is one scheduled execution of a request. Coalesced submissions
@@ -203,7 +212,7 @@ func New(runner Runner, opts Options) (*Engine, error) {
 	}
 
 	if opts.JournalPath != "" {
-		j, entries, err := openJournal(opts.JournalPath)
+		j, entries, torn, err := openJournal(opts.JournalPath)
 		if err != nil {
 			return nil, err
 		}
@@ -212,6 +221,11 @@ func New(runner Runner, opts Options) (*Engine, error) {
 			sh := e.shardFor(ent.Key)
 			sh.memo[ent.Key] = ent.Result
 			e.tel.restored.Inc()
+		}
+		if torn > 0 {
+			e.tel.journalTorn.Add(float64(torn))
+			log.Printf("engine: journal %s: skipped %d truncated or corrupt line(s); affected jobs re-run",
+				opts.JournalPath, torn)
 		}
 	}
 	e.registerGauges(reg)
@@ -255,14 +269,16 @@ func (e *Engine) Close() {
 // and a /metrics scrape can never disagree.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Submitted:    uint64(e.tel.submitted.Value()),
-		Hits:         uint64(e.tel.memoHits.Value()),
-		DiskHits:     uint64(e.tel.diskHits.Value()),
-		Coalesced:    uint64(e.tel.coalesced.Value()),
-		Executed:     uint64(e.tel.executed.Value()),
-		Errors:       uint64(e.tel.errors.Value()),
-		Restored:     uint64(e.tel.restored.Value()),
-		CorruptStore: uint64(e.tel.storeCorrupt.Value()),
+		Submitted:        uint64(e.tel.submitted.Value()),
+		Hits:             uint64(e.tel.memoHits.Value()),
+		DiskHits:         uint64(e.tel.diskHits.Value()),
+		Coalesced:        uint64(e.tel.coalesced.Value()),
+		Executed:         uint64(e.tel.executed.Value()),
+		Errors:           uint64(e.tel.errors.Value()),
+		Restored:         uint64(e.tel.restored.Value()),
+		CorruptStore:     uint64(e.tel.storeCorrupt.Value()),
+		Panics:           uint64(e.tel.panics.Value()),
+		JournalTruncated: uint64(e.tel.journalTorn.Value()),
 	}
 }
 
@@ -505,7 +521,7 @@ func (e *Engine) execute(sh *shard, t *task, w int) {
 	}
 
 	sp := e.tracer.Begin(tid, "simulate", "engine")
-	res, err := e.runner(e.ctx, t.req)
+	res, err := e.simulate(t)
 	if e.tracer.Enabled() {
 		sp.EndWith(traceArgs(t.req, t.key))
 	}
@@ -526,6 +542,24 @@ func (e *Engine) execute(sh *shard, t *task, w int) {
 	}
 	e.finish(sh, t, res, nil)
 	e.tel.jobSeconds.Observe(time.Since(t.created).Seconds())
+}
+
+// simulate invokes the runner on one task with panic containment: a
+// panicking simulation (a core bug on a pathological configuration, or an
+// injected chaos fault) fails that one job — counted, logged, reported to
+// its waiters — instead of unwinding the worker and killing the process.
+func (e *Engine) simulate(t *task) (res core.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.tel.panics.Inc()
+			log.Printf("engine: runner panicked on %s: %v (job failed, worker recovered)", t.req, r)
+			err = fmt.Errorf("engine: runner panic on %s: %v", t.req, r)
+		}
+	}()
+	if err := faultinject.Hit(faultinject.PointSimulate); err != nil {
+		return core.Results{}, err
+	}
+	return e.runner(e.ctx, t.req)
 }
 
 // finish publishes a task's outcome: successful results enter the memo

@@ -1,13 +1,16 @@
 package engine
 
 import (
-	"bufio"
+	"context"
 	"encoding/json"
-	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"hdsmt/internal/core"
+	"hdsmt/internal/faultinject"
+	"hdsmt/internal/jsonl"
+	"hdsmt/internal/retry"
 )
 
 // The checkpoint journal is an append-only JSONL file: one line per
@@ -15,7 +18,8 @@ import (
 // killed mid-flight loses at most the simulations that had not yet
 // completed; pointing a new engine at the same path preloads every
 // journaled result, so the re-run only executes the remainder. A torn
-// final line (the process died mid-write) is skipped on load.
+// final line (the process died mid-write) is counted, skipped and healed
+// on load (see internal/jsonl).
 
 type journalEntry struct {
 	Key    string       `json:"key"`
@@ -28,39 +32,30 @@ type journal struct {
 }
 
 // openJournal opens (creating if needed) the journal at path and returns
-// it along with every well-formed entry already present.
-func openJournal(path string) (*journal, []journalEntry, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("engine: opening journal: %w", err)
-	}
+// it along with every well-formed entry already present. torn counts the
+// lines skipped because they would not parse — a crash-truncated final
+// line, or corruption — so the caller can surface the heal in telemetry
+// instead of swallowing it.
+func openJournal(path string) (*journal, []journalEntry, int, error) {
 	var entries []journalEntry
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
+	f, torn, err := jsonl.OpenHealed(path, func(line []byte) error {
 		var ent journalEntry
 		if err := json.Unmarshal(line, &ent); err != nil {
-			continue // torn or corrupt line: the job simply re-runs
+			return err // torn or corrupt line: the job simply re-runs
 		}
 		entries = append(entries, ent)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("engine: reading journal: %w", err)
-	}
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("engine: seeking journal: %w", err)
-	}
-	return &journal{f: f}, entries, nil
+	return &journal{f: f}, entries, torn, nil
 }
 
 // append journals one completed job. Each entry is written in a single
-// Write call so concurrent completions never interleave bytes.
+// Write call so concurrent completions never interleave bytes; transient
+// write failures are retried with backoff before the append degrades to
+// best-effort.
 func (j *journal) append(key string, res core.Results) error {
 	b, err := json.Marshal(journalEntry{Key: key, Result: res})
 	if err != nil {
@@ -69,9 +64,19 @@ func (j *journal) append(key string, res core.Results) error {
 	b = append(b, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	_, err = j.f.Write(b)
-	return err
+	return retry.Do(context.Background(), ioRetryPolicy, func() error {
+		if err := faultinject.Hit(faultinject.PointJournalAppend); err != nil {
+			return err
+		}
+		_, werr := j.f.Write(b)
+		return werr
+	})
 }
+
+// ioRetryPolicy is the shared schedule for the engine's disk I/O: three
+// quick tries absorb transient failures (EINTR, a slow NFS mount, an
+// injected fault) without stalling a worker for long.
+var ioRetryPolicy = retry.Policy{Attempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
 
 func (j *journal) Close() error {
 	j.mu.Lock()

@@ -1,12 +1,17 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
 	"hdsmt/internal/core"
+	"hdsmt/internal/faultinject"
+	"hdsmt/internal/retry"
 )
 
 // diskStore is the on-disk half of the memoization store: one JSON file
@@ -30,11 +35,24 @@ func (s *diskStore) path(key string) string {
 }
 
 // load fetches a cached result; ok reports whether the key was present
-// and well formed.
+// and well formed. Transient read failures are retried with backoff;
+// a missing entry and a corrupt entry are permanent (more attempts
+// cannot conjure or fix the bytes).
 func (s *diskStore) load(key string) (res core.Results, ok bool, err error) {
-	b, err := os.ReadFile(s.path(key))
+	var b []byte
+	err = retry.Do(context.Background(), ioRetryPolicy, func() error {
+		if err := faultinject.Hit(faultinject.PointStoreLoad); err != nil {
+			return err
+		}
+		var rerr error
+		b, rerr = os.ReadFile(s.path(key))
+		if rerr != nil && os.IsNotExist(rerr) {
+			return retry.Permanent(rerr)
+		}
+		return rerr
+	})
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return core.Results{}, false, nil
 		}
 		return core.Results{}, false, err
@@ -49,12 +67,22 @@ func (s *diskStore) load(key string) (res core.Results, ok bool, err error) {
 }
 
 // save persists a result atomically (temp file + rename) so concurrent
-// readers never observe a partial entry.
+// readers never observe a partial entry. The whole write is retried on
+// transient failure; a final failure degrades to memory-only caching.
 func (s *diskStore) save(key string, res core.Results) error {
 	b, err := json.Marshal(res)
 	if err != nil {
 		return err
 	}
+	return retry.Do(context.Background(), ioRetryPolicy, func() error {
+		if err := faultinject.Hit(faultinject.PointStoreSave); err != nil {
+			return err
+		}
+		return s.writeAtomic(key, b)
+	})
+}
+
+func (s *diskStore) writeAtomic(key string, b []byte) error {
 	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
 	if err != nil {
 		return err

@@ -19,6 +19,8 @@ type instruments struct {
 	errors       *telemetry.Counter
 	restored     *telemetry.Counter
 	storeCorrupt *telemetry.Counter
+	panics       *telemetry.Counter
+	journalTorn  *telemetry.Counter
 	workerBusy   *telemetry.CounterVec
 	jobSeconds   *telemetry.Histogram
 }
@@ -33,6 +35,8 @@ func newInstruments(reg *telemetry.Registry) *instruments {
 		errors:       reg.Counter(telemetry.MetricEngineErrors, "failed executions"),
 		restored:     reg.Counter(telemetry.MetricEngineRestored, "journal entries preloaded at construction"),
 		storeCorrupt: reg.Counter(telemetry.MetricEngineStoreCorrupt, "corrupt or unreadable on-disk store entries re-run as misses"),
+		panics:       reg.Counter(telemetry.MetricEnginePanics, "runner panics recovered by workers (each fails one job, not the process)"),
+		journalTorn:  reg.Counter(telemetry.MetricEngineJournalTorn, "truncated or corrupt journal lines skipped at load"),
 		workerBusy:   reg.CounterVec(telemetry.MetricEngineWorkerBusy, "time each worker spent executing tasks", "worker"),
 		jobSeconds:   reg.Histogram(telemetry.MetricEngineJobSeconds, "job latency from enqueue to completion (queue wait + execution)", nil),
 	}

@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsTransparent(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("registry armed at start")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Hit(PointStoreLoad); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+	if c := CountsFor(PointStoreLoad); c != (Counts{}) {
+		t.Errorf("disarmed counts = %+v, want zero", c)
+	}
+}
+
+func TestErrorInjectionIsSeedDeterministic(t *testing.T) {
+	t.Cleanup(Disable)
+	run := func(seed int64) []bool {
+		Enable(seed, map[string]Fault{PointStoreLoad: {Err: 0.5}})
+		outcomes := make([]bool, 200)
+		for i := range outcomes {
+			outcomes[i] = Hit(PointStoreLoad) != nil
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	errs := 0
+	for _, hit := range a {
+		if hit {
+			errs++
+		}
+	}
+	if errs == 0 || errs == len(a) {
+		t.Errorf("err=0.5 triggered %d/%d times — not probabilistic", errs, len(a))
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical fault schedule")
+	}
+}
+
+func TestInjectedErrorIsRecognizable(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable(1, map[string]Fault{PointJournalAppend: {Err: 1}})
+	err := Hit(PointJournalAppend)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	if c := CountsFor(PointJournalAppend); c.Errs != 1 || c.Hits != 1 {
+		t.Errorf("counts = %+v, want 1 err / 1 hit", c)
+	}
+	// Unconfigured points stay transparent while armed.
+	if err := Hit(PointSimulate); err != nil {
+		t.Errorf("unconfigured point returned %v", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable(1, map[string]Fault{PointSimulate: {Panic: 1}})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("panic=1 did not panic")
+		}
+		if c := CountsFor(PointSimulate); c.Panics != 1 {
+			t.Errorf("counts = %+v, want 1 panic", c)
+		}
+	}()
+	_ = Hit(PointSimulate)
+}
+
+func TestDelayInjection(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable(1, map[string]Fault{PointStoreSave: {Delay: 20 * time.Millisecond}})
+	start := time.Now()
+	if err := Hit(PointStoreSave); err != nil {
+		t.Fatalf("delay-only fault returned %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("Hit returned after %v, want >= 20ms", d)
+	}
+	if c := CountsFor(PointStoreSave); c.Delays != 1 {
+		t.Errorf("counts = %+v, want 1 delay", c)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	faults, err := ParseSpec("engine.store.load:err=0.3+delay=5ms@0.5, engine.simulate:panic=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := faults["engine.store.load"]; got.Err != 0.3 || got.Delay != 5*time.Millisecond || got.DelayProb != 0.5 {
+		t.Errorf("store.load fault = %+v", got)
+	}
+	if got := faults["engine.simulate"]; got.Panic != 0.01 {
+		t.Errorf("simulate fault = %+v", got)
+	}
+	// delay without @prob defaults to always.
+	faults, err = ParseSpec("engine.journal.append:delay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := faults["engine.journal.append"]; got.DelayProb != 1 {
+		t.Errorf("delay prob = %g, want 1", got.DelayProb)
+	}
+
+	for _, bad := range []string{
+		"",
+		"noattrs",
+		"p:err=2",
+		"p:panic=-1",
+		"p:delay=xyz",
+		"p:delay=1ms@1.5",
+		"p:frob=1",
+		"p:err",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package jsonl is the shared crash-safe JSONL journal substrate behind
+// the engine's checkpoint journal and the server's job journal: an
+// append-only file of one JSON document per line, opened with a replay
+// that tolerates — and heals — the partial final line a SIGKILL mid-write
+// leaves behind.
+package jsonl
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// OpenHealed opens (creating if needed) the JSONL file at path, replays
+// every line through decode, and positions the file for appending.
+//
+// decode is called once per non-blank line; returning an error marks the
+// line torn or corrupt (it is counted in torn, and skipped). After the
+// scan the file's tail is healed: bytes after the last well-formed line
+// are truncated away, and a final valid line that lost its newline in a
+// crash gets one — so the next append always starts on a clean line
+// boundary instead of concatenating onto torn bytes and corrupting a
+// fresh entry.
+func OpenHealed(path string, decode func(line []byte) error) (f *os.File, torn int, err error) {
+	f, err = os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("jsonl: opening %s: %w", path, err)
+	}
+	var (
+		offset      int64 // bytes consumed so far
+		valid       int64 // offset just past the last well-formed line
+		needNewline bool  // last valid line parsed but lost its '\n'
+	)
+	r := bufio.NewReaderSize(f, 1<<16)
+	for {
+		line, rerr := r.ReadBytes('\n')
+		offset += int64(len(line))
+		complete := len(line) > 0 && line[len(line)-1] == '\n'
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			if derr := decode(trimmed); derr != nil {
+				torn++
+			} else {
+				valid, needNewline = offset, !complete
+			}
+		} else if complete {
+			valid, needNewline = offset, false // blank line: harmless, keep position
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				f.Close()
+				return nil, 0, fmt.Errorf("jsonl: reading %s: %w", path, rerr)
+			}
+			break
+		}
+	}
+	if valid < offset {
+		if terr := f.Truncate(valid); terr != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("jsonl: healing %s: %w", path, terr)
+		}
+	}
+	if _, serr := f.Seek(valid, 0); serr != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("jsonl: seeking %s: %w", path, serr)
+	}
+	if needNewline {
+		if _, werr := f.Write([]byte{'\n'}); werr != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("jsonl: healing %s: %w", path, werr)
+		}
+	}
+	return f, torn, nil
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// AdmissionConfig bounds what the server accepts. The zero value admits
+// everything — existing single-user deployments keep their behavior —
+// and each limit activates independently when set positive.
+type AdmissionConfig struct {
+	// MaxActive caps concurrently executing jobs. Beyond it, submissions
+	// queue (see MaxPending) instead of piling unbounded goroutines onto
+	// the engine. <= 0 means unlimited.
+	MaxActive int
+	// MaxPending caps the accept queue holding jobs waiting for an active
+	// slot. A full queue rejects with 429 + Retry-After rather than
+	// blocking the client. <= 0 disables queuing: submissions beyond
+	// MaxActive are rejected outright.
+	MaxPending int
+	// TenantQuota caps one tenant's unsettled jobs (active + queued), so
+	// a single API key cannot monopolize the server. <= 0 means unlimited.
+	TenantQuota int
+	// Rate is the sustained submission rate (jobs/second) of a token
+	// bucket shared by all tenants; Burst is the bucket depth (defaults
+	// to max(Rate, 1)). Rate <= 0 disables rate limiting.
+	Rate  float64
+	Burst int
+}
+
+func (c AdmissionConfig) burst() int {
+	if c.Burst > 0 {
+		return c.Burst
+	}
+	if c.Rate >= 1 {
+		return int(c.Rate)
+	}
+	return 1
+}
+
+// admissionError is a rejected submission: reason labels the 429 in
+// telemetry, and RetryDelay carries the backpressure hint surfaced as
+// Retry-After (and honored by internal/client through retry.Delayer).
+type admissionError struct {
+	reason     string // rate | quota | queue_full
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *admissionError) Error() string             { return e.msg }
+func (e *admissionError) RetryDelay() time.Duration { return e.retryAfter }
+
+// retryAfterSeconds renders the hint for a Retry-After header: whole
+// seconds, rounded up, at least 1 — clients must never be told "0" and
+// hammer the server in a tight loop.
+func (e *admissionError) retryAfterSeconds() int {
+	s := int(math.Ceil(e.retryAfter.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// pendEntry is one queued job: launch fires exactly once when an active
+// slot frees up. Higher Priority first; FIFO within a priority.
+type pendEntry struct {
+	pri    int
+	seq    uint64
+	tenant string
+	launch func()
+}
+
+type pendQueue []*pendEntry
+
+func (q pendQueue) Len() int { return len(q) }
+func (q pendQueue) Less(i, j int) bool {
+	if q[i].pri != q[j].pri {
+		return q[i].pri > q[j].pri
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pendQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pendQueue) Push(x any)   { *q = append(*q, x.(*pendEntry)) }
+func (q *pendQueue) Pop() (x any) { old := *q; n := len(old); x = old[n-1]; *q = old[:n-1]; return }
+
+// admission is the server's admission controller: token-bucket rate
+// limiting, per-tenant quotas, and a bounded priority queue feeding a
+// bounded set of active slots.
+type admission struct {
+	cfg AdmissionConfig
+	now func() time.Time // test hook; rate limiting is the one place wall clock legitimately decides behavior
+
+	mu      sync.Mutex
+	active  int
+	tenants map[string]int // unsettled jobs per tenant (active + queued)
+	pending pendQueue
+	seq     uint64
+	tokens  float64
+	last    time.Time
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	a := &admission{cfg: cfg, now: time.Now, tenants: map[string]int{}}
+	a.tokens = float64(cfg.burst())
+	a.last = a.now()
+	return a
+}
+
+// admit reserves capacity for one job. On success launch is invoked
+// exactly once — immediately when an active slot is free, or later from
+// release when one frees up — and the reservation is held until release.
+// On rejection nothing is reserved and the returned *admissionError says
+// why and when to retry.
+func (a *admission) admit(tenant string, pri int, launch func()) error {
+	a.mu.Lock()
+
+	// Token bucket first: it is the cheapest check and the one with an
+	// exact Retry-After. Tokens are only consumed once the quota and
+	// queue checks also pass, so a rejected submission costs nothing.
+	if a.cfg.Rate > 0 {
+		t := a.now()
+		a.tokens = math.Min(float64(a.cfg.burst()), a.tokens+t.Sub(a.last).Seconds()*a.cfg.Rate)
+		a.last = t
+		if a.tokens < 1 {
+			wait := time.Duration((1 - a.tokens) / a.cfg.Rate * float64(time.Second))
+			a.mu.Unlock()
+			return &admissionError{
+				reason:     "rate",
+				msg:        fmt.Sprintf("rate limit: %.3g jobs/s exceeded", a.cfg.Rate),
+				retryAfter: wait,
+			}
+		}
+	}
+	if a.cfg.TenantQuota > 0 && a.tenants[tenant] >= a.cfg.TenantQuota {
+		a.mu.Unlock()
+		return &admissionError{
+			reason:     "quota",
+			msg:        fmt.Sprintf("tenant %q already has %d unsettled jobs (quota %d)", tenant, a.cfg.TenantQuota, a.cfg.TenantQuota),
+			retryAfter: a.hint(),
+		}
+	}
+	if a.cfg.MaxActive > 0 && a.active >= a.cfg.MaxActive && len(a.pending) >= a.cfg.MaxPending {
+		a.mu.Unlock()
+		return &admissionError{
+			reason:     "queue_full",
+			msg:        fmt.Sprintf("server saturated: %d active, %d queued", a.active, len(a.pending)),
+			retryAfter: a.hint(),
+		}
+	}
+
+	if a.cfg.Rate > 0 {
+		a.tokens--
+	}
+	a.tenants[tenant]++
+	if a.cfg.MaxActive <= 0 || a.active < a.cfg.MaxActive {
+		a.active++
+		a.mu.Unlock()
+		launch()
+		return nil
+	}
+	a.seq++
+	heap.Push(&a.pending, &pendEntry{pri: pri, seq: a.seq, tenant: tenant, launch: launch})
+	a.mu.Unlock()
+	return nil
+}
+
+// hint estimates a Retry-After for quota/queue rejections: the bucket's
+// refill interval when rate limiting is on, one second otherwise.
+func (a *admission) hint() time.Duration {
+	if a.cfg.Rate > 0 {
+		return time.Duration(float64(time.Second) / a.cfg.Rate)
+	}
+	return time.Second
+}
+
+// adopt reserves an active slot unconditionally — used at replay time for
+// crash-recovered jobs being resumed, which were already admitted by the
+// previous incarnation and must not be re-rejected.
+func (a *admission) adopt(tenant string) {
+	a.mu.Lock()
+	a.active++
+	a.tenants[tenant]++
+	a.mu.Unlock()
+}
+
+// release frees the reservation of a settled job and, if the queue is
+// non-empty, hands the slot to the highest-priority queued job.
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	a.active--
+	if a.tenants[tenant]--; a.tenants[tenant] <= 0 {
+		delete(a.tenants, tenant)
+	}
+	var next *pendEntry
+	if len(a.pending) > 0 {
+		next = heap.Pop(&a.pending).(*pendEntry)
+		a.active++
+	}
+	a.mu.Unlock()
+	if next != nil {
+		next.launch()
+	}
+}
+
+func (a *admission) pendingLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the token bucket deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func admissionWithClock(cfg AdmissionConfig) (*admission, *fakeClock) {
+	c := newFakeClock()
+	a := &admission{cfg: cfg, now: c.now, tenants: map[string]int{}}
+	a.tokens = float64(cfg.burst())
+	a.last = c.now()
+	return a, c
+}
+
+func TestTokenBucketRateLimit(t *testing.T) {
+	a, clock := admissionWithClock(AdmissionConfig{Rate: 2, Burst: 2})
+	noop := func() {}
+
+	// The bucket starts full: two immediate admits pass, the third is
+	// rejected with a Retry-After that covers the refill.
+	for i := 0; i < 2; i++ {
+		if err := a.admit("t", 0, noop); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	err := a.admit("t", 0, noop)
+	var ae *admissionError
+	if !errors.As(err, &ae) || ae.reason != "rate" {
+		t.Fatalf("admit over rate = %v, want rate rejection", err)
+	}
+	if ae.RetryDelay() <= 0 || ae.RetryDelay() > time.Second {
+		t.Errorf("RetryDelay = %v, want (0, 1s] at 2 jobs/s", ae.RetryDelay())
+	}
+	if ae.retryAfterSeconds() < 1 {
+		t.Errorf("Retry-After header value %d < 1", ae.retryAfterSeconds())
+	}
+
+	// Half a second refills one token at 2/s.
+	clock.advance(500 * time.Millisecond)
+	if err := a.admit("t", 0, noop); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	if err := a.admit("t", 0, noop); err == nil {
+		t.Fatal("bucket should be empty again")
+	}
+
+	// A long idle period refills only to the burst cap.
+	clock.advance(time.Hour)
+	admitted := 0
+	for a.admit("t", 0, noop) == nil {
+		admitted++
+	}
+	if admitted != 2 {
+		t.Errorf("admitted %d after long idle, want burst cap 2", admitted)
+	}
+}
+
+func TestRejectedSubmissionConsumesNoToken(t *testing.T) {
+	a, _ := admissionWithClock(AdmissionConfig{Rate: 1, Burst: 1, TenantQuota: 1})
+	noop := func() {}
+	if err := a.admit("t", 0, noop); err != nil {
+		t.Fatal(err)
+	}
+	a.release("t") // settle; bucket still empty, quota free
+
+	// Occupy the quota without a token problem, then a quota rejection
+	// must not charge the (refilled) bucket.
+	a2, clock := admissionWithClock(AdmissionConfig{Rate: 1, Burst: 1, TenantQuota: 1})
+	if err := a2.admit("t", 0, noop); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(2 * time.Second) // refill
+	var ae *admissionError
+	if err := a2.admit("t", 0, noop); !errors.As(err, &ae) || ae.reason != "quota" {
+		t.Fatalf("want quota rejection, got %v", err)
+	}
+	// The token survived the rejection: another tenant admits fine.
+	if err := a2.admit("u", 0, noop); err != nil {
+		t.Errorf("token was consumed by a rejected submission: %v", err)
+	}
+}
+
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	a, _ := admissionWithClock(AdmissionConfig{MaxActive: 1, MaxPending: 10})
+	var order []string
+	mk := func(name string) func() {
+		return func() { order = append(order, name) }
+	}
+
+	if err := a.admit("t", 0, mk("first")); err != nil { // takes the slot
+		t.Fatal(err)
+	}
+	for i, spec := range []struct {
+		name string
+		pri  int
+	}{
+		{"low-a", 0}, {"high", 5}, {"low-b", 0}, {"mid", 3},
+	} {
+		if err := a.admit("t", spec.pri, mk(spec.name)); err != nil {
+			t.Fatalf("queueing %d: %v", i, err)
+		}
+	}
+	if got := a.pendingLen(); got != 4 {
+		t.Fatalf("pendingLen = %d, want 4", got)
+	}
+	// Drain: each release launches the next by priority, FIFO within.
+	for i := 0; i < 5; i++ {
+		a.release("t")
+	}
+	want := fmt.Sprint([]string{"first", "high", "mid", "low-a", "low-b"})
+	if got := fmt.Sprint(order); got != want {
+		t.Errorf("launch order %v, want %v", got, want)
+	}
+	if a.pendingLen() != 0 {
+		t.Errorf("queue not drained: %d left", a.pendingLen())
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	a, _ := admissionWithClock(AdmissionConfig{MaxActive: 1, MaxPending: 1})
+	noop := func() {}
+	if err := a.admit("t", 0, noop); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.admit("t", 0, noop); err != nil { // queued
+		t.Fatal(err)
+	}
+	var ae *admissionError
+	if err := a.admit("t", 0, noop); !errors.As(err, &ae) || ae.reason != "queue_full" {
+		t.Fatalf("want queue_full, got %v", err)
+	}
+
+	// MaxPending <= 0 disables queuing entirely.
+	b, _ := admissionWithClock(AdmissionConfig{MaxActive: 1})
+	if err := b.admit("t", 0, noop); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.admit("t", 0, noop); !errors.As(err, &ae) || ae.reason != "queue_full" {
+		t.Fatalf("want immediate queue_full with no queue, got %v", err)
+	}
+}

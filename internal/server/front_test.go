@@ -40,7 +40,11 @@ func newArchiveServer(t *testing.T) (*httptest.Server, string) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	ts := httptest.NewServer(server.New(r, server.WithArchiveDir(dir)).Handler())
+	srv, err := server.New(r, server.WithArchiveDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		r.Close()

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"hdsmt/internal/telemetry"
+)
+
+// TestRunJobContainsPanic pins the server-level guard: the engine already
+// contains runner panics, so this exercises the outer net that catches
+// bugs in the job orchestration itself (progress callbacks, result
+// assembly). The job settles as failed and is counted; nothing escapes
+// to crash the daemon.
+func TestRunJobContainsPanic(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, err := New(nil, WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ctx, err := s.newJob(JobSpec{Kind: "run"}, "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.adm.adopt("t")
+	s.runJob(ctx, j, func(context.Context, *job) (any, error) {
+		panic("orchestration bug")
+	})
+
+	j.mu.Lock()
+	state, msg := j.state, j.errmsg
+	j.mu.Unlock()
+	if state != "failed" {
+		t.Errorf("panicked job state = %q, want failed", state)
+	}
+	if !strings.Contains(msg, "panic") || !strings.Contains(msg, "orchestration bug") {
+		t.Errorf("error %q does not describe the panic", msg)
+	}
+	if reg.Total(telemetry.MetricServerJobPanics) != 1 {
+		t.Errorf("panic counter = %v, want 1", reg.Total(telemetry.MetricServerJobPanics))
+	}
+
+	// The wrapper settled cleanly: a follow-up job on the same server
+	// runs normally.
+	j2, ctx2, err := s.newJob(JobSpec{Kind: "run"}, "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.adm.adopt("t")
+	s.runJob(ctx2, j2, func(context.Context, *job) (any, error) {
+		return map[string]int{"ok": 1}, nil
+	})
+	j2.mu.Lock()
+	defer j2.mu.Unlock()
+	if j2.state != "done" {
+		t.Errorf("follow-up job state = %q, want done", j2.state)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package server_test
+
+// raceDetectorOn mirrors the race build tag so timing-sensitive specs can
+// scale their cycle budgets to the detector's ~15x slowdown.
+const raceDetectorOn = true

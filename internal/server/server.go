@@ -8,10 +8,22 @@
 //	POST   /jobs             submit a job; returns {"id": ...}
 //	GET    /jobs             list all jobs
 //	GET    /jobs/{id}        job status and progress
-//	GET    /jobs/{id}/result aggregated result JSON (once done)
-//	DELETE /jobs/{id}        cancel a running job, or evict a finished one
+//	GET    /jobs/{id}/result aggregated result JSON (200 once done;
+//	                         404 unknown id, 409 any unsettled or
+//	                         unsuccessful state)
+//	POST   /jobs/{id}/cancel cancel a pending or running job (202;
+//	                         404 unknown id, 409 already settled)
+//	DELETE /jobs/{id}        cancel a running job, or evict a settled one
 //	GET    /stats            engine counters (hits, executed, ...)
 //	GET    /healthz          liveness
+//
+// The server is built to survive abuse and crashes: submissions pass an
+// admission controller (per-tenant quotas, token-bucket rate limiting and
+// a bounded priority queue — rejections are 429 with Retry-After, never a
+// blocked client), every job transition is journaled to an append-only
+// JSONL file so a restarted daemon re-lists, resumes or cleanly
+// interrupts every job it ever accepted, and a panicking job fails alone
+// instead of taking the daemon down.
 package server
 
 import (
@@ -19,12 +31,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hdsmt/internal/config"
@@ -57,6 +72,16 @@ type JobSpec struct {
 	//                Result: search.Result with the non-dominated front
 	//                and its hypervolume trajectory.
 	Kind string `json:"kind"`
+
+	// Priority orders the accept queue when the server is saturated:
+	// higher launches first, FIFO within a priority. Ignored while an
+	// active slot is free.
+	Priority int `json:"priority,omitempty"`
+
+	// TimeoutSec caps this job's wall-clock execution; past it the job
+	// settles as failed (deadline exceeded). 0 means the server's
+	// per-kind default (WithDeadlines), which may be unlimited.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 
 	Config    string   `json:"config,omitempty"`
 	Configs   []string `json:"configs,omitempty"`
@@ -100,6 +125,8 @@ type JobSpec struct {
 	// the job's non-dominated front is checkpointed there on every change,
 	// and a later pareto job submitted with the same name — e.g. after the
 	// first was canceled — restores the front instead of rediscovering it.
+	// Archive-backed pareto jobs are also the resumable class after a
+	// daemon crash: replay relaunches them from their checkpoint.
 	Objectives []string `json:"objectives,omitempty"`
 	ArchiveCap int      `json:"archive_cap,omitempty"`
 	Archive    string   `json:"archive,omitempty"`
@@ -129,7 +156,8 @@ type Progress struct {
 type Status struct {
 	ID       string   `json:"id"`
 	Kind     string   `json:"kind"`
-	State    string   `json:"state"` // pending|running|done|failed|canceled
+	Tenant   string   `json:"tenant,omitempty"`
+	State    string   `json:"state"` // pending|running|done|failed|canceled|interrupted
 	Error    string   `json:"error,omitempty"`
 	Progress Progress `json:"progress"`
 	Created  string   `json:"created,omitempty"`
@@ -149,9 +177,20 @@ type SweepResult struct {
 	Measurements []sim.Measurement `json:"measurements"`
 }
 
+// settled reports whether state is terminal. "interrupted" counts: a
+// crash-orphaned job will never progress, only be inspected or evicted.
+func settledState(state string) bool {
+	switch state {
+	case "done", "failed", "canceled", "interrupted":
+		return true
+	}
+	return false
+}
+
 type job struct {
 	id     string
 	spec   JobSpec
+	tenant string
 	cancel context.CancelFunc
 
 	mu       sync.Mutex
@@ -172,6 +211,7 @@ func (j *job) status() Status {
 	st := Status{
 		ID:          j.id,
 		Kind:        j.spec.Kind,
+		Tenant:      j.tenant,
 		State:       j.state,
 		Error:       j.errmsg,
 		Progress:    Progress{Done: j.done, Total: j.total},
@@ -194,6 +234,17 @@ type Server struct {
 	// fronts.
 	archiveDir string
 
+	// jj is the durable job journal (WithJobJournal); nil disables
+	// durability and the server reverts to in-memory jobs only.
+	jj          *jobJournal
+	journalPath string
+
+	adm       *admission
+	deadlines map[string]time.Duration
+	maxBody   int64
+	draining  atomic.Bool
+	wg        sync.WaitGroup // every accepted-and-launched job; Drain waits on it
+
 	// reg backs GET /metrics and the per-kind job instruments below. Pass
 	// the same registry to the runner's engine.Options (WithTelemetry) so
 	// one scrape covers both layers; without the option a private registry
@@ -202,6 +253,10 @@ type Server struct {
 	jobsTotal   *telemetry.CounterVec
 	jobSeconds  *telemetry.HistogramVec
 	jobInflight *telemetry.Gauge
+	rejected    *telemetry.CounterVec
+	jobPanics   *telemetry.Counter
+	recovered   *telemetry.CounterVec
+	journalTorn *telemetry.Counter
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -230,15 +285,61 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(s *Server) { s.reg = reg }
 }
 
+// WithJobJournal makes the job table durable: every accepted job and
+// every state transition appends to the JSONL file at path, and New
+// replays the file so a restarted daemon re-lists settled jobs, resumes
+// archive-backed pareto jobs, and marks everything else interrupted.
+func WithJobJournal(path string) Option {
+	return func(s *Server) { s.journalPath = path }
+}
+
+// WithAdmission bounds what the server accepts; see AdmissionConfig.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) { s.adm = newAdmission(cfg) }
+}
+
+// WithDeadlines sets per-kind default execution deadlines (job kind →
+// wall-clock cap); JobSpec.TimeoutSec overrides per job. A job past its
+// deadline settles as failed, freeing its admission slot.
+func WithDeadlines(d map[string]time.Duration) Option {
+	return func(s *Server) {
+		s.deadlines = make(map[string]time.Duration, len(d))
+		for k, v := range d {
+			s.deadlines[k] = v
+		}
+	}
+}
+
+// WithMaxBodyBytes caps the POST /jobs request body (default 1 MiB);
+// larger specs are rejected with 413 before any decoding work.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
 // New builds a Server executing jobs on r. The caller keeps ownership of
-// r (and closes it after shutting the HTTP listener down).
-func New(r *sim.Runner, opts ...Option) *Server {
-	s := &Server{runner: r, jobs: map[string]*job{}, archives: map[string]string{}}
+// r (and closes it after shutting the HTTP listener down, after Close on
+// the server). The only error source is the job journal: an unreadable
+// or unopenable journal file refuses to start rather than silently
+// running non-durable.
+func New(r *sim.Runner, opts ...Option) (*Server, error) {
+	s := &Server{
+		runner:   r,
+		jobs:     map[string]*job{},
+		archives: map[string]string{},
+		maxBody:  1 << 20,
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	if s.reg == nil {
 		s.reg = telemetry.NewRegistry()
+	}
+	if s.adm == nil {
+		s.adm = newAdmission(AdmissionConfig{})
 	}
 	s.jobsTotal = s.reg.CounterVec(telemetry.MetricServerJobs,
 		"jobs accepted, by kind", "kind")
@@ -246,7 +347,149 @@ func New(r *sim.Runner, opts ...Option) *Server {
 		"job duration from acceptance to settlement, by kind", "kind", nil)
 	s.jobInflight = s.reg.Gauge(telemetry.MetricServerInflight,
 		"jobs currently executing")
-	return s
+	s.rejected = s.reg.CounterVec(telemetry.MetricServerRejected,
+		"submissions rejected by admission control or limits, by reason", "reason")
+	s.jobPanics = s.reg.Counter(telemetry.MetricServerJobPanics,
+		"job goroutine panics contained (the job failed; the daemon survived)")
+	s.recovered = s.reg.CounterVec(telemetry.MetricServerRecovered,
+		"jobs recovered from the job journal at startup, by outcome", "outcome")
+	s.journalTorn = s.reg.Counter(telemetry.MetricServerJournalTorn,
+		"truncated or corrupt job-journal lines skipped at load")
+	s.reg.GaugeFunc(telemetry.MetricServerPending,
+		"jobs queued by admission control awaiting an active slot",
+		func() float64 { return float64(s.adm.pendingLen()) })
+
+	if s.journalPath != "" {
+		jj, events, torn, err := openJobJournal(s.journalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.jj = jj
+		s.journalTorn.Add(float64(torn))
+		s.replay(events)
+	}
+	return s, nil
+}
+
+// Close flushes and closes the job journal. Call after the HTTP listener
+// is down and Drain has returned.
+func (s *Server) Close() error { return s.jj.Close() }
+
+// replay reconstructs the job table from journal events and disposes of
+// every job left unfinished by the previous incarnation: settled jobs are
+// re-listed with their results, archive-backed pareto jobs are resumed
+// from their checkpoint, and everything else is marked interrupted — a
+// terminal, inspectable state — so no accepted job silently vanishes.
+func (s *Server) replay(events []jobEvent) {
+	for _, ev := range events {
+		switch ev.Event {
+		case "accepted":
+			if ev.Spec == nil || ev.ID == "" {
+				continue
+			}
+			j := &job{
+				id:      ev.ID,
+				spec:    *ev.Spec,
+				tenant:  ev.Tenant,
+				cancel:  func() {},
+				state:   "pending",
+				created: parseRFC3339(ev.Created),
+			}
+			s.jobs[ev.ID] = j
+			var n int
+			if _, err := fmt.Sscanf(ev.ID, "job-%d", &n); err == nil && n > s.nextID {
+				s.nextID = n
+			}
+		case "running":
+			if j, ok := s.jobs[ev.ID]; ok {
+				j.state = "running"
+			}
+		case "done", "failed", "canceled", "interrupted":
+			j, ok := s.jobs[ev.ID]
+			if !ok {
+				continue
+			}
+			j.state = ev.Event
+			j.errmsg = ev.Error
+			j.finished = parseRFC3339(ev.Finished)
+			if len(ev.Result) > 0 {
+				j.result = ev.Result // raw JSON, served verbatim by /result
+			}
+		case "evicted":
+			delete(s.jobs, ev.ID)
+		}
+	}
+
+	for _, j := range s.jobs {
+		switch {
+		case settledState(j.state):
+			s.recovered.With("settled").Inc()
+		case j.spec.Kind == "pareto" && j.spec.Archive != "":
+			s.resume(j)
+		default:
+			s.interrupt(j)
+		}
+	}
+}
+
+// resume relaunches a crash-orphaned archive-backed pareto job: the
+// persisted archive restores its front and the engine's memoization
+// absorbs any cells it had already simulated, so the rerun only pays for
+// the remainder. Falls back to interrupt when the spec no longer
+// resolves (e.g. the daemon restarted without -archives).
+func (s *Server) resume(j *job) {
+	sp, st, opts, err := s.resolveSearch(j.spec)
+	if err != nil {
+		s.interrupt(j)
+		return
+	}
+	if opts.ArchivePath != "" {
+		if _, ok := s.claimArchive(opts.ArchivePath, j.id); !ok {
+			s.interrupt(j)
+			return
+		}
+	}
+	ctx, cancel := s.jobContext(j.spec)
+	j.cancel = cancel
+	j.total = opts.Budget
+	s.recovered.With("resumed").Inc()
+	s.adm.adopt(j.tenant)
+	s.wg.Add(1)
+	go s.runJob(ctx, j, func(ctx context.Context, j *job) (any, error) {
+		return s.searchBody(ctx, j, sp, st, opts)
+	})
+}
+
+// interrupt settles a crash-orphaned job that cannot be resumed.
+func (s *Server) interrupt(j *job) {
+	j.state = "interrupted"
+	j.errmsg = "daemon restarted while the job was unfinished; not resumable"
+	j.finished = time.Now()
+	s.recovered.With("interrupted").Inc()
+	if err := s.jj.append(jobEvent{ID: j.id, Event: "interrupted", Error: j.errmsg, Finished: rfc3339(j.finished)}); err != nil {
+		log.Printf("server: journaling interrupt of %s: %v", j.id, err)
+	}
+}
+
+// Drain stops accepting jobs (submissions get 503) and waits until every
+// accepted job — active or queued — settles, or ctx expires. Pair with
+// http.Server.Shutdown for a clean SIGTERM: stop the listener, drain the
+// jobs, close the engine.
+func (s *Server) Drain(ctx context.Context) error {
+	// The flag flips under s.mu, the same lock newJob registers under, so
+	// no job can slip into the WaitGroup after the drain decides its
+	// membership — wg.Add never races wg.Wait from zero.
+	s.mu.Lock()
+	s.draining.Store(true)
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %w", ctx.Err())
+	}
 }
 
 // Handler returns the server's route mux.
@@ -256,6 +499,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancelPost)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -439,139 +683,298 @@ func (s *Server) archivePath(name string) (string, error) {
 	return filepath.Join(s.archiveDir, name+".json"), nil
 }
 
+// tenantOf identifies the submitting tenant for quotas and accounting:
+// the X-API-Key header, or "anonymous". The key is an identity, not a
+// secret — hdsmtd runs on trusted networks — so it is stored and listed
+// verbatim.
+func tenantOf(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return "anonymous"
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.rejected.With("draining").Inc()
+		w.Header().Set("Retry-After", "10")
+		httpError(w, http.StatusServiceUnavailable, errors.New("server is draining; resubmit to its successor"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.rejected.With("body_too_large").Inc()
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("job spec exceeds the %d-byte limit", mbe.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
-	if spec.Kind == "search" || spec.Kind == "pareto" {
+	tenant := tenantOf(r)
+
+	// Validate fully before admission: a malformed spec is the client's
+	// fault (400) and must not consume rate-limit tokens or quota.
+	var total int
+	var archivePath string
+	var body func(context.Context, *job) (any, error)
+	switch spec.Kind {
+	case "search", "pareto":
 		sp, st, opts, err := s.resolveSearch(spec)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		j, ctx := s.newJob(spec, opts.Budget)
-		if opts.ArchivePath != "" {
-			if holder, ok := s.claimArchive(opts.ArchivePath, j.id); !ok {
-				s.mu.Lock()
-				delete(s.jobs, j.id)
-				s.mu.Unlock()
-				j.cancel()
-				httpError(w, http.StatusConflict,
-					fmt.Errorf("archive %q is in use by running job %s", spec.Archive, holder))
-				return
-			}
+		total, archivePath = opts.Budget, opts.ArchivePath
+		body = func(ctx context.Context, j *job) (any, error) {
+			return s.searchBody(ctx, j, sp, st, opts)
 		}
-		go s.executeSearch(ctx, j, sp, st, opts)
-		writeJSON(w, http.StatusAccepted, j.status())
-		return
-	}
-	cells, err := resolveCells(spec)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	if spec.Kind == "run" && spec.Mapping != nil {
-		// Validate against the thread-stretched configuration: the
-		// monolithic baseline accepts up to 6 threads (paper §3).
-		cfg := cells[0].Cfg.ForThreads(cells[0].W.Threads())
-		if got, want := len(spec.Mapping), cells[0].W.Threads(); got != want {
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("mapping covers %d threads, workload has %d", got, want))
-			return
-		}
-		if err := mapping.Validate(cfg, spec.Mapping); err != nil {
+	default:
+		cells, err := resolveCells(spec)
+		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
+		if spec.Kind == "run" && spec.Mapping != nil {
+			// Validate against the thread-stretched configuration: the
+			// monolithic baseline accepts up to 6 threads (paper §3).
+			cfg := cells[0].Cfg.ForThreads(cells[0].W.Threads())
+			if got, want := len(spec.Mapping), cells[0].W.Threads(); got != want {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("mapping covers %d threads, workload has %d", got, want))
+				return
+			}
+			if err := mapping.Validate(cfg, spec.Mapping); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		total = len(cells)
+		body = func(ctx context.Context, j *job) (any, error) {
+			return s.cellsBody(ctx, j, cells)
+		}
 	}
 
-	j, ctx := s.newJob(spec, len(cells))
-	go s.execute(ctx, j, cells)
+	j, ctx, err := s.newJob(spec, tenant, total)
+	if err != nil {
+		s.rejected.With("draining").Inc()
+		w.Header().Set("Retry-After", "10")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if archivePath != "" {
+		if holder, ok := s.claimArchive(archivePath, j.id); !ok {
+			s.dropJob(j)
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("archive %q is in use by running job %s", spec.Archive, holder))
+			return
+		}
+	}
+
+	// Journal the accept before admission launches anything: the launch
+	// goroutine appends "running" and replay refuses events for unknown
+	// jobs, so ordering here is what makes the journal replayable. A
+	// rejected submission is erased with an eviction event below.
+	s.journalAccepted(j)
+	launch := func() { go s.runJob(ctx, j, body) }
+	if err := s.adm.admit(tenant, spec.Priority, launch); err != nil {
+		if archivePath != "" {
+			s.unclaimArchive(archivePath)
+		}
+		s.dropJob(j)
+		if jerr := s.jj.append(jobEvent{ID: j.id, Event: "evicted"}); jerr != nil {
+			log.Printf("server: journaling rejection of %s: %v", j.id, jerr)
+		}
+		var ae *admissionError
+		if errors.As(err, &ae) {
+			s.rejected.With(ae.reason).Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfterSeconds()))
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.jobsTotal.With(spec.Kind).Inc()
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
-// newJob registers a pending job with a cancelable context; total is the
-// initial progress denominator (cells for simulation jobs, the budget for
-// search jobs — refined once the search knows its effective target).
-func (s *Server) newJob(spec JobSpec, total int) (*job, context.Context) {
-	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{spec: spec, cancel: cancel, state: "pending", total: total, created: time.Now()}
+// newJob registers a pending job with a cancelable context carrying the
+// job's execution deadline, if any; total is the initial progress
+// denominator (cells for simulation jobs, the budget for search jobs —
+// refined once the search knows its effective target). Registration and
+// the drain re-check share one critical section so Drain's WaitGroup
+// membership is exact.
+func (s *Server) newJob(spec JobSpec, tenant string, total int) (*job, context.Context, error) {
+	ctx, cancel := s.jobContext(spec)
+	j := &job{spec: spec, tenant: tenant, cancel: cancel, state: "pending", total: total, created: time.Now()}
 	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		cancel()
+		return nil, nil, errors.New("server is draining; resubmit to its successor")
+	}
+	s.wg.Add(1)
 	s.nextID++
 	j.id = fmt.Sprintf("job-%06d", s.nextID)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
-	s.jobsTotal.With(spec.Kind).Inc()
-	return j, ctx
+	return j, ctx, nil
 }
 
-// jobStarted and jobSettled bracket a job's execution for the in-flight
-// gauge and the per-kind duration histogram. Wall-clock durations go to
-// /metrics only — results and artifacts stay byte-reproducible.
-func (s *Server) jobStarted() { s.jobInflight.Inc() }
-
-func (s *Server) jobSettled(j *job) {
-	s.jobInflight.Dec()
-	j.mu.Lock()
-	d := j.finished.Sub(j.created)
-	kind := j.spec.Kind
-	j.mu.Unlock()
-	s.jobSeconds.With(kind).Observe(d.Seconds())
+// jobContext builds a job's execution context: canceled by DELETE or
+// POST cancel, and bounded by the job's deadline when one applies.
+func (s *Server) jobContext(spec JobSpec) (context.Context, context.CancelFunc) {
+	if d := s.deadlineFor(spec); d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.WithCancel(context.Background())
 }
 
-// execute runs a job to completion. One goroutine per job coordinates;
-// all simulation fan-out happens inside the shared engine, which bounds
-// total concurrency across every job on the server.
-func (s *Server) execute(ctx context.Context, j *job, cells []sim.SweepCell) {
-	s.jobStarted()
-	defer s.jobSettled(j)
+func (s *Server) deadlineFor(spec JobSpec) time.Duration {
+	if spec.TimeoutSec > 0 {
+		return time.Duration(spec.TimeoutSec * float64(time.Second))
+	}
+	return s.deadlines[spec.Kind]
+}
+
+// dropJob removes a job that never launched (archive conflict, admission
+// rejection): it leaves the table and the drain WaitGroup and releases
+// its context resources.
+func (s *Server) dropJob(j *job) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	s.mu.Unlock()
+	s.wg.Done()
+	j.cancel()
+}
+
+func (s *Server) journalAccepted(j *job) {
+	if err := s.jj.append(jobEvent{
+		ID:       j.id,
+		Event:    "accepted",
+		Tenant:   j.tenant,
+		Priority: j.spec.Priority,
+		Spec:     &j.spec,
+		Created:  rfc3339(j.created),
+	}); err != nil {
+		log.Printf("server: journaling accept of %s: %v", j.id, err)
+	}
+}
+
+// runJob is the one execution wrapper every job goes through: it marks
+// the job running, executes body with panic containment — a panicking
+// job settles as failed and is counted, the daemon survives — and hands
+// the outcome to settle, the single settlement point.
+func (s *Server) runJob(ctx context.Context, j *job, body func(context.Context, *job) (any, error)) {
+	defer s.wg.Done()
+	s.jobInflight.Inc()
+	s.markRunning(j)
+	var result any
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.jobPanics.Inc()
+				log.Printf("server: job %s panicked: %v (job failed, daemon unaffected)", j.id, r)
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		result, err = body(ctx, j)
+	}()
+	s.settle(ctx, j, result, err)
+}
+
+func (s *Server) markRunning(j *job) {
 	j.mu.Lock()
 	j.state = "running"
 	j.mu.Unlock()
-
-	opt := j.spec.options()
-	var result any
-	var err error
-	switch j.spec.Kind {
-	case "run":
-		result, err = s.executeRun(ctx, cells[0], j.spec.Mapping, opt)
-		if err == nil {
-			j.mu.Lock()
-			j.done = 1
-			j.mu.Unlock()
-		}
-	case "evaluate":
-		result, err = s.runner.Evaluate(ctx, cells[0].Cfg, cells[0].W, opt)
-		if err == nil {
-			j.mu.Lock()
-			j.done = 1
-			j.mu.Unlock()
-		}
-	case "sweep":
-		var ms []sim.Measurement
-		ms, err = s.runner.EvaluateAll(ctx, cells, opt, func(done int) {
-			j.mu.Lock()
-			j.done = done
-			j.mu.Unlock()
-		})
-		result = SweepResult{Measurements: ms}
+	if err := s.jj.append(jobEvent{ID: j.id, Event: "running"}); err != nil {
+		log.Printf("server: journaling start of %s: %v", j.id, err)
 	}
+}
 
+// settle is the single settlement point: state transition, journal
+// event, metrics and admission release all happen here, exactly once per
+// launched job. Deadline expiry is a failure — the job did not do what
+// was asked — while explicit cancellation stays "canceled".
+func (s *Server) settle(ctx context.Context, j *job, result any, err error) {
+	deadline := errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(ctx.Err(), context.DeadlineExceeded)
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	switch {
 	case err == nil:
 		j.state = "done"
 		j.result = result
-	case ctx.Err() != nil:
+	case deadline:
+		j.state = "failed"
+		j.errmsg = fmt.Sprintf("deadline exceeded: %v", err)
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 		j.state = "canceled"
-		j.errmsg = ctx.Err().Error()
+		j.errmsg = err.Error()
 	default:
 		j.state = "failed"
 		j.errmsg = err.Error()
+	}
+	ev := jobEvent{ID: j.id, Event: j.state, Error: j.errmsg, Finished: rfc3339(j.finished)}
+	dur := j.finished.Sub(j.created)
+	kind, tenant := j.spec.Kind, j.tenant
+	if j.state == "done" {
+		if raw, merr := json.Marshal(j.result); merr == nil {
+			ev.Result = raw
+		} else {
+			log.Printf("server: result of %s not journalable: %v", j.id, merr)
+		}
+	}
+	j.mu.Unlock()
+
+	if jerr := s.jj.append(ev); jerr != nil {
+		log.Printf("server: journaling settlement of %s: %v", j.id, jerr)
+	}
+	s.jobInflight.Dec()
+	s.jobSeconds.With(kind).Observe(dur.Seconds())
+	s.adm.release(tenant)
+	j.cancel() // releases the deadline timer
+}
+
+// cellsBody executes a run, evaluate or sweep job. All simulation
+// fan-out happens inside the shared engine, which bounds total
+// concurrency across every job on the server.
+func (s *Server) cellsBody(ctx context.Context, j *job, cells []sim.SweepCell) (any, error) {
+	opt := j.spec.options()
+	switch j.spec.Kind {
+	case "run":
+		result, err := s.executeRun(ctx, cells[0], j.spec.Mapping, opt)
+		if err != nil {
+			return nil, err
+		}
+		j.mu.Lock()
+		j.done = 1
+		j.mu.Unlock()
+		return result, nil
+	case "evaluate":
+		result, err := s.runner.Evaluate(ctx, cells[0].Cfg, cells[0].W, opt)
+		if err != nil {
+			return nil, err
+		}
+		j.mu.Lock()
+		j.done = 1
+		j.mu.Unlock()
+		return result, nil
+	default: // sweep
+		ms, err := s.runner.EvaluateAll(ctx, cells, opt, func(done int) {
+			j.mu.Lock()
+			j.done = done
+			j.mu.Unlock()
+		})
+		if err != nil {
+			return nil, err
+		}
+		return SweepResult{Measurements: ms}, nil
 	}
 }
 
@@ -587,26 +990,22 @@ func (s *Server) claimArchive(path, jobID string) (holder string, ok bool) {
 	return jobID, true
 }
 
-// executeSearch runs a search job on the server's shared runner: every
-// point evaluation goes through the one engine, so overlapping searches
-// (and sweeps) share their simulations.
-func (s *Server) executeSearch(ctx context.Context, j *job, sp search.Space, st search.Strategy, opts search.Options) {
-	s.jobStarted()
-	defer s.jobSettled(j)
+func (s *Server) unclaimArchive(path string) {
+	s.mu.Lock()
+	delete(s.archives, path)
+	s.mu.Unlock()
+}
+
+// searchBody executes a search or pareto job on the server's shared
+// runner: every point evaluation goes through the one engine, so
+// overlapping searches (and sweeps) share their simulations.
+func (s *Server) searchBody(ctx context.Context, j *job, sp search.Space, st search.Strategy, opts search.Options) (any, error) {
 	// The search shares the server's registry, so a /metrics scrape sees
 	// its per-strategy progress next to the engine's cache counters.
 	opts.Telemetry = s.reg
 	if opts.ArchivePath != "" {
-		defer func() {
-			s.mu.Lock()
-			delete(s.archives, opts.ArchivePath)
-			s.mu.Unlock()
-		}()
+		defer s.unclaimArchive(opts.ArchivePath)
 	}
-	j.mu.Lock()
-	j.state = "running"
-	j.mu.Unlock()
-
 	opts.Progress = func(done, total int) {
 		j.mu.Lock()
 		j.done = done
@@ -619,24 +1018,7 @@ func (s *Server) executeSearch(ctx context.Context, j *job, sp search.Space, st 
 		j.hv = hv
 		j.mu.Unlock()
 	}
-	result, err := search.NewDriver(s.runner).Search(ctx, sp, st, opts)
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.finished = time.Now()
-	switch {
-	case err == nil:
-		j.state = "done"
-		j.result = result
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		// Attribute by the returned error, not ctx.Err(): a DELETE racing
-		// a genuine failure must not relabel the failure as canceled.
-		j.state = "canceled"
-		j.errmsg = err.Error()
-	default:
-		j.state = "failed"
-		j.errmsg = err.Error()
-	}
+	return search.NewDriver(s.runner).Search(ctx, sp, st, opts)
 }
 
 func (s *Server) executeRun(ctx context.Context, c sim.SweepCell, m mapping.Mapping, opt sim.Options) (any, error) {
@@ -677,6 +1059,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// handleResult has exactly three outcomes, all stable: 404 for an id the
+// server never accepted (or has evicted), 200 with the payload for a
+// successful job, and 409 for every other state — still pending/running,
+// failed, canceled or interrupted — with the state named in the error so
+// clients can distinguish "come back later" from "will never succeed".
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
@@ -689,16 +1076,38 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	switch state {
 	case "done":
 		writeJSON(w, http.StatusOK, result)
-	case "failed", "canceled":
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("job %s: %s", state, errmsg))
+	case "failed", "canceled", "interrupted":
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s: %s", state, errmsg))
 	default:
 		httpError(w, http.StatusConflict, fmt.Errorf("job still %s", state))
 	}
 }
 
-// handleCancel cancels a pending or running job; a job already settled is
-// evicted instead, so long-lived daemons have a way to release finished
-// jobs' result payloads.
+// handleCancelPost (POST /jobs/{id}/cancel) requests cancellation of a
+// pending or running job: 202 with the job's status when the request is
+// taken, 409 when the job has already settled (cancel would be a lie),
+// 404 for unknown ids. Idempotent for unsettled jobs.
+func (s *Server) handleCancelPost(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if settledState(state) {
+		httpError(w, http.StatusConflict, fmt.Errorf("job already settled (%s)", state))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleCancel (DELETE) cancels a pending or running job; a job already
+// settled is evicted instead — removed from the table and, durably, from
+// the journal's replay — so long-lived daemons have a way to release
+// finished jobs' result payloads.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
@@ -706,12 +1115,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
-	settled := j.state == "done" || j.state == "failed" || j.state == "canceled"
+	settled := settledState(j.state)
 	j.mu.Unlock()
 	if settled {
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
+		if err := s.jj.append(jobEvent{ID: j.id, Event: "evicted"}); err != nil {
+			log.Printf("server: journaling eviction of %s: %v", j.id, err)
+		}
 	} else {
 		j.cancel()
 	}

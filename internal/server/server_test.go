@@ -31,7 +31,11 @@ func newTestServer(t *testing.T) (*httptest.Server, *sim.Runner) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(r).Handler())
+	srv, err := server.New(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		r.Close()
@@ -78,7 +82,7 @@ func awaitJob(t *testing.T, ts *httptest.Server, id string) server.Status {
 			t.Fatal(err)
 		}
 		switch st.State {
-		case "done", "failed", "canceled":
+		case "done", "failed", "canceled", "interrupted":
 			return st
 		}
 		time.Sleep(20 * time.Millisecond)

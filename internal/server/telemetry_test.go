@@ -24,7 +24,11 @@ func newMetricsServer(t *testing.T) (*httptest.Server, *telemetry.Registry) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(r, server.WithTelemetry(reg)).Handler())
+	srv, err := server.New(r, server.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		r.Close()

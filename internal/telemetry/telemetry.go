@@ -43,15 +43,22 @@ const (
 	MetricEngineErrors       = "hdsmt_engine_errors_total"
 	MetricEngineRestored     = "hdsmt_engine_restored_total"
 	MetricEngineStoreCorrupt = "hdsmt_engine_store_corrupt_total"
+	MetricEnginePanics       = "hdsmt_engine_runner_panics_total"
+	MetricEngineJournalTorn  = "hdsmt_engine_journal_truncated_total"
 	MetricEngineCacheRatio   = "hdsmt_engine_cache_hit_ratio"
 	MetricEngineQueueDepth   = "hdsmt_engine_queue_depth"
 	MetricEngineShardDepth   = "hdsmt_engine_shard_queue_depth"
 	MetricEngineWorkerBusy   = "hdsmt_engine_worker_busy_seconds_total"
 	MetricEngineJobSeconds   = "hdsmt_engine_job_seconds"
 
-	MetricServerJobs       = "hdsmt_server_jobs_total"
-	MetricServerInflight   = "hdsmt_server_jobs_inflight"
-	MetricServerJobSeconds = "hdsmt_server_job_seconds"
+	MetricServerJobs        = "hdsmt_server_jobs_total"
+	MetricServerInflight    = "hdsmt_server_jobs_inflight"
+	MetricServerJobSeconds  = "hdsmt_server_job_seconds"
+	MetricServerRejected    = "hdsmt_server_rejected_total"
+	MetricServerPending     = "hdsmt_server_jobs_pending"
+	MetricServerJobPanics   = "hdsmt_server_job_panics_total"
+	MetricServerRecovered   = "hdsmt_server_jobs_recovered_total"
+	MetricServerJournalTorn = "hdsmt_server_job_journal_truncated_total"
 
 	MetricSearchEvaluations = "hdsmt_search_evaluations_total"
 	MetricSearchSubmitted   = "hdsmt_search_submitted_total"
