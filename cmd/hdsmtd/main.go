@@ -19,7 +19,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -29,9 +28,11 @@ import (
 
 	"hdsmt/internal/engine"
 	"hdsmt/internal/faultinject"
+	"hdsmt/internal/obslog"
 	"hdsmt/internal/server"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/telemetry"
+	"hdsmt/internal/version"
 )
 
 func main() {
@@ -54,8 +55,27 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, how long to let accepted jobs finish before exiting")
 		faults      = flag.String("fault", "", "fault-injection spec for chaos testing, e.g. 'engine.store.save:err=0.3,engine.simulate:delay=5ms@0.5' (see internal/faultinject; empty = disabled)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault-injection schedule (same seed + same spec = same faults)")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds a per-request access line)")
+		logFormat   = flag.String("log-format", "text", "log output format: text (key=value) or json (one object per line)")
 	)
 	flag.Parse()
+
+	level, err := obslog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdsmtd: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	logOpts := []obslog.Option{obslog.WithLevel(level)}
+	switch *logFormat {
+	case "json":
+		logOpts = append(logOpts, obslog.WithJSON())
+	case "text":
+	default:
+		fmt.Fprintf(os.Stderr, "hdsmtd: -log-format: unknown format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := obslog.New(os.Stderr, logOpts...)
+	log := logger.With(obslog.F("component", "hdsmtd"))
 
 	if *faults != "" {
 		plan, err := faultinject.ParseSpec(*faults)
@@ -64,7 +84,7 @@ func main() {
 			os.Exit(2)
 		}
 		faultinject.Enable(*faultSeed, plan)
-		log.Printf("FAULT INJECTION ARMED (seed %d): %s", *faultSeed, faultinject.Summary())
+		log.Warn("FAULT INJECTION ARMED", obslog.F("seed", *faultSeed), obslog.F("plan", faultinject.Summary()))
 	}
 
 	// One registry spans every layer: the engine's cache counters, the
@@ -76,6 +96,7 @@ func main() {
 		CacheDir:    *cache,
 		JournalPath: *journal,
 		Telemetry:   reg,
+		Log:         logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hdsmtd: %v\n", err)
@@ -83,11 +104,12 @@ func main() {
 	}
 	defer runner.Close()
 	if st := runner.Stats(); st.Restored > 0 {
-		log.Printf("restored %d results from journal %s", st.Restored, *journal)
+		log.Info("restored results from journal", obslog.F("restored", st.Restored), obslog.F("journal", *journal))
 	}
 
 	srvOpts := []server.Option{
 		server.WithTelemetry(reg),
+		server.WithLogger(logger),
 		server.WithMaxBodyBytes(*maxBody),
 		server.WithAdmission(server.AdmissionConfig{
 			MaxActive:   *maxActive,
@@ -127,7 +149,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/", handler)
 		handler = mux
-		log.Printf("pprof enabled at /debug/pprof/")
+		log.Info("pprof enabled at /debug/pprof/")
 	}
 	// The header/read timeouts bound what one slow or malicious client
 	// can hold open; there is deliberately no WriteTimeout because result
@@ -141,9 +163,10 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	go func() {
-		log.Printf("hdsmtd listening on %s", *addr)
+		log.Info("hdsmtd listening", obslog.F("addr", *addr), obslog.F("version", version.Version))
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("hdsmtd: %v", err)
+			log.Error("serve failed", obslog.Err(err))
+			os.Exit(1)
 		}
 	}()
 
@@ -153,18 +176,18 @@ func main() {
 	// Graceful drain: stop accepting (503 + Retry-After), let accepted
 	// jobs settle — journaled, so nothing is lost either way — then take
 	// the listener down. A second signal aborts the wait.
-	log.Printf("draining (up to %s; signal again to abort)", *drainWait)
+	log.Info("draining; signal again to abort", obslog.F("timeout", drainWait.String()))
 	dctx, dcancel := context.WithTimeout(context.Background(), *drainWait)
 	go func() {
 		<-stop
-		log.Printf("second signal: aborting drain")
+		log.Warn("second signal: aborting drain")
 		dcancel()
 	}()
 	if err := jobSrv.Drain(dctx); err != nil {
-		log.Printf("drain incomplete: %v (unfinished jobs will be recovered from the job journal)", err)
+		log.Warn("drain incomplete; unfinished jobs will be recovered from the job journal", obslog.Err(err))
 	}
 	dcancel()
-	log.Printf("shutting down")
+	log.Info("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"hdsmt/internal/obslog"
 	"hdsmt/internal/retry"
 	"hdsmt/internal/server"
 )
@@ -186,6 +187,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	if c.apiKey != "" {
 		req.Header.Set("X-API-Key", c.apiKey)
 	}
+	req.Header.Set(obslog.HeaderRequestID, requestID(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err // transport error: retryable

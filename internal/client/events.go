@@ -1,0 +1,141 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"hdsmt/internal/obslog"
+	"hdsmt/internal/retry"
+	"hdsmt/internal/server"
+)
+
+// requestID resolves the correlation ID for one exchange: the ID already
+// bound to ctx (so a caller's ID threads through every request it makes),
+// or a freshly minted one. Either way the header is always present, so
+// the server never has to invent an ID for a client of this package and
+// both sides' logs share one correlation key.
+func requestID(ctx context.Context) string {
+	if id := obslog.RequestID(ctx); id != "" {
+		return id
+	}
+	return obslog.NewRequestID()
+}
+
+// Events fetches a job's timeline snapshot (GET /jobs/{id}/events).
+func (c *Client) Events(ctx context.Context, id string) (server.EventsPage, error) {
+	var page server.EventsPage
+	err := retry.Do(ctx, c.policy, func() error {
+		return c.do(ctx, http.MethodGet, "/jobs/"+id+"/events", nil, &page)
+	})
+	return page, err
+}
+
+// Stream follows a job's timeline live over SSE, invoking fn for every
+// event in sequence order. It returns nil once the job's terminal event
+// (settled, evicted or interrupted) has been delivered, or the first
+// error after reconnection attempts are exhausted. Dropped connections
+// resume with Last-Event-ID, so fn never sees a gap or a duplicate;
+// after resumes past events already seen (0 streams from the beginning).
+// fn returning an error stops the stream and surfaces that error.
+func (c *Client) Stream(ctx context.Context, id string, after int64, fn func(server.Event) error) error {
+	last := after
+	return retry.Do(ctx, c.policy, func() error {
+		err := c.streamOnce(ctx, id, &last, fn)
+		if err != nil && ctx.Err() != nil {
+			return retry.Permanent(ctx.Err())
+		}
+		return err
+	})
+}
+
+// streamOnce runs one SSE connection, advancing *last as events arrive so
+// a retry resumes exactly where this attempt died.
+func (c *Client) streamOnce(ctx context.Context, id string, last *int64, fn func(server.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return retry.Permanent(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	req.Header.Set(obslog.HeaderRequestID, requestID(ctx))
+	if *last > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprintf("%d", *last))
+	}
+	// The stream outlives any sane request timeout; rely on ctx instead.
+	hc := *c.hc
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err // transport error: reconnect
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var decoded struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&decoded) == nil {
+			apiErr.Message = decoded.Error
+		}
+		if apiErr.retryable() {
+			return apiErr
+		}
+		return retry.Permanent(apiErr)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var data strings.Builder
+	terminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Frame boundary: dispatch what we accumulated.
+			if data.Len() > 0 {
+				var ev server.Event
+				if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+					return retry.Permanent(fmt.Errorf("decoding SSE event: %w", err))
+				}
+				data.Reset()
+				if ev.Seq > *last {
+					*last = ev.Seq
+					if err := fn(ev); err != nil {
+						return retry.Permanent(err)
+					}
+					terminal = terminalEvent(ev.Type)
+				}
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// id:/event: lines (redundant with the JSON) and ": hb"
+			// heartbeat comments.
+		}
+	}
+	if terminal {
+		return nil // server closed after the terminal event: done
+	}
+	if err := sc.Err(); err != nil {
+		return err // torn connection: reconnect from *last
+	}
+	// Clean EOF without a terminal event — the server drained; reconnect.
+	return fmt.Errorf("event stream for %s ended before job settled", id)
+}
+
+// terminalEvent mirrors the server's classification of stream-ending
+// event types.
+func terminalEvent(typ string) bool {
+	switch typ {
+	case server.EventSettled, server.EventEvicted, server.EventInterrupted:
+		return true
+	}
+	return false
+}

@@ -17,7 +17,6 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
-	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,6 +24,7 @@ import (
 
 	"hdsmt/internal/core"
 	"hdsmt/internal/faultinject"
+	"hdsmt/internal/obslog"
 	"hdsmt/internal/telemetry"
 )
 
@@ -65,6 +65,11 @@ type Options struct {
 	// instants — for Chrome trace_event export. Nil (the default) records
 	// nothing and costs one pointer comparison per site.
 	Tracer *telemetry.Tracer
+	// Log receives the engine's structured records (corrupt store
+	// entries, journal healing, runner panics), each carrying the
+	// request/correlation ID of the submission that scheduled the task.
+	// Nil means the process-default logger.
+	Log *obslog.Logger
 }
 
 func (o Options) workers() int {
@@ -141,6 +146,11 @@ type task struct {
 	// created stamps the enqueue time for the job-latency histogram and
 	// the queue-wait trace span. Telemetry only — never part of results.
 	created time.Time
+	// origin is the correlation (request) ID of the submission that
+	// created the task, captured from the submit context so engine log
+	// lines tie back to the HTTP request that caused the work. Logging
+	// only — never part of the cache key or results.
+	origin string
 }
 
 func (t *task) resolve(res core.Results, err error) {
@@ -177,6 +187,7 @@ type Engine struct {
 
 	tel    *instruments
 	tracer *telemetry.Tracer
+	log    *obslog.Logger
 }
 
 // New builds an engine executing requests with runner under opts. If a
@@ -186,7 +197,11 @@ func New(runner Runner, opts Options) (*Engine, error) {
 	if runner == nil {
 		return nil, fmt.Errorf("engine: nil runner")
 	}
-	e := &Engine{runner: runner, opts: opts, tracer: opts.Tracer}
+	e := &Engine{runner: runner, opts: opts, tracer: opts.Tracer, log: opts.Log}
+	if e.log == nil {
+		e.log = obslog.Default()
+	}
+	e.log = e.log.With(obslog.F("component", "engine"))
 	e.ctx, e.cancel = context.WithCancel(context.Background())
 	reg := opts.Telemetry
 	if reg == nil {
@@ -224,8 +239,8 @@ func New(runner Runner, opts Options) (*Engine, error) {
 		}
 		if torn > 0 {
 			e.tel.journalTorn.Add(float64(torn))
-			log.Printf("engine: journal %s: skipped %d truncated or corrupt line(s); affected jobs re-run",
-				opts.JournalPath, torn)
+			e.log.Warn("journal lines skipped; affected jobs re-run",
+				obslog.F("journal", opts.JournalPath), obslog.F("skipped", torn))
 		}
 	}
 	e.registerGauges(reg)
@@ -263,6 +278,11 @@ func (e *Engine) Close() {
 		e.journal.Close()
 	}
 }
+
+// Accepting reports whether the engine still takes submissions — false
+// once Close has begun. Readiness probes use it to flip /readyz before
+// in-flight work finishes draining.
+func (e *Engine) Accepting() bool { return !e.closed.Load() }
 
 // Stats returns a snapshot of the engine's counters. The counters are the
 // telemetry series themselves (exact for any realistic count), so Stats
@@ -367,6 +387,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		engineDone: e.ctx.Done(),
 		waiters:    []context.Context{ctx},
 		created:    time.Now(),
+		origin:     obslog.RequestID(ctx),
 	}
 	sh.inflight[key] = t
 	sh.mu.Unlock()
@@ -503,7 +524,9 @@ func (e *Engine) execute(sh *shard, t *task, w int) {
 			// not a silent miss. The job re-runs and the rewrite below
 			// heals the entry.
 			e.tel.storeCorrupt.Inc()
-			log.Printf("engine: corrupt store entry for %s: %v (re-running)", t.req, err)
+			e.log.Warn("corrupt store entry; re-running",
+				obslog.F("req", t.req), obslog.F("key", t.key[:12]),
+				obslog.F("request_id", t.origin), obslog.Err(err))
 		case ok:
 			e.tel.diskHits.Inc()
 			if e.journal != nil {
@@ -552,7 +575,9 @@ func (e *Engine) simulate(t *task) (res core.Results, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.tel.panics.Inc()
-			log.Printf("engine: runner panicked on %s: %v (job failed, worker recovered)", t.req, r)
+			e.log.Error("runner panicked; job failed, worker recovered",
+				obslog.F("req", t.req), obslog.F("request_id", t.origin),
+				obslog.F("panic", fmt.Sprint(r)))
 			err = fmt.Errorf("engine: runner panic on %s: %v", t.req, r)
 		}
 	}()

@@ -1,0 +1,119 @@
+package loadgen_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"hdsmt/internal/engine"
+	"hdsmt/internal/loadgen"
+	"hdsmt/internal/server"
+	"hdsmt/internal/sim"
+)
+
+// TestFleetDeterministic pins fleet generation: same seed, same config →
+// identical spec list; a different seed diverges.
+func TestFleetDeterministic(t *testing.T) {
+	cfg := loadgen.Config{Seed: 42, Jobs: 30}
+	a, b := loadgen.Fleet(cfg), loadgen.Fleet(cfg)
+	if len(a) != 30 {
+		t.Fatalf("fleet size = %d, want 30", len(a))
+	}
+	for i := range a {
+		av, bv := a[i], b[i]
+		if av.Kind != bv.Kind || av.Workload != bv.Workload || av.Seed != bv.Seed || av.Strategy != bv.Strategy {
+			t.Fatalf("spec %d differs across identical configs: %+v vs %+v", i, av, bv)
+		}
+	}
+	cfg.Seed = 43
+	c := loadgen.Fleet(cfg)
+	same := true
+	for i := range a {
+		if a[i].Kind != c[i].Kind || a[i].Workload != c[i].Workload || a[i].Seed != c[i].Seed {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fleets")
+	}
+}
+
+// TestFleetMix checks that every generated kind is one the config's mix
+// names and that every named kind appears in a large enough fleet.
+func TestFleetMix(t *testing.T) {
+	mix := map[string]int{"run": 1, "pareto": 1}
+	seen := map[string]int{}
+	for _, s := range loadgen.Fleet(loadgen.Config{Seed: 7, Jobs: 40, Mix: mix}) {
+		seen[s.Kind]++
+		if _, ok := mix[s.Kind]; !ok {
+			t.Errorf("fleet contains kind %q not in the mix", s.Kind)
+		}
+	}
+	for k := range mix {
+		if seen[k] == 0 {
+			t.Errorf("kind %q never drawn in 40 jobs", k)
+		}
+	}
+}
+
+// freshDaemon boots an isolated server+runner pair.
+func freshDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	r, err := sim.NewRunner(engine.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		r.Close()
+	})
+	return ts
+}
+
+// TestRunPinnedReproducible is the acceptance criterion end to end: the
+// same seeded fleet replayed against two freshly started daemons yields
+// byte-identical pinned sections, with zero failed jobs and a complete
+// timeline for every job.
+func TestRunPinnedReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays two full fleets")
+	}
+	cfg := loadgen.Config{
+		Seed: 1, Jobs: 8, Concurrency: 4, Stream: true,
+		Budget: 2_000, Warmup: 1_000, SearchBudget: 4,
+	}
+	var pinned [][]byte
+	for range 2 {
+		ts := freshDaemon(t)
+		cfg.BaseURL = ts.URL
+		report, err := loadgen.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Pinned.Failed != 0 || report.Pinned.Rejected != 0 {
+			t.Fatalf("failed=%d rejected=%d, want 0/0", report.Pinned.Failed, report.Pinned.Rejected)
+		}
+		if report.Pinned.CompleteTimelines != cfg.Jobs {
+			t.Errorf("complete timelines = %d, want %d", report.Pinned.CompleteTimelines, cfg.Jobs)
+		}
+		if report.Timing.SSELag == nil || report.Timing.StreamEvents == 0 {
+			t.Error("streaming run reported no SSE lag samples")
+		}
+		b, err := report.Pinned.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, b)
+	}
+	if !bytes.Equal(pinned[0], pinned[1]) {
+		t.Errorf("pinned sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", pinned[0], pinned[1])
+	}
+}

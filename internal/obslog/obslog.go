@@ -1,0 +1,241 @@
+// Package obslog is the repository's structured logging layer: leveled,
+// dependency-free records in logfmt (key=value) or JSON, with bound
+// fields so every line a component emits carries its identifying context
+// (job ID, tenant, request ID) without each call site repeating it.
+//
+// It exists because grepping interleaved log.Printf lines cannot answer
+// "what happened to *this* job" once thousands run concurrently. Every
+// record carries the correlation fields bound to its logger, and the
+// request-ID helpers in this package thread one correlation ID from the
+// client's X-Request-ID header through server, engine and search — the
+// Magpie-style request extraction the serving path needs.
+//
+// Design constraints match internal/telemetry: no dependencies outside
+// the standard library, safe for concurrent use, zero allocation on
+// records below the logger's level, and wall-clock timestamps confined
+// to log output (never artifacts — BENCH byte-reproducibility is a
+// repo-wide invariant).
+package obslog
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders record severities.
+type Level int
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel resolves a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// Field is one key/value pair on a record or bound to a logger.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field; the short name keeps call sites readable.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Err is the conventional error field.
+func Err(err error) Field { return Field{Key: "err", Value: err} }
+
+// Logger writes structured records at or above its level. The zero of
+// *Logger (nil) is valid and silently discards everything, so optional
+// logging costs one nil check.
+type Logger struct {
+	out    *output
+	level  Level
+	json   bool
+	fields []Field // bound context, emitted on every record
+}
+
+// output serializes writes; loggers derived via With share one output so
+// concurrent components never interleave bytes within a line.
+type output struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // test hook
+}
+
+// Option customizes a Logger at construction.
+type Option func(*Logger)
+
+// WithLevel sets the minimum level emitted (default LevelInfo).
+func WithLevel(l Level) Option { return func(lg *Logger) { lg.level = l } }
+
+// WithJSON switches the record format from logfmt to one JSON object per
+// line.
+func WithJSON() Option { return func(lg *Logger) { lg.json = true } }
+
+// New builds a Logger writing to w.
+func New(w io.Writer, opts ...Option) *Logger {
+	lg := &Logger{out: &output{w: w, now: time.Now}, level: LevelInfo}
+	for _, o := range opts {
+		o(lg)
+	}
+	return lg
+}
+
+// Default returns a process-wide logfmt logger on stderr at LevelInfo.
+// Components that are not handed a logger fall back to it, so their
+// records still carry structure.
+func Default() *Logger { return defaultLogger }
+
+var defaultLogger = New(os.Stderr)
+
+// With returns a child logger whose records all carry fields, in addition
+// to any already bound. The child shares the parent's writer and level.
+func (lg *Logger) With(fields ...Field) *Logger {
+	if lg == nil || len(fields) == 0 {
+		return lg
+	}
+	bound := make([]Field, 0, len(lg.fields)+len(fields))
+	bound = append(bound, lg.fields...)
+	bound = append(bound, fields...)
+	return &Logger{out: lg.out, level: lg.level, json: lg.json, fields: bound}
+}
+
+// Enabled reports whether records at l would be emitted.
+func (lg *Logger) Enabled(l Level) bool { return lg != nil && l >= lg.level }
+
+// Debug, Info, Warn and Error emit one record at their level.
+func (lg *Logger) Debug(msg string, fields ...Field) { lg.log(LevelDebug, msg, fields) }
+func (lg *Logger) Info(msg string, fields ...Field)  { lg.log(LevelInfo, msg, fields) }
+func (lg *Logger) Warn(msg string, fields ...Field)  { lg.log(LevelWarn, msg, fields) }
+func (lg *Logger) Error(msg string, fields ...Field) { lg.log(LevelError, msg, fields) }
+
+func (lg *Logger) log(l Level, msg string, fields []Field) {
+	if !lg.Enabled(l) {
+		return
+	}
+	var b strings.Builder
+	ts := lg.out.now().UTC().Format(time.RFC3339Nano)
+	if lg.json {
+		b.WriteString(`{"ts":`)
+		b.WriteString(strconv.Quote(ts))
+		b.WriteString(`,"level":"`)
+		b.WriteString(l.String())
+		b.WriteString(`","msg":`)
+		b.WriteString(strconv.Quote(msg))
+		for _, f := range lg.fields {
+			writeJSONField(&b, f)
+		}
+		for _, f := range fields {
+			writeJSONField(&b, f)
+		}
+		b.WriteString("}\n")
+	} else {
+		b.WriteString("ts=")
+		b.WriteString(ts)
+		b.WriteString(" level=")
+		b.WriteString(l.String())
+		b.WriteString(" msg=")
+		b.WriteString(quoteIfNeeded(msg))
+		for _, f := range lg.fields {
+			writeTextField(&b, f)
+		}
+		for _, f := range fields {
+			writeTextField(&b, f)
+		}
+		b.WriteByte('\n')
+	}
+	lg.out.mu.Lock()
+	_, _ = io.WriteString(lg.out.w, b.String())
+	lg.out.mu.Unlock()
+}
+
+func writeTextField(b *strings.Builder, f Field) {
+	b.WriteByte(' ')
+	b.WriteString(f.Key)
+	b.WriteByte('=')
+	b.WriteString(quoteIfNeeded(formatValue(f.Value)))
+}
+
+func writeJSONField(b *strings.Builder, f Field) {
+	b.WriteByte(',')
+	b.WriteString(strconv.Quote(f.Key))
+	b.WriteByte(':')
+	switch v := f.Value.(type) {
+	case int:
+		b.WriteString(strconv.Itoa(v))
+	case int64:
+		b.WriteString(strconv.FormatInt(v, 10))
+	case uint64:
+		b.WriteString(strconv.FormatUint(v, 10))
+	case float64:
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	case bool:
+		b.WriteString(strconv.FormatBool(v))
+	default:
+		b.WriteString(strconv.Quote(formatValue(f.Value)))
+	}
+}
+
+func formatValue(v any) string {
+	switch v := v.(type) {
+	case string:
+		return v
+	case error:
+		if v == nil {
+			return "<nil>"
+		}
+		return v.Error()
+	case fmt.Stringer:
+		return v.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// quoteIfNeeded quotes a logfmt value containing spaces, quotes, '=' or
+// control characters; bare tokens stay bare for readability.
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '=' || c == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+package obslog
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// HeaderRequestID is the HTTP header carrying the correlation ID:
+// internal/client stamps it on every call, the server adopts or mints one
+// at admission, echoes it on every response, binds it to the job's logs
+// and timeline, and threads it (via context) through engine and search so
+// one grep — or one /jobs/{id}/events read — reconstructs a request
+// end to end.
+const HeaderRequestID = "X-Request-ID"
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// WithRequestID returns a context carrying the correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID extracts the correlation ID from ctx ("" when absent).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ridCounter disambiguates IDs minted within one process even if the
+// random source ever repeats.
+var ridCounter atomic.Uint64
+
+// NewRequestID mints a correlation ID: 8 random bytes hex plus a process
+// sequence number — short enough for a log line, unique enough for a
+// fleet. IDs are correlation handles only; they never enter cache keys or
+// BENCH artifacts, so their randomness does not threaten reproducibility.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// A broken entropy source should not take logging down; fall back
+		// to the counter alone.
+		return fmt.Sprintf("req-%d", ridCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:]) + "-" + fmt.Sprint(ridCounter.Add(1))
+}
+
+// SanitizeRequestID bounds a client-supplied correlation ID: printable
+// ASCII without spaces or quotes, at most 64 bytes. Anything else is
+// discarded (the caller mints a fresh ID) so a hostile header cannot
+// corrupt log lines or SSE frames.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '=' {
+			return ""
+		}
+	}
+	return id
+}

@@ -115,6 +115,14 @@ func newAdmission(cfg AdmissionConfig) *admission {
 // On rejection nothing is reserved and the returned *admissionError says
 // why and when to retry.
 func (a *admission) admit(tenant string, pri int, launch func()) error {
+	return a.admitOr(tenant, pri, launch, func() {})
+}
+
+// admitOr is admit with a queued hook: invoked (under the admission lock,
+// so it strictly precedes the deferred launch) when the job lands in the
+// pending queue instead of launching immediately. The server uses it to
+// record the queued→admitted transition on the job's timeline.
+func (a *admission) admitOr(tenant string, pri int, launch, queued func()) error {
 	a.mu.Lock()
 
 	// Token bucket first: it is the cheapest check and the one with an
@@ -163,6 +171,7 @@ func (a *admission) admit(tenant string, pri int, launch func()) error {
 	}
 	a.seq++
 	heap.Push(&a.pending, &pendEntry{pri: pri, seq: a.seq, tenant: tenant, launch: launch})
+	queued()
 	a.mu.Unlock()
 	return nil
 }

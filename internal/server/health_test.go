@@ -1,0 +1,113 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hdsmt/internal/server"
+	"hdsmt/internal/version"
+)
+
+// TestHealthAndReadiness pins the probe contract: /healthz is pure
+// liveness (always 200 while serving), /readyz is 200 once the journal
+// is replayed and the engine accepts work, and flips to 503 the moment
+// the server starts draining — before jobs finish, so load balancers
+// stop routing first.
+func TestHealthAndReadiness(t *testing.T) {
+	dir := t.TempDir()
+	ts, srv, _ := durableServer(t, filepath.Join(dir, "jobs.jsonl"))
+
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("GET /healthz = %d, want 200", code)
+	}
+	var ready struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusOK {
+		t.Errorf("GET /readyz = %d, want 200", code)
+	}
+	if ready.Version != version.Version {
+		t.Errorf("readyz version = %q, want %q", ready.Version, version.Version)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Errorf("GET /readyz while draining = %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("GET /healthz while draining = %d, want 200 (liveness is not readiness)", code)
+	}
+}
+
+// TestBuildInfoMetric requires the hdsmt_build_info gauge on /metrics,
+// with version and goversion labels, value 1.
+func TestBuildInfoMetric(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line string
+	for _, l := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(l, "hdsmt_build_info{") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no hdsmt_build_info sample in /metrics:\n%s", body)
+	}
+	for _, want := range []string{`version="` + version.Version + `"`, `goversion="`, "} 1"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("build_info line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestRequestIDEcho pins the correlation contract at the HTTP edge: a
+// client-supplied X-Request-ID is echoed back and bound to the job; an
+// absent or unusable one is replaced with a server-minted ID.
+func TestRequestIDEcho(t *testing.T) {
+	ts, _ := newTestServer(t)
+	spec := server.JobSpec{Kind: "run", Config: "M8", Workload: "2W1", Budget: 2_000, Warmup: 1_000}
+
+	code, st, hdr := postStatus(t, ts, spec, map[string]string{"X-Request-ID": "corr-123"})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	if got := hdr.Get("X-Request-ID"); got != "corr-123" {
+		t.Errorf("echoed X-Request-ID = %q, want corr-123", got)
+	}
+	if st.RequestID != "corr-123" {
+		t.Errorf("job request_id = %q, want corr-123", st.RequestID)
+	}
+
+	// A header full of garbage (spaces, quotes) must not be reflected
+	// back verbatim; the server mints a clean replacement.
+	code, st, hdr = postStatus(t, ts, spec, map[string]string{"X-Request-ID": `bad id "quoted"`})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	minted := hdr.Get("X-Request-ID")
+	if minted == "" || strings.ContainsAny(minted, " \"") {
+		t.Errorf("sanitized X-Request-ID = %q, want a clean minted ID", minted)
+	}
+	if st.RequestID != minted {
+		t.Errorf("job request_id %q != echoed header %q", st.RequestID, minted)
+	}
+}

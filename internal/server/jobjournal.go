@@ -28,20 +28,27 @@ import (
 //	interrupted — a restarted daemon found the job unfinished and could
 //	              not resume it; terminal, inspectable via GET /jobs/{id}
 //	evicted     — DELETE released a settled job; replay drops it
+//	timeline    — one durable timeline event (see events.go); replay
+//	              restores it into the job's in-memory ring
 type jobEvent struct {
 	ID    string `json:"id"`
 	Event string `json:"event"`
 
 	// accepted events only.
-	Tenant   string   `json:"tenant,omitempty"`
-	Priority int      `json:"priority,omitempty"`
-	Spec     *JobSpec `json:"spec,omitempty"`
-	Created  string   `json:"created,omitempty"`
+	Tenant    string   `json:"tenant,omitempty"`
+	Priority  int      `json:"priority,omitempty"`
+	Spec      *JobSpec `json:"spec,omitempty"`
+	Created   string   `json:"created,omitempty"`
+	RequestID string   `json:"request_id,omitempty"`
 
 	// settle events only.
 	Error    string          `json:"error,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
 	Finished string          `json:"finished,omitempty"`
+
+	// timeline events only: one durable entry of the job's event timeline
+	// (see events.go), replayed into the in-memory ring on restart.
+	TL *Event `json:"tl,omitempty"`
 }
 
 type jobJournal struct {

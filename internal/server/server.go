@@ -31,7 +31,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -44,10 +43,12 @@ import (
 
 	"hdsmt/internal/config"
 	"hdsmt/internal/mapping"
+	"hdsmt/internal/obslog"
 	"hdsmt/internal/pareto"
 	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/telemetry"
+	"hdsmt/internal/version"
 	"hdsmt/internal/workload"
 )
 
@@ -154,14 +155,18 @@ type Progress struct {
 
 // Status is the body of GET /jobs/{id}.
 type Status struct {
-	ID       string   `json:"id"`
-	Kind     string   `json:"kind"`
-	Tenant   string   `json:"tenant,omitempty"`
-	State    string   `json:"state"` // pending|running|done|failed|canceled|interrupted
-	Error    string   `json:"error,omitempty"`
-	Progress Progress `json:"progress"`
-	Created  string   `json:"created,omitempty"`
-	Finished string   `json:"finished,omitempty"`
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Tenant string `json:"tenant,omitempty"`
+	// RequestID is the correlation ID bound to this job at admission —
+	// the client's X-Request-ID, or server-minted. Every log line, trace
+	// span and timeline event of the job carries it.
+	RequestID string   `json:"request_id,omitempty"`
+	State     string   `json:"state"` // pending|running|done|failed|canceled|interrupted
+	Error     string   `json:"error,omitempty"`
+	Progress  Progress `json:"progress"`
+	Created   string   `json:"created,omitempty"`
+	Finished  string   `json:"finished,omitempty"`
 
 	// Front and Hypervolume stream a pareto job's incumbent non-dominated
 	// front mid-run: they update on every archive change, so a client
@@ -188,10 +193,16 @@ func settledState(state string) bool {
 }
 
 type job struct {
-	id     string
-	spec   JobSpec
-	tenant string
-	cancel context.CancelFunc
+	id        string
+	spec      JobSpec
+	tenant    string
+	requestID string
+	cancel    context.CancelFunc
+	// tl is the job's event timeline (bounded ring + SSE subscribers);
+	// log is the server logger with the job's correlation fields bound,
+	// so every record names job, tenant and request ID.
+	tl  *timeline
+	log *obslog.Logger
 
 	mu       sync.Mutex
 	state    string
@@ -212,6 +223,7 @@ func (j *job) status() Status {
 		ID:          j.id,
 		Kind:        j.spec.Kind,
 		Tenant:      j.tenant,
+		RequestID:   j.requestID,
 		State:       j.state,
 		Error:       j.errmsg,
 		Progress:    Progress{Done: j.done, Total: j.total},
@@ -243,7 +255,18 @@ type Server struct {
 	deadlines map[string]time.Duration
 	maxBody   int64
 	draining  atomic.Bool
+	drainCh   chan struct{}  // closed once by Drain; ends live SSE streams
+	ready     atomic.Bool    // journal replayed; flips in New
 	wg        sync.WaitGroup // every accepted-and-launched job; Drain waits on it
+
+	// log receives the server's structured records; per-job children bind
+	// job ID, tenant and request ID so no line is uncorrelated.
+	log *obslog.Logger
+
+	// SSE tuning: heartbeat period for idle streams and the per-job
+	// timeline ring capacity. Options override both (tests shrink them).
+	sseHeartbeat time.Duration
+	timelineCap  int
 
 	// reg backs GET /metrics and the per-kind job instruments below. Pass
 	// the same registry to the runner's engine.Options (WithTelemetry) so
@@ -257,6 +280,9 @@ type Server struct {
 	jobPanics   *telemetry.Counter
 	recovered   *telemetry.CounterVec
 	journalTorn *telemetry.Counter
+	sseStreams  *telemetry.Gauge
+	sseEvents   *telemetry.Counter
+	jobEvents   *telemetry.Counter
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -320,6 +346,35 @@ func WithMaxBodyBytes(n int64) Option {
 	}
 }
 
+// WithLogger sets the server's structured logger (default: the process
+// logger). The server binds component/job/tenant/request ID fields
+// itself; hand it a child with deployment fields if needed.
+func WithLogger(lg *obslog.Logger) Option {
+	return func(s *Server) { s.log = lg }
+}
+
+// WithSSEHeartbeat sets the idle-stream heartbeat period (default 15s).
+// Tests shrink it to observe heartbeats quickly.
+func WithSSEHeartbeat(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.sseHeartbeat = d
+		}
+	}
+}
+
+// WithTimelineCap bounds each job's in-memory event ring (default 512).
+// When a job outgrows it, the oldest events are dropped from the ring
+// (sequence numbers expose the gap); the durable lifecycle events remain
+// in the job journal regardless.
+func WithTimelineCap(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.timelineCap = n
+		}
+	}
+}
+
 // New builds a Server executing jobs on r. The caller keeps ownership of
 // r (and closes it after shutting the HTTP listener down, after Close on
 // the server). The only error source is the job journal: an unreadable
@@ -327,14 +382,21 @@ func WithMaxBodyBytes(n int64) Option {
 // running non-durable.
 func New(r *sim.Runner, opts ...Option) (*Server, error) {
 	s := &Server{
-		runner:   r,
-		jobs:     map[string]*job{},
-		archives: map[string]string{},
-		maxBody:  1 << 20,
+		runner:       r,
+		jobs:         map[string]*job{},
+		archives:     map[string]string{},
+		maxBody:      1 << 20,
+		sseHeartbeat: 15 * time.Second,
+		timelineCap:  defaultTimelineCap,
+		drainCh:      make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	if s.log == nil {
+		s.log = obslog.Default()
+	}
+	s.log = s.log.With(obslog.F("component", "server"))
 	if s.reg == nil {
 		s.reg = telemetry.NewRegistry()
 	}
@@ -358,6 +420,15 @@ func New(r *sim.Runner, opts ...Option) (*Server, error) {
 	s.reg.GaugeFunc(telemetry.MetricServerPending,
 		"jobs queued by admission control awaiting an active slot",
 		func() float64 { return float64(s.adm.pendingLen()) })
+	s.sseStreams = s.reg.Gauge(telemetry.MetricServerSSEStreams,
+		"live SSE event streams currently open")
+	s.sseEvents = s.reg.Counter(telemetry.MetricServerSSEEvents,
+		"events delivered over SSE streams (heartbeats excluded)")
+	s.jobEvents = s.reg.Counter(telemetry.MetricServerJobEvents,
+		"job timeline events recorded, all jobs")
+	s.reg.Info(telemetry.MetricBuildInfo, "build metadata", [][2]string{
+		{"version", version.Version}, {"goversion", version.Go()},
+	})
 
 	if s.journalPath != "" {
 		jj, events, torn, err := openJobJournal(s.journalPath)
@@ -368,6 +439,7 @@ func New(r *sim.Runner, opts ...Option) (*Server, error) {
 		s.journalTorn.Add(float64(torn))
 		s.replay(events)
 	}
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -388,17 +460,27 @@ func (s *Server) replay(events []jobEvent) {
 				continue
 			}
 			j := &job{
-				id:      ev.ID,
-				spec:    *ev.Spec,
-				tenant:  ev.Tenant,
-				cancel:  func() {},
-				state:   "pending",
-				created: parseRFC3339(ev.Created),
+				id:        ev.ID,
+				spec:      *ev.Spec,
+				tenant:    ev.Tenant,
+				requestID: ev.RequestID,
+				cancel:    func() {},
+				state:     "pending",
+				created:   parseRFC3339(ev.Created),
 			}
+			j.tl = newTimeline(j.created, s.timelineCap)
+			j.log = s.jobLogger(j)
 			s.jobs[ev.ID] = j
 			var n int
 			if _, err := fmt.Sscanf(ev.ID, "job-%d", &n); err == nil && n > s.nextID {
 				s.nextID = n
+			}
+		case "timeline":
+			// Durable timeline events re-populate the ring with their
+			// original sequence numbers and relative timestamps, so a
+			// restarted daemon still serves the accepted→… history.
+			if j, ok := s.jobs[ev.ID]; ok && ev.TL != nil {
+				j.tl.restore(*ev.TL)
 			}
 		case "running":
 			if j, ok := s.jobs[ev.ID]; ok {
@@ -449,10 +531,12 @@ func (s *Server) resume(j *job) {
 			return
 		}
 	}
-	ctx, cancel := s.jobContext(j.spec)
+	ctx, cancel := s.jobContext(j.spec, j.requestID)
 	j.cancel = cancel
 	j.total = opts.Budget
 	s.recovered.With("resumed").Inc()
+	s.event(j, EventRetried, "resumed from archive after daemon restart")
+	j.log.Info("job resumed after restart", obslog.F("archive", j.spec.Archive))
 	s.adm.adopt(j.tenant)
 	s.wg.Add(1)
 	go s.runJob(ctx, j, func(ctx context.Context, j *job) (any, error) {
@@ -466,8 +550,9 @@ func (s *Server) interrupt(j *job) {
 	j.errmsg = "daemon restarted while the job was unfinished; not resumable"
 	j.finished = time.Now()
 	s.recovered.With("interrupted").Inc()
+	s.event(j, EventInterrupted, j.errmsg)
 	if err := s.jj.append(jobEvent{ID: j.id, Event: "interrupted", Error: j.errmsg, Finished: rfc3339(j.finished)}); err != nil {
-		log.Printf("server: journaling interrupt of %s: %v", j.id, err)
+		j.log.Error("journaling interrupt failed", obslog.Err(err))
 	}
 }
 
@@ -480,7 +565,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	// no job can slip into the WaitGroup after the drain decides its
 	// membership — wg.Add never races wg.Wait from zero.
 	s.mu.Lock()
-	s.draining.Store(true)
+	if !s.draining.Swap(true) {
+		// Live SSE streams end now: they are reads, not jobs, and must
+		// not hold http.Server.Shutdown open for the heartbeat interval.
+		close(s.drainCh)
+	}
 	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
@@ -492,21 +581,74 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Handler returns the server's route mux.
+// Handler returns the server's route mux, wrapped so every request gets
+// a correlation ID: an incoming X-Request-ID is adopted (sanitized), a
+// missing one is minted, and either way the ID is echoed on the response
+// and bound to the request context for logs, jobs and timelines.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancelPost)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s.withRequestID(mux)
+}
+
+// withRequestID is the correlation middleware described on Handler.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := obslog.SanitizeRequestID(r.Header.Get(obslog.HeaderRequestID))
+		if rid == "" {
+			rid = obslog.NewRequestID()
+		}
+		w.Header().Set(obslog.HeaderRequestID, rid)
+		r = r.WithContext(obslog.WithRequestID(r.Context(), rid))
+		next.ServeHTTP(w, r)
+		if s.log.Enabled(obslog.LevelDebug) {
+			s.log.Debug("http request",
+				obslog.F("method", r.Method), obslog.F("path", r.URL.Path),
+				obslog.F("request_id", rid))
+		}
 	})
-	return mux
+}
+
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// Orchestrators restart on its failure, so it must never depend on load,
+// drains or journal state.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: the job journal has been replayed and the
+// engine is accepting work, and the server is not draining. Load
+// balancers route on it, so a draining daemon reports 503 to shed
+// traffic while /healthz stays green.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	body := map[string]any{
+		"version": version.Version,
+		"jobs":    jobs,
+	}
+	switch {
+	case s.draining.Load():
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case !s.ready.Load() || !s.runner.Accepting():
+		body["status"] = "not ready"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		body["status"] = "ready"
+		writeJSON(w, http.StatusOK, body)
+	}
 }
 
 // handleMetrics renders the registry in Prometheus text exposition format.
@@ -758,7 +900,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, ctx, err := s.newJob(spec, tenant, total)
+	j, ctx, err := s.newJob(spec, tenant, total, obslog.RequestID(r.Context()))
 	if err != nil {
 		s.rejected.With("draining").Inc()
 		w.Header().Set("Retry-After", "10")
@@ -779,14 +921,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// jobs, so ordering here is what makes the journal replayable. A
 	// rejected submission is erased with an eviction event below.
 	s.journalAccepted(j)
-	launch := func() { go s.runJob(ctx, j, body) }
-	if err := s.adm.admit(tenant, spec.Priority, launch); err != nil {
+	s.event(j, EventAccepted, spec.Kind)
+	launch := func() {
+		s.event(j, EventAdmitted, "")
+		go s.runJob(ctx, j, body)
+	}
+	queued := func() { s.event(j, EventQueued, "awaiting an active slot") }
+	if err := s.adm.admitOr(tenant, spec.Priority, launch, queued); err != nil {
 		if archivePath != "" {
 			s.unclaimArchive(archivePath)
 		}
 		s.dropJob(j)
 		if jerr := s.jj.append(jobEvent{ID: j.id, Event: "evicted"}); jerr != nil {
-			log.Printf("server: journaling rejection of %s: %v", j.id, jerr)
+			j.log.Error("journaling rejection failed", obslog.Err(jerr))
 		}
 		var ae *admissionError
 		if errors.As(err, &ae) {
@@ -808,9 +955,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // refined once the search knows its effective target). Registration and
 // the drain re-check share one critical section so Drain's WaitGroup
 // membership is exact.
-func (s *Server) newJob(spec JobSpec, tenant string, total int) (*job, context.Context, error) {
-	ctx, cancel := s.jobContext(spec)
-	j := &job{spec: spec, tenant: tenant, cancel: cancel, state: "pending", total: total, created: time.Now()}
+func (s *Server) newJob(spec JobSpec, tenant string, total int, requestID string) (*job, context.Context, error) {
+	if requestID == "" {
+		requestID = obslog.NewRequestID()
+	}
+	ctx, cancel := s.jobContext(spec, requestID)
+	j := &job{
+		spec: spec, tenant: tenant, requestID: requestID,
+		cancel: cancel, state: "pending", total: total, created: time.Now(),
+	}
+	j.tl = newTimeline(j.created, s.timelineCap)
 	s.mu.Lock()
 	if s.draining.Load() {
 		s.mu.Unlock()
@@ -822,16 +976,31 @@ func (s *Server) newJob(spec JobSpec, tenant string, total int) (*job, context.C
 	j.id = fmt.Sprintf("job-%06d", s.nextID)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	j.log = s.jobLogger(j)
 	return j, ctx, nil
 }
 
+// jobLogger binds a job's correlation fields, so every record about the
+// job carries its ID, tenant and request ID without the call site
+// repeating them.
+func (s *Server) jobLogger(j *job) *obslog.Logger {
+	return s.log.With(
+		obslog.F("job", j.id),
+		obslog.F("tenant", j.tenant),
+		obslog.F("request_id", j.requestID),
+	)
+}
+
 // jobContext builds a job's execution context: canceled by DELETE or
-// POST cancel, and bounded by the job's deadline when one applies.
-func (s *Server) jobContext(spec JobSpec) (context.Context, context.CancelFunc) {
+// POST cancel, bounded by the job's deadline when one applies, and
+// carrying the job's correlation ID so engine- and search-level records
+// tie back to the originating request.
+func (s *Server) jobContext(spec JobSpec, requestID string) (context.Context, context.CancelFunc) {
+	base := obslog.WithRequestID(context.Background(), requestID)
 	if d := s.deadlineFor(spec); d > 0 {
-		return context.WithTimeout(context.Background(), d)
+		return context.WithTimeout(base, d)
 	}
-	return context.WithCancel(context.Background())
+	return context.WithCancel(base)
 }
 
 func (s *Server) deadlineFor(spec JobSpec) time.Duration {
@@ -854,14 +1023,15 @@ func (s *Server) dropJob(j *job) {
 
 func (s *Server) journalAccepted(j *job) {
 	if err := s.jj.append(jobEvent{
-		ID:       j.id,
-		Event:    "accepted",
-		Tenant:   j.tenant,
-		Priority: j.spec.Priority,
-		Spec:     &j.spec,
-		Created:  rfc3339(j.created),
+		ID:        j.id,
+		Event:     "accepted",
+		Tenant:    j.tenant,
+		RequestID: j.requestID,
+		Priority:  j.spec.Priority,
+		Spec:      &j.spec,
+		Created:   rfc3339(j.created),
 	}); err != nil {
-		log.Printf("server: journaling accept of %s: %v", j.id, err)
+		j.log.Error("journaling accept failed", obslog.Err(err))
 	}
 }
 
@@ -879,7 +1049,8 @@ func (s *Server) runJob(ctx context.Context, j *job, body func(context.Context, 
 		defer func() {
 			if r := recover(); r != nil {
 				s.jobPanics.Inc()
-				log.Printf("server: job %s panicked: %v (job failed, daemon unaffected)", j.id, r)
+				j.log.Error("job panicked; job failed, daemon unaffected",
+					obslog.F("panic", fmt.Sprint(r)))
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
@@ -892,8 +1063,9 @@ func (s *Server) markRunning(j *job) {
 	j.mu.Lock()
 	j.state = "running"
 	j.mu.Unlock()
+	s.event(j, EventStarted, "")
 	if err := s.jj.append(jobEvent{ID: j.id, Event: "running"}); err != nil {
-		log.Printf("server: journaling start of %s: %v", j.id, err)
+		j.log.Error("journaling start failed", obslog.Err(err))
 	}
 }
 
@@ -922,18 +1094,29 @@ func (s *Server) settle(ctx context.Context, j *job, result any, err error) {
 	}
 	ev := jobEvent{ID: j.id, Event: j.state, Error: j.errmsg, Finished: rfc3339(j.finished)}
 	dur := j.finished.Sub(j.created)
-	kind, tenant := j.spec.Kind, j.tenant
+	kind, tenant, state, errmsg := j.spec.Kind, j.tenant, j.state, j.errmsg
 	if j.state == "done" {
 		if raw, merr := json.Marshal(j.result); merr == nil {
 			ev.Result = raw
 		} else {
-			log.Printf("server: result of %s not journalable: %v", j.id, merr)
+			j.log.Error("result not journalable", obslog.Err(merr))
 		}
 	}
 	j.mu.Unlock()
 
+	detail := state
+	if errmsg != "" {
+		detail = state + ": " + errmsg
+	}
+	s.event(j, EventSettled, detail)
+	if state == "done" {
+		j.log.Info("job settled", obslog.F("state", state), obslog.F("kind", kind))
+	} else {
+		j.log.Warn("job settled", obslog.F("state", state), obslog.F("kind", kind),
+			obslog.F("err", errmsg))
+	}
 	if jerr := s.jj.append(ev); jerr != nil {
-		log.Printf("server: journaling settlement of %s: %v", j.id, jerr)
+		j.log.Error("journaling settlement failed", obslog.Err(jerr))
 	}
 	s.jobInflight.Dec()
 	s.jobSeconds.With(kind).Observe(dur.Seconds())
@@ -955,6 +1138,7 @@ func (s *Server) cellsBody(ctx context.Context, j *job, cells []sim.SweepCell) (
 		j.mu.Lock()
 		j.done = 1
 		j.mu.Unlock()
+		s.event(j, EventProgress, "1/1")
 		return result, nil
 	case "evaluate":
 		result, err := s.runner.Evaluate(ctx, cells[0].Cfg, cells[0].W, opt)
@@ -964,12 +1148,15 @@ func (s *Server) cellsBody(ctx context.Context, j *job, cells []sim.SweepCell) (
 		j.mu.Lock()
 		j.done = 1
 		j.mu.Unlock()
+		s.event(j, EventProgress, "1/1")
 		return result, nil
 	default: // sweep
 		ms, err := s.runner.EvaluateAll(ctx, cells, opt, func(done int) {
 			j.mu.Lock()
 			j.done = done
+			total := j.total
 			j.mu.Unlock()
+			s.event(j, EventProgress, fmt.Sprintf("%d/%d", done, total))
 		})
 		if err != nil {
 			return nil, err
@@ -1011,12 +1198,14 @@ func (s *Server) searchBody(ctx context.Context, j *job, sp search.Space, st sea
 		j.done = done
 		j.total = total // the driver's effective target: min(budget, space)
 		j.mu.Unlock()
+		s.event(j, EventProgress, fmt.Sprintf("%d/%d", done, total))
 	}
 	opts.FrontProgress = func(front []search.TrajectoryPoint, hv float64) {
 		j.mu.Lock()
 		j.front = front
 		j.hv = hv
 		j.mu.Unlock()
+		s.event(j, EventFrontUpdate, fmt.Sprintf("size=%d hv=%.6g", len(front), hv))
 	}
 	return search.NewDriver(s.runner).Search(ctx, sp, st, opts)
 }
@@ -1050,10 +1239,17 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleStatus serves a job's status snapshot — or, when the client
+// accepts text/event-stream, switches to live SSE of the job's timeline,
+// replacing the poll loop the client would otherwise run.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if wantsSSE(r) {
+		s.streamEvents(w, r, j)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -1100,6 +1296,7 @@ func (s *Server) handleCancelPost(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, fmt.Errorf("job already settled (%s)", state))
 		return
 	}
+	s.event(j, EventCanceled, "cancellation requested")
 	j.cancel()
 	writeJSON(w, http.StatusAccepted, j.status())
 }
@@ -1121,10 +1318,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
+		s.event(j, EventEvicted, "")
 		if err := s.jj.append(jobEvent{ID: j.id, Event: "evicted"}); err != nil {
-			log.Printf("server: journaling eviction of %s: %v", j.id, err)
+			j.log.Error("journaling eviction failed", obslog.Err(err))
 		}
 	} else {
+		s.event(j, EventCanceled, "cancellation requested")
 		j.cancel()
 	}
 	writeJSON(w, http.StatusOK, j.status())

@@ -44,6 +44,10 @@ func (r *Runner) Close() { r.eng.Close() }
 // Stats exposes the engine's hit/miss/executed counters.
 func (r *Runner) Stats() engine.Stats { return r.eng.Stats() }
 
+// Accepting reports whether the underlying engine still takes
+// submissions; /readyz keys off it.
+func (r *Runner) Accepting() bool { return r.eng.Accepting() }
+
 // Engine returns the underlying engine (for direct Submit access).
 func (r *Runner) Engine() *engine.Engine { return r.eng }
 

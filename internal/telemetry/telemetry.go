@@ -64,6 +64,11 @@ const (
 	MetricSearchSubmitted   = "hdsmt_search_submitted_total"
 	MetricSearchCacheHits   = "hdsmt_search_cache_hits_total"
 	MetricSearchBestAge     = "hdsmt_search_best_age"
+
+	MetricBuildInfo        = "hdsmt_build_info"
+	MetricServerSSEStreams = "hdsmt_server_sse_streams"
+	MetricServerSSEEvents  = "hdsmt_server_sse_events_total"
+	MetricServerJobEvents  = "hdsmt_server_job_events_total"
 )
 
 // Counter is a monotonically increasing float64. The float representation
@@ -191,6 +196,7 @@ const (
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
+	kindInfo
 )
 
 func (k kind) String() string {
@@ -212,6 +218,10 @@ type family struct {
 	labelKey   string
 	bounds     []float64
 	series     map[string]any // label value -> *Counter | *Gauge | *Histogram | func() float64
+	// info holds the label pairs of a kindInfo family — a constant gauge
+	// like build_info whose value is always 1 and whose labels are the
+	// payload.
+	info [][2]string
 }
 
 // Registry holds metric families by name. All methods are safe for
@@ -313,6 +323,18 @@ func (r *Registry) gaugeFuncWith(name, help, label, value string, fn func() floa
 	f.series[value] = fn
 }
 
+// Info registers a constant informational gauge, Prometheus build_info
+// style: its value is always 1 and its label pairs — rendered in the
+// order given — are the payload (version, go version, ...). Registering
+// the same name again replaces the pairs, so a restarted component's
+// metadata tracks the live instance.
+func (r *Registry) Info(name, help string, pairs [][2]string) {
+	f := r.family(name, help, kindInfo, "", nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.info = append([][2]string(nil), pairs...)
+}
+
 // Histogram registers (or finds) an unlabeled fixed-bucket histogram.
 // bounds must be ascending; nil means DefBuckets.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -368,6 +390,9 @@ type Sample struct {
 	// Label/LabelValue identify the series within the family ("" when
 	// unlabeled).
 	Label, LabelValue string
+	// Pairs carries the label pairs of an info-style constant gauge
+	// (Registry.Info); nil otherwise.
+	Pairs [][2]string
 	// Value carries counter/gauge samples; Hist carries histograms.
 	Value float64
 	Hist  *HistogramSnapshot
@@ -390,6 +415,13 @@ func (r *Registry) Snapshot() []Sample {
 	sort.Strings(names)
 	for _, name := range names {
 		f := r.families[name]
+		if f.kind == kindInfo {
+			out = append(out, pending{sample: Sample{
+				Name: f.name, Type: f.kind.String(),
+				Pairs: f.info, Value: 1,
+			}})
+			continue
+		}
 		values := make([]string, 0, len(f.series))
 		for v := range f.series {
 			values = append(values, v)
@@ -468,6 +500,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				labelPairs(s.Label, s.LabelValue, "le", "+Inf"), s.Hist.Buckets[len(s.Hist.Buckets)-1])
 			fmt.Fprintf(&b, "%s_sum%s %s\n", s.Name, labelBlock(s.Label, s.LabelValue), formatFloat(s.Hist.Sum))
 			fmt.Fprintf(&b, "%s_count%s %d\n", s.Name, labelBlock(s.Label, s.LabelValue), s.Hist.Count)
+		case s.Pairs != nil:
+			pairs := make([]string, len(s.Pairs))
+			for i, p := range s.Pairs {
+				pairs[i] = p[0] + `="` + escapeLabel(p[1]) + `"`
+			}
+			fmt.Fprintf(&b, "%s{%s} %s\n", s.Name, strings.Join(pairs, ","), formatFloat(s.Value))
 		default:
 			fmt.Fprintf(&b, "%s%s %s\n", s.Name, labelBlock(s.Label, s.LabelValue), formatFloat(s.Value))
 		}

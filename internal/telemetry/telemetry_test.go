@@ -199,3 +199,27 @@ func TestReporterLine(t *testing.T) {
 		t.Errorf("evaluations-mode line = %q", line)
 	}
 }
+
+func TestInfoGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Info(MetricBuildInfo, "build metadata", [][2]string{
+		{"version", "v0.8.0"}, {"goversion", "go1.24.0"},
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `hdsmt_build_info{version="v0.8.0",goversion="go1.24.0"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, sb.String())
+	}
+	// Re-registration replaces the pairs rather than duplicating the series.
+	r.Info(MetricBuildInfo, "build metadata", [][2]string{{"version", "v0.8.1"}})
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "v0.8.0") || !strings.Contains(sb.String(), `{version="v0.8.1"} 1`) {
+		t.Errorf("re-registration did not replace pairs:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,14 @@
+// Package version identifies the build for logs, GET /readyz and the
+// hdsmt_build_info metric, so a /metrics scrape names the binary that
+// produced it.
+package version
+
+import "runtime"
+
+// Version is the human-readable build version. Override at link time:
+//
+//	go build -ldflags "-X hdsmt/internal/version.Version=v1.2.3"
+var Version = "v0.8.0-dev"
+
+// Go returns the toolchain version the binary was built with.
+func Go() string { return runtime.Version() }
