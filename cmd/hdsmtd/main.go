@@ -32,6 +32,7 @@ import (
 	"hdsmt/internal/server"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/telemetry"
+	"hdsmt/internal/tshist"
 	"hdsmt/internal/version"
 )
 
@@ -57,8 +58,33 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault-injection schedule (same seed + same spec = same faults)")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug adds a per-request access line)")
 		logFormat   = flag.String("log-format", "text", "log output format: text (key=value) or json (one object per line)")
+
+		sseHeartbeat = flag.Duration("sse-heartbeat", 15*time.Second, "idle SSE stream heartbeat period (must be > 0); keeps proxies from timing out quiet event streams")
+		histInterval = flag.Duration("history-interval", 5*time.Second, "metrics-history sampling period for GET /metrics/history (must be > 0)")
+		histCap      = flag.Int("history-cap", 512, "metrics-history ring size in samples; with -history-interval 5s, 512 covers ~42 minutes")
+		sloAvail     = flag.Float64("slo-availability", 0.999, "availability SLO objective: target fraction of non-5xx responses (0 < objective < 1)")
+		sloLatency   = flag.String("slo-latency", "", "per-kind latency SLO targets, e.g. 'run=0.5,sweep=30' (kind=p95 seconds; empty = none)")
+		traceSpans   = flag.Int("trace-spans", telemetry.DefaultJobTraceCap, "per-job span-buffer capacity for GET /jobs/{id}/trace; oldest spans are dropped beyond it")
 	)
 	flag.Parse()
+
+	if *sseHeartbeat <= 0 {
+		fmt.Fprintf(os.Stderr, "hdsmtd: -sse-heartbeat: must be > 0 (got %v)\n", *sseHeartbeat)
+		os.Exit(2)
+	}
+	if *histInterval <= 0 {
+		fmt.Fprintf(os.Stderr, "hdsmtd: -history-interval: must be > 0 (got %v)\n", *histInterval)
+		os.Exit(2)
+	}
+	if *sloAvail <= 0 || *sloAvail >= 1 {
+		fmt.Fprintf(os.Stderr, "hdsmtd: -slo-availability: objective must be in (0, 1), got %g\n", *sloAvail)
+		os.Exit(2)
+	}
+	latencySLOs, err := tshist.ParseLatencyTargets(*sloLatency)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdsmtd: -slo-latency: %v\n", err)
+		os.Exit(2)
+	}
 
 	level, err := obslog.ParseLevel(*logLevel)
 	if err != nil {
@@ -91,6 +117,18 @@ func main() {
 	// search drivers' per-strategy progress and the server's per-kind job
 	// instruments all land in the same GET /metrics scrape.
 	reg := telemetry.NewRegistry()
+	// The sampler snapshots that registry on a fixed cadence, turning the
+	// instantaneous counters into windowed rates, latency quantiles and
+	// SLO burn status for GET /metrics/history and hdsmtop.
+	sampler := tshist.New(reg, tshist.Config{
+		Interval: *histInterval,
+		Capacity: *histCap,
+		SLOs:     append([]tshist.SLO{tshist.AvailabilitySLO(*sloAvail)}, latencySLOs...),
+	})
+	samplerCtx, samplerStop := context.WithCancel(context.Background())
+	defer samplerStop()
+	go sampler.Run(samplerCtx)
+
 	runner, err := sim.NewRunner(engine.Options{
 		Workers:     *workers,
 		CacheDir:    *cache,
@@ -111,6 +149,9 @@ func main() {
 		server.WithTelemetry(reg),
 		server.WithLogger(logger),
 		server.WithMaxBodyBytes(*maxBody),
+		server.WithSSEHeartbeat(*sseHeartbeat),
+		server.WithHistory(sampler),
+		server.WithTraceSpanCap(*traceSpans),
 		server.WithAdmission(server.AdmissionConfig{
 			MaxActive:   *maxActive,
 			MaxPending:  *maxPending,

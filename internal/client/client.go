@@ -20,6 +20,8 @@ import (
 	"hdsmt/internal/obslog"
 	"hdsmt/internal/retry"
 	"hdsmt/internal/server"
+	"hdsmt/internal/telemetry"
+	"hdsmt/internal/tshist"
 )
 
 // Client talks to one hdsmtd instance.
@@ -159,6 +161,26 @@ func (c *Client) Result(ctx context.Context, id string, out any) error {
 	})
 }
 
+// History fetches the server's windowed metrics view (GET
+// /metrics/history): per-kind throughput and latency quantiles over
+// 1m/5m/30m, current gauges, and SLO burn status.
+func (c *Client) History(ctx context.Context) (tshist.History, error) {
+	var h tshist.History
+	err := retry.Do(ctx, c.policy, func() error {
+		return c.do(ctx, http.MethodGet, "/metrics/history", nil, &h)
+	})
+	return h, err
+}
+
+// Trace fetches a job's assembled span tree (GET /jobs/{id}/trace).
+func (c *Client) Trace(ctx context.Context, id string) (server.TracePage, error) {
+	var tp server.TracePage
+	err := retry.Do(ctx, c.policy, func() error {
+		return c.do(ctx, http.MethodGet, "/jobs/"+id+"/trace", nil, &tp)
+	})
+	return tp, err
+}
+
 // Cancel requests cancellation (POST /jobs/{id}/cancel). Canceling an
 // already-settled job returns a permanent 409 *APIError.
 func (c *Client) Cancel(ctx context.Context, id string) (server.Status, error) {
@@ -188,6 +210,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		req.Header.Set("X-API-Key", c.apiKey)
 	}
 	req.Header.Set(obslog.HeaderRequestID, requestID(ctx))
+	req.Header.Set(telemetry.HeaderTraceparent, traceContext(ctx).Traceparent())
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err // transport error: retryable

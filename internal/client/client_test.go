@@ -16,6 +16,7 @@ import (
 	"hdsmt/internal/retry"
 	"hdsmt/internal/server"
 	"hdsmt/internal/sim"
+	"hdsmt/internal/telemetry"
 )
 
 // TestSubmitHonorsRetryAfter: 429 responses are retried, waiting exactly
@@ -141,5 +142,50 @@ func TestClientEndToEnd(t *testing.T) {
 	jobs, err := c.List(ctx)
 	if err != nil || len(jobs) != 1 {
 		t.Errorf("List = %d jobs, %v; want 1, nil", len(jobs), err)
+	}
+}
+
+// TestClientStampsTraceparent pins the propagation contract on the wire:
+// every request carries a traceparent — the context's trace identity
+// when one is bound (so a caller's trace threads through all of its
+// requests), a freshly minted valid one otherwise.
+func TestClientStampsTraceparent(t *testing.T) {
+	var headers []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers = append(headers, r.Header.Get(telemetry.HeaderTraceparent))
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(server.Status{ID: "job-000001", State: "pending"})
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	// Unbound context: the client mints a valid identity.
+	if _, err := c.Submit(context.Background(), server.JobSpec{Kind: "run"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 1 {
+		t.Fatalf("server saw %d requests, want 1", len(headers))
+	}
+	minted, ok := telemetry.ParseTraceparent(headers[0])
+	if !ok {
+		t.Fatalf("minted traceparent %q is invalid", headers[0])
+	}
+
+	// Bound context: the bound identity is sent verbatim on every call.
+	tc := telemetry.NewTraceContext()
+	ctx := telemetry.WithTraceContext(context.Background(), tc)
+	if _, err := c.Submit(ctx, server.JobSpec{Kind: "run"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(ctx, "job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range headers[1:] {
+		if h != tc.Traceparent() {
+			t.Errorf("request traceparent = %q, want bound %q", h, tc.Traceparent())
+		}
+	}
+	if minted.TraceID == tc.TraceID {
+		t.Error("minted and bound trace IDs collide")
 	}
 }

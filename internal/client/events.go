@@ -12,6 +12,7 @@ import (
 	"hdsmt/internal/obslog"
 	"hdsmt/internal/retry"
 	"hdsmt/internal/server"
+	"hdsmt/internal/telemetry"
 )
 
 // requestID resolves the correlation ID for one exchange: the ID already
@@ -24,6 +25,19 @@ func requestID(ctx context.Context) string {
 		return id
 	}
 	return obslog.NewRequestID()
+}
+
+// traceContext resolves the trace identity for one exchange, mirroring
+// requestID: the context bound to ctx (telemetry.WithTraceContext, so a
+// caller's trace threads through every request it makes — a loadgen run
+// stitches into one trace per job), or a freshly minted one. The
+// traceparent header is always present, so a job submitted by this
+// package always roots its span tree at a span the client named.
+func traceContext(ctx context.Context) telemetry.TraceContext {
+	if tc, ok := telemetry.TraceContextFrom(ctx); ok {
+		return tc
+	}
+	return telemetry.NewTraceContext()
 }
 
 // Events fetches a job's timeline snapshot (GET /jobs/{id}/events).
@@ -45,7 +59,7 @@ func (c *Client) Events(ctx context.Context, id string) (server.EventsPage, erro
 func (c *Client) Stream(ctx context.Context, id string, after int64, fn func(server.Event) error) error {
 	last := after
 	return retry.Do(ctx, c.policy, func() error {
-		err := c.streamOnce(ctx, id, &last, fn)
+		err := c.streamOnce(ctx, "/jobs/"+id+"/events", &last, false, fn)
 		if err != nil && ctx.Err() != nil {
 			return retry.Permanent(ctx.Err())
 		}
@@ -53,10 +67,29 @@ func (c *Client) Stream(ctx context.Context, id string, after int64, fn func(ser
 	})
 }
 
-// streamOnce runs one SSE connection, advancing *last as events arrive so
-// a retry resumes exactly where this attempt died.
-func (c *Client) streamOnce(ctx context.Context, id string, last *int64, fn func(server.Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/events", nil)
+// Watch follows the server-wide event firehose (GET /events) live: every
+// job's timeline events interleaved, each stamped with its job ID. The
+// feed never settles, so Watch runs until ctx is canceled (returned as
+// ctx's error), fn returns an error, or the server drains (returned as
+// nil — the feed is over). Dropped connections resume with
+// Last-Event-ID like Stream.
+func (c *Client) Watch(ctx context.Context, after int64, fn func(server.Event) error) error {
+	last := after
+	return retry.Do(ctx, c.policy, func() error {
+		err := c.streamOnce(ctx, "/events", &last, true, fn)
+		if err != nil && ctx.Err() != nil {
+			return retry.Permanent(ctx.Err())
+		}
+		return err
+	})
+}
+
+// streamOnce runs one SSE connection against path, advancing *last as
+// events arrive so a retry resumes exactly where this attempt died.
+// follow marks a never-settling feed: terminal job events pass through
+// without ending the stream, and a clean EOF means the server drained.
+func (c *Client) streamOnce(ctx context.Context, path string, last *int64, follow bool, fn func(server.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return retry.Permanent(err)
 	}
@@ -65,6 +98,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, last *int64, fn func
 		req.Header.Set("X-API-Key", c.apiKey)
 	}
 	req.Header.Set(obslog.HeaderRequestID, requestID(ctx))
+	req.Header.Set(telemetry.HeaderTraceparent, traceContext(ctx).Traceparent())
 	if *last > 0 {
 		req.Header.Set("Last-Event-ID", fmt.Sprintf("%d", *last))
 	}
@@ -110,7 +144,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, last *int64, fn func
 					if err := fn(ev); err != nil {
 						return retry.Permanent(err)
 					}
-					terminal = terminalEvent(ev.Type)
+					terminal = !follow && terminalEvent(ev.Type)
 				}
 			}
 		case strings.HasPrefix(line, "data:"):
@@ -126,8 +160,11 @@ func (c *Client) streamOnce(ctx context.Context, id string, last *int64, fn func
 	if err := sc.Err(); err != nil {
 		return err // torn connection: reconnect from *last
 	}
+	if follow {
+		return nil // clean EOF on a feed: the server drained; the feed is over
+	}
 	// Clean EOF without a terminal event — the server drained; reconnect.
-	return fmt.Errorf("event stream for %s ended before job settled", id)
+	return fmt.Errorf("event stream for %s ended before job settled", path)
 }
 
 // terminalEvent mirrors the server's classification of stream-ending

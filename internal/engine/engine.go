@@ -151,6 +151,13 @@ type task struct {
 	// lines tie back to the HTTP request that caused the work. Logging
 	// only — never part of the cache key or results.
 	origin string
+	// jt/pspan are the request-scoped span buffer and parent span bound to
+	// the submit context (telemetry.WithSpan): the engine records its
+	// queue-wait/store-lookup/simulate/journal-append spans there so
+	// GET /jobs/{id}/trace serves a stitched tree. Telemetry only — never
+	// part of the cache key or results.
+	jt    *telemetry.JobTrace
+	pspan string
 }
 
 func (t *task) resolve(res core.Results, err error) {
@@ -244,6 +251,7 @@ func New(runner Runner, opts Options) (*Engine, error) {
 		}
 	}
 	e.registerGauges(reg)
+	e.tracer.Register(reg)
 
 	e.tracer.SetThreadName(0, "submit")
 	for w := 0; w < opts.workers(); w++ {
@@ -360,12 +368,16 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
 	key := req.Key()
 	sh := e.shardFor(key)
 
+	jt, pspan := telemetry.SpanFrom(ctx)
 	sh.mu.Lock()
 	if res, ok := sh.memo[key]; ok {
 		sh.mu.Unlock()
 		e.tel.memoHits.Inc()
 		if e.tracer.Enabled() {
 			e.tracer.Instant(0, "memo-hit", "engine", traceArgs(req, key))
+		}
+		if jt != nil {
+			jt.Mark(pspan, "memo-hit", "engine", traceArgs(req, key))
 		}
 		t := &task{done: make(chan struct{})}
 		t.resolve(res, nil)
@@ -378,6 +390,11 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		if e.tracer.Enabled() {
 			e.tracer.Instant(0, "coalesce", "engine", traceArgs(req, key))
 		}
+		// The execution spans land in the creator's trace; this submitter's
+		// trace records that its work was coalesced onto it.
+		if jt != nil {
+			jt.Mark(pspan, "coalesce", "engine", traceArgs(req, key))
+		}
 		return &Ticket{t: t}, nil
 	}
 	t := &task{
@@ -388,6 +405,8 @@ func (e *Engine) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		waiters:    []context.Context{ctx},
 		created:    time.Now(),
 		origin:     obslog.RequestID(ctx),
+		jt:         jt,
+		pspan:      pspan,
 	}
 	sh.inflight[key] = t
 	sh.mu.Unlock()
@@ -514,10 +533,13 @@ func (e *Engine) execute(sh *shard, t *task, w int) {
 	if e.tracer.Enabled() {
 		e.tracer.Complete(tid, "queue-wait", "engine", t.created, time.Now(), nil)
 	}
+	t.jt.Add(t.pspan, "queue-wait", "engine", t.created, time.Now(), nil)
 	if e.store != nil {
 		sp := e.tracer.Begin(tid, "store-lookup", "engine")
+		lookupStart := time.Now()
 		res, ok, err := e.store.load(t.key)
 		sp.End()
+		t.jt.Add(t.pspan, "store-lookup", "engine", lookupStart, time.Now(), nil)
 		switch {
 		case err != nil:
 			// A corrupt or unreadable entry is a counted, logged event —
@@ -534,8 +556,10 @@ func (e *Engine) execute(sh *shard, t *task, w int) {
 				// journal it so the checkpoint stays self-contained even
 				// if the cache directory later disappears.
 				jsp := e.tracer.Begin(tid, "journal-append", "engine")
+				jstart := time.Now()
 				_ = e.journal.append(t.key, res)
 				jsp.End()
+				t.jt.Add(t.pspan, "journal-append", "engine", jstart, time.Now(), nil)
 			}
 			e.finish(sh, t, res, nil)
 			e.tel.jobSeconds.Observe(time.Since(t.created).Seconds())
@@ -544,9 +568,13 @@ func (e *Engine) execute(sh *shard, t *task, w int) {
 	}
 
 	sp := e.tracer.Begin(tid, "simulate", "engine")
+	simStart := time.Now()
 	res, err := e.simulate(t)
 	if e.tracer.Enabled() {
 		sp.EndWith(traceArgs(t.req, t.key))
+	}
+	if t.jt != nil {
+		t.jt.Add(t.pspan, "simulate", "engine", simStart, time.Now(), traceArgs(t.req, t.key))
 	}
 	e.tel.executed.Inc()
 	if err != nil {
@@ -560,8 +588,10 @@ func (e *Engine) execute(sh *shard, t *task, w int) {
 	}
 	if e.journal != nil {
 		jsp := e.tracer.Begin(tid, "journal-append", "engine")
+		jstart := time.Now()
 		_ = e.journal.append(t.key, res)
 		jsp.End()
+		t.jt.Add(t.pspan, "journal-append", "engine", jstart, time.Now(), nil)
 	}
 	e.finish(sh, t, res, nil)
 	e.tel.jobSeconds.Observe(time.Since(t.created).Seconds())

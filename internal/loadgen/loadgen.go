@@ -27,6 +27,7 @@ import (
 	"hdsmt/internal/client"
 	"hdsmt/internal/engine"
 	"hdsmt/internal/server"
+	"hdsmt/internal/telemetry"
 )
 
 // Config parameterizes one load run. The zero value is not usable: set
@@ -368,8 +369,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return assemble(cfg, specs, outcomes, before, after, wall, ct), nil
 }
 
-// runOne drives a single job from submission to settlement.
+// runOne drives a single job from submission to settlement. Each job
+// gets its own trace identity, so a fleet run produces one stitched
+// span tree per job at GET /jobs/{id}/trace — identities are
+// correlation handles only and never touch the pinned report.
 func runOne(ctx context.Context, cl *client.Client, cfg Config, spec server.JobSpec) outcome {
+	ctx = telemetry.WithTraceContext(ctx, telemetry.NewTraceContext())
 	o := outcome{kind: spec.Kind}
 	t0 := time.Now()
 	st, err := cl.Submit(ctx, spec)

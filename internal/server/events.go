@@ -30,6 +30,10 @@ type Event struct {
 	// Detail carries transition-specific context: the job kind on
 	// accepted, done/total on progress, the terminal state on settled.
 	Detail string `json:"detail,omitempty"`
+	// Job names the originating job on the server-wide GET /events
+	// firehose, where events from every job interleave; empty on per-job
+	// streams, where it would be redundant.
+	Job string `json:"job,omitempty"`
 }
 
 // Timeline event types, in rough lifecycle order.
@@ -75,6 +79,11 @@ func journaledEvent(typ string) bool {
 // subscribers pull events by sequence number, so a slow consumer lags
 // without ever blocking the job.
 type timeline struct {
+	// neverClose marks the server-wide feed: jobs' terminal events pass
+	// through it without ending the stream, because the feed outlives
+	// every job.
+	neverClose bool
+
 	mu      sync.Mutex
 	created time.Time
 	buf     []Event // ring storage, len == cap once full
@@ -95,8 +104,9 @@ func newTimeline(created time.Time, capacity int) *timeline {
 
 const defaultTimelineCap = 512
 
-// append records one event now, assigning the next sequence number.
-func (tl *timeline) append(typ, detail string) Event {
+// append records one event now, assigning the next sequence number. job
+// is empty on per-job timelines and names the origin on the feed.
+func (tl *timeline) append(typ, detail, job string) Event {
 	tl.mu.Lock()
 	tl.seq++
 	ev := Event{
@@ -104,6 +114,7 @@ func (tl *timeline) append(typ, detail string) Event {
 		TMS:    float64(time.Since(tl.created).Microseconds()) / 1e3,
 		Type:   typ,
 		Detail: detail,
+		Job:    job,
 	}
 	tl.push(ev)
 	tl.mu.Unlock()
@@ -132,7 +143,7 @@ func (tl *timeline) push(ev Event) {
 		tl.buf[tl.start] = ev
 		tl.start = (tl.start + 1) % tl.cap
 	}
-	if terminalEvent(ev.Type) {
+	if terminalEvent(ev.Type) && !tl.neverClose {
 		tl.closed = true
 	}
 	for ch := range tl.subs {
@@ -173,11 +184,12 @@ func (tl *timeline) subscribe() (ch chan struct{}, cancel func()) {
 	}
 }
 
-// event appends one timeline event to j and journals the durable types.
-// It is the single place job history is recorded, mirroring settle for
-// state.
+// event appends one timeline event to j — and, stamped with the job ID,
+// to the server-wide feed — and journals the durable types. It is the
+// single place job history is recorded, mirroring settle for state.
 func (s *Server) event(j *job, typ, detail string) {
-	ev := j.tl.append(typ, detail)
+	ev := j.tl.append(typ, detail, "")
+	s.feed.append(typ, detail, j.id)
 	s.jobEvents.Inc()
 	if journaledEvent(typ) {
 		if err := s.jj.append(jobEvent{ID: j.id, Event: "timeline", TL: &ev}); err != nil {
@@ -232,13 +244,41 @@ func wantsSSE(r *http.Request) bool {
 	return false
 }
 
-// streamEvents is the SSE path: it replays the timeline after the
-// client's Last-Event-ID (or ?after=seq), then follows live until the
-// job's terminal event, the client disconnects, or the server drains.
-// Heartbeat comments keep intermediaries from timing the stream out; the
-// event id is the timeline sequence number, so a dropped connection
-// resumes exactly where it left off.
+// FeedPage is the JSON snapshot body of GET /events: the retained tail
+// of the server-wide event feed, every event stamped with its job ID.
+type FeedPage struct {
+	Events []Event `json:"events"`
+}
+
+// handleEventsFeed serves the server-wide firehose: every job's timeline
+// events interleaved in one stream, each stamped with its job ID. SSE
+// when negotiated (the stream never closes on job settlement — only on
+// disconnect or drain), JSON snapshot of the retained ring otherwise.
+func (s *Server) handleEventsFeed(w http.ResponseWriter, r *http.Request) {
+	if wantsSSE(r) {
+		s.streamTimeline(w, r, s.feed)
+		return
+	}
+	events, _ := s.feed.after(0)
+	if events == nil {
+		events = []Event{}
+	}
+	writeJSON(w, http.StatusOK, FeedPage{Events: events})
+}
+
+// streamEvents streams one job's timeline over SSE.
 func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *job) {
+	s.streamTimeline(w, r, j.tl)
+}
+
+// streamTimeline is the SSE path: it replays the timeline after the
+// client's Last-Event-ID (or ?after=seq), then follows live until the
+// timeline closes (a job's terminal event; the feed never closes), the
+// client disconnects, or the server drains. Heartbeat comments keep
+// intermediaries from timing the stream out; the event id is the
+// timeline sequence number, so a dropped connection resumes exactly
+// where it left off.
+func (s *Server) streamTimeline(w http.ResponseWriter, r *http.Request, tl *timeline) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusNotImplemented, fmt.Errorf("response writer cannot stream"))
@@ -255,7 +295,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *job) {
 		}
 	}
 
-	notify, unsubscribe := j.tl.subscribe()
+	notify, unsubscribe := tl.subscribe()
 	defer unsubscribe()
 	s.sseStreams.Inc()
 	defer s.sseStreams.Dec()
@@ -271,7 +311,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *job) {
 	defer heartbeat.Stop()
 
 	for {
-		events, closed := j.tl.after(after)
+		events, closed := tl.after(after)
 		for _, ev := range events {
 			data, err := json.Marshal(ev)
 			if err != nil {

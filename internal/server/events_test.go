@@ -410,8 +410,12 @@ func TestQueuedBeforeAdmitted(t *testing.T) {
 	ts, _, _ := durableServer(t, filepath.Join(dir, "jobs.jsonl"),
 		server.WithAdmission(server.AdmissionConfig{MaxActive: 1, MaxPending: 8}))
 
+	// The slow job must still hold the only active slot when the fast one
+	// arrives, or the fast job is admitted without ever queueing; a
+	// generous search budget keeps that window wide under parallel-test
+	// scheduling noise.
 	slow := postJob(t, ts, server.JobSpec{
-		Kind: "search", Strategy: "random", SearchBudget: 12, Seed: 2,
+		Kind: "search", Strategy: "random", SearchBudget: 60, Seed: 2,
 		Workloads: []string{"2W7"}, Budget: 5_000, Warmup: 2_000,
 	})
 	fast := postJob(t, ts, server.JobSpec{Kind: "run", Config: "M8", Workload: "2W1", Budget: 2_000, Warmup: 1_000})

@@ -1,0 +1,101 @@
+package server_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hdsmt/internal/engine"
+	"hdsmt/internal/server"
+	"hdsmt/internal/sim"
+	"hdsmt/internal/telemetry"
+	"hdsmt/internal/tshist"
+)
+
+// TestMetricsHistoryEndpoint pins the /metrics/history surface: a
+// server wired with a sampler serves the versioned windowed view —
+// every declared window present, job traffic visible per kind, SLO
+// status included — and /readyz carries the SLO detail alongside.
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sampler := tshist.New(reg, tshist.Config{
+		SLOs: []tshist.SLO{tshist.AvailabilitySLO(0.999), tshist.LatencySLO("run", 30)},
+	})
+	r, err := sim.NewRunner(engine.Options{Workers: 2, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(r, server.WithTelemetry(reg), server.WithHistory(sampler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		r.Close()
+	})
+
+	// Two samples bracket the job — windows are deltas against a baseline
+	// point, so the job must land between them to be visible.
+	sampler.Sample()
+	st := postJob(t, ts, tinyRun())
+	awaitJob(t, ts, st.ID)
+	sampler.Sample()
+
+	var h tshist.History
+	if code := getJSON(t, ts.URL+"/metrics/history", &h); code != http.StatusOK {
+		t.Fatalf("GET /metrics/history = %d", code)
+	}
+	if h.Schema != tshist.SchemaVersion {
+		t.Errorf("schema = %q, want %q", h.Schema, tshist.SchemaVersion)
+	}
+	if h.Samples != 2 {
+		t.Errorf("samples = %d, want 2", h.Samples)
+	}
+	for _, w := range tshist.Windows {
+		ws, ok := h.Windows[w.Name]
+		if !ok {
+			t.Fatalf("window %q missing from history", w.Name)
+		}
+		if ks, ok := ws.Kinds["run"]; !ok || ks.Count != 1 {
+			t.Errorf("window %q run stats = %+v, want the settled job counted", w.Name, ws.Kinds)
+		}
+		if ws.Requests < 1 {
+			t.Errorf("window %q requests = %g, want >= 1", w.Name, ws.Requests)
+		}
+	}
+	if len(h.SLOs) != 2 {
+		t.Fatalf("history carries %d SLOs, want 2", len(h.SLOs))
+	}
+	names := map[string]bool{}
+	for _, s := range h.SLOs {
+		names[s.Name] = true
+	}
+	if !names["availability"] || !names["latency-run"] {
+		t.Errorf("SLO names = %v, want availability and latency-run", names)
+	}
+
+	var ready struct {
+		SLOs      map[string]string `json:"slos"`
+		SLOBreach bool              `json:"slo_breach"`
+	}
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("GET /readyz = %d", code)
+	}
+	if _, ok := ready.SLOs["availability"]; !ok {
+		t.Errorf("readyz slos = %v, want availability detail", ready.SLOs)
+	}
+	if ready.SLOBreach {
+		t.Error("slo_breach true on a healthy idle server")
+	}
+}
+
+// TestMetricsHistoryAbsent pins that a server without a sampler answers
+// 404 — the endpoint's existence signals the feature, so probes can
+// distinguish "not enabled" from "empty".
+func TestMetricsHistoryAbsent(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if code := getJSON(t, ts.URL+"/metrics/history", nil); code != http.StatusNotFound {
+		t.Errorf("GET /metrics/history without sampler = %d, want 404", code)
+	}
+}

@@ -35,11 +35,12 @@ type jobEvent struct {
 	Event string `json:"event"`
 
 	// accepted events only.
-	Tenant    string   `json:"tenant,omitempty"`
-	Priority  int      `json:"priority,omitempty"`
-	Spec      *JobSpec `json:"spec,omitempty"`
-	Created   string   `json:"created,omitempty"`
-	RequestID string   `json:"request_id,omitempty"`
+	Tenant      string   `json:"tenant,omitempty"`
+	Priority    int      `json:"priority,omitempty"`
+	Spec        *JobSpec `json:"spec,omitempty"`
+	Created     string   `json:"created,omitempty"`
+	RequestID   string   `json:"request_id,omitempty"`
+	Traceparent string   `json:"traceparent,omitempty"`
 
 	// settle events only.
 	Error    string          `json:"error,omitempty"`

@@ -19,7 +19,7 @@ func TestRunJobContainsPanic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, ctx, err := s.newJob(JobSpec{Kind: "run"}, "t", 1, "")
+	j, ctx, err := s.newJob(JobSpec{Kind: "run"}, "t", 1, "", telemetry.TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestRunJobContainsPanic(t *testing.T) {
 
 	// The wrapper settled cleanly: a follow-up job on the same server
 	// runs normally.
-	j2, ctx2, err := s.newJob(JobSpec{Kind: "run"}, "t", 1, "")
+	j2, ctx2, err := s.newJob(JobSpec{Kind: "run"}, "t", 1, "", telemetry.TraceContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

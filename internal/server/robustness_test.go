@@ -258,16 +258,20 @@ func TestJobJournalResumesArchivedPareto(t *testing.T) {
 	archives := filepath.Join(dir, "archives")
 	ts1, _, _ := durableServer(t, live, server.WithArchiveDir(archives))
 
+	// The snapshot below must land while the job is still unsettled, or
+	// the second life replays a finished job instead of resuming one; a
+	// generous budget keeps the job running past the copy under
+	// parallel-test scheduling noise.
 	spec := server.JobSpec{
 		Kind:         "pareto",
-		SearchBudget: 8,
+		SearchBudget: 40,
 		Seed:         7,
 		MaxPipes:     2,
 		Workloads:    []string{"2W7"},
 		Objectives:   []string{"ipc", "area"},
 		Archive:      "crashfront",
-		Budget:       2_000,
-		Warmup:       1_000,
+		Budget:       5_000,
+		Warmup:       2_000,
 	}
 	st := postJob(t, ts1, spec)
 	snapshot := filepath.Join(dir, "jobs-crash.jsonl")

@@ -48,6 +48,7 @@ import (
 	"hdsmt/internal/search"
 	"hdsmt/internal/sim"
 	"hdsmt/internal/telemetry"
+	"hdsmt/internal/tshist"
 	"hdsmt/internal/version"
 	"hdsmt/internal/workload"
 )
@@ -161,12 +162,16 @@ type Status struct {
 	// RequestID is the correlation ID bound to this job at admission —
 	// the client's X-Request-ID, or server-minted. Every log line, trace
 	// span and timeline event of the job carries it.
-	RequestID string   `json:"request_id,omitempty"`
-	State     string   `json:"state"` // pending|running|done|failed|canceled|interrupted
-	Error     string   `json:"error,omitempty"`
-	Progress  Progress `json:"progress"`
-	Created   string   `json:"created,omitempty"`
-	Finished  string   `json:"finished,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the distributed-trace identity bound at admission — the
+	// client's traceparent, or server-minted. GET /jobs/{id}/trace serves
+	// the span tree recorded under it.
+	TraceID  string   `json:"trace_id,omitempty"`
+	State    string   `json:"state"` // pending|running|done|failed|canceled|interrupted
+	Error    string   `json:"error,omitempty"`
+	Progress Progress `json:"progress"`
+	Created  string   `json:"created,omitempty"`
+	Finished string   `json:"finished,omitempty"`
 
 	// Front and Hypervolume stream a pareto job's incumbent non-dominated
 	// front mid-run: they update on every archive change, so a client
@@ -203,6 +208,12 @@ type job struct {
 	// so every record names job, tenant and request ID.
 	tl  *timeline
 	log *obslog.Logger
+	// trace is the job's bounded span buffer, rooted at the client's
+	// traceparent span; execSpan is the pre-minted ID of the execute span
+	// (started→settled) — minted before launch so engine spans recorded
+	// mid-flight parent to it.
+	trace    *telemetry.JobTrace
+	execSpan string
 
 	mu       sync.Mutex
 	state    string
@@ -211,6 +222,7 @@ type job struct {
 	done     int
 	total    int
 	created  time.Time
+	started  time.Time
 	finished time.Time
 	front    []search.TrajectoryPoint
 	hv       float64
@@ -224,6 +236,7 @@ func (j *job) status() Status {
 		Kind:        j.spec.Kind,
 		Tenant:      j.tenant,
 		RequestID:   j.requestID,
+		TraceID:     j.trace.Context().TraceID,
 		State:       j.state,
 		Error:       j.errmsg,
 		Progress:    Progress{Done: j.done, Total: j.total},
@@ -268,21 +281,32 @@ type Server struct {
 	sseHeartbeat time.Duration
 	timelineCap  int
 
+	// traceSpanCap bounds each job's span buffer (WithTraceSpanCap);
+	// feed is the server-wide event firehose behind GET /events — every
+	// job's timeline events, stamped with the job ID, in one stream.
+	traceSpanCap int
+	feed         *timeline
+
+	// hist, when set (WithHistory), serves GET /metrics/history and the
+	// SLO detail on /readyz. The owner runs its sampling loop.
+	hist *tshist.Sampler
+
 	// reg backs GET /metrics and the per-kind job instruments below. Pass
 	// the same registry to the runner's engine.Options (WithTelemetry) so
 	// one scrape covers both layers; without the option a private registry
 	// exposes the server families alone.
-	reg         *telemetry.Registry
-	jobsTotal   *telemetry.CounterVec
-	jobSeconds  *telemetry.HistogramVec
-	jobInflight *telemetry.Gauge
-	rejected    *telemetry.CounterVec
-	jobPanics   *telemetry.Counter
-	recovered   *telemetry.CounterVec
-	journalTorn *telemetry.Counter
-	sseStreams  *telemetry.Gauge
-	sseEvents   *telemetry.Counter
-	jobEvents   *telemetry.Counter
+	reg           *telemetry.Registry
+	jobsTotal     *telemetry.CounterVec
+	jobSeconds    *telemetry.HistogramVec
+	jobInflight   *telemetry.Gauge
+	rejected      *telemetry.CounterVec
+	httpResponses *telemetry.CounterVec
+	jobPanics     *telemetry.Counter
+	recovered     *telemetry.CounterVec
+	journalTorn   *telemetry.Counter
+	sseStreams    *telemetry.Gauge
+	sseEvents     *telemetry.Counter
+	jobEvents     *telemetry.Counter
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -375,6 +399,25 @@ func WithTimelineCap(n int) Option {
 	}
 }
 
+// WithTraceSpanCap bounds each job's span buffer (default
+// telemetry.DefaultJobTraceCap). A job outgrowing it drops its oldest
+// spans — eviction degrades detail, never the tree's connectivity.
+func WithTraceSpanCap(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.traceSpanCap = n
+		}
+	}
+}
+
+// WithHistory serves sampler's windowed view at GET /metrics/history and
+// its SLO status in the /readyz detail. The caller owns the sampling
+// loop (sampler.Run); build the sampler over the same registry passed to
+// WithTelemetry or the windows will be empty.
+func WithHistory(sampler *tshist.Sampler) Option {
+	return func(s *Server) { s.hist = sampler }
+}
+
 // New builds a Server executing jobs on r. The caller keeps ownership of
 // r (and closes it after shutting the HTTP listener down, after Close on
 // the server). The only error source is the job journal: an unreadable
@@ -388,11 +431,16 @@ func New(r *sim.Runner, opts ...Option) (*Server, error) {
 		maxBody:      1 << 20,
 		sseHeartbeat: 15 * time.Second,
 		timelineCap:  defaultTimelineCap,
+		traceSpanCap: telemetry.DefaultJobTraceCap,
 		drainCh:      make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	// The firehose outlives every job, so terminal job events must not
+	// close it; timestamps are relative to server start.
+	s.feed = newTimeline(time.Now(), s.timelineCap)
+	s.feed.neverClose = true
 	if s.log == nil {
 		s.log = obslog.Default()
 	}
@@ -411,6 +459,8 @@ func New(r *sim.Runner, opts ...Option) (*Server, error) {
 		"jobs currently executing")
 	s.rejected = s.reg.CounterVec(telemetry.MetricServerRejected,
 		"submissions rejected by admission control or limits, by reason", "reason")
+	s.httpResponses = s.reg.CounterVec(telemetry.MetricServerHTTPResponses,
+		"HTTP responses by status class (2xx/4xx/5xx); the availability SLO's event stream", "class")
 	s.jobPanics = s.reg.Counter(telemetry.MetricServerJobPanics,
 		"job goroutine panics contained (the job failed; the daemon survived)")
 	s.recovered = s.reg.CounterVec(telemetry.MetricServerRecovered,
@@ -468,6 +518,15 @@ func (s *Server) replay(events []jobEvent) {
 				state:     "pending",
 				created:   parseRFC3339(ev.Created),
 			}
+			// The trace identity survives the restart (journaled at
+			// accept); the spans themselves do not — they are debugging
+			// state, not results. Pre-PR-9 journals lack the field: mint.
+			tc, ok := telemetry.ParseTraceparent(ev.Traceparent)
+			if !ok {
+				tc = telemetry.NewTraceContext()
+			}
+			j.trace = telemetry.NewJobTrace(tc, s.traceSpanCap)
+			j.execSpan = j.trace.NewSpanID()
 			j.tl = newTimeline(j.created, s.timelineCap)
 			j.log = s.jobLogger(j)
 			s.jobs[ev.ID] = j
@@ -531,7 +590,7 @@ func (s *Server) resume(j *job) {
 			return
 		}
 	}
-	ctx, cancel := s.jobContext(j.spec, j.requestID)
+	ctx, cancel := s.jobContext(j.spec, j.requestID, j)
 	j.cancel = cancel
 	j.total = opts.Budget
 	s.recovered.With("resumed").Inc()
@@ -591,32 +650,98 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancelPost)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /events", s.handleEventsFeed)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/history", s.handleHistory)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s.withRequestID(mux)
 }
 
-// withRequestID is the correlation middleware described on Handler.
+// withRequestID is the correlation middleware described on Handler. It
+// handles both correlation headers the same way — adopt after strict
+// validation, mint otherwise, echo on the response, bind to the request
+// context — and counts every response by status class, the event stream
+// the availability SLO burns against.
 func (s *Server) withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rid := obslog.SanitizeRequestID(r.Header.Get(obslog.HeaderRequestID))
 		if rid == "" {
 			rid = obslog.NewRequestID()
 		}
+		// traceparent mirrors X-Request-ID: a malformed header — wrong
+		// length, bad hex, all-zero IDs — is replaced, never half-trusted.
+		tc, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.HeaderTraceparent))
+		if !ok {
+			tc = telemetry.NewTraceContext()
+		}
 		w.Header().Set(obslog.HeaderRequestID, rid)
-		r = r.WithContext(obslog.WithRequestID(r.Context(), rid))
-		next.ServeHTTP(w, r)
+		w.Header().Set(telemetry.HeaderTraceparent, tc.Traceparent())
+		ctx := obslog.WithRequestID(r.Context(), rid)
+		ctx = telemetry.WithTraceContext(ctx, tc)
+		r = r.WithContext(ctx)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		// The metrics plane does not observe itself: counting scrapes
+		// would make two scrapes of an idle server differ (each sees the
+		// previous one), and the availability SLO is about job traffic,
+		// not the scraper's.
+		if r.URL.Path != "/metrics" && r.URL.Path != "/metrics/history" {
+			s.httpResponses.With(sw.class()).Inc()
+		}
 		if s.log.Enabled(obslog.LevelDebug) {
 			s.log.Debug("http request",
 				obslog.F("method", r.Method), obslog.F("path", r.URL.Path),
-				obslog.F("request_id", rid))
+				obslog.F("request_id", rid), obslog.F("trace_id", tc.TraceID),
+				obslog.F("status", sw.status()))
 		}
 	})
+}
+
+// statusWriter captures the response status for the per-class counter.
+// It forwards Flush so SSE streaming keeps working through the wrapper
+// (a transport that cannot flush gets a no-op, matching net/http's
+// behavior of buffering until the handler returns).
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code, sw.wrote = code, true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if !sw.wrote {
+		sw.code, sw.wrote = http.StatusOK, true
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (sw *statusWriter) status() int {
+	if !sw.wrote {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+func (sw *statusWriter) class() string {
+	return fmt.Sprintf("%dxx", sw.status()/100)
 }
 
 // handleHealthz is pure liveness: the process is up and serving HTTP.
@@ -638,6 +763,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		"version": version.Version,
 		"jobs":    jobs,
 	}
+	// SLO status is detail, not a readiness gate: flipping readiness on a
+	// burn would shed load from an already-struggling daemon and turn a
+	// latency breach into an availability outage.
+	if s.hist != nil {
+		slos := map[string]string{}
+		breach := false
+		for _, st := range s.hist.History().SLOs {
+			slos[st.Name] = st.Status
+			breach = breach || st.Breach
+		}
+		body["slos"] = slos
+		body["slo_breach"] = breach
+	}
 	switch {
 	case s.draining.Load():
 		body["status"] = "draining"
@@ -655,6 +793,61 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
+}
+
+// handleHistory serves the sampler's windowed view — rates, quantiles
+// and SLO burn — as JSON (schema tshist.SchemaVersion). 404 when the
+// daemon runs without a sampler.
+func (s *Server) handleHistory(w http.ResponseWriter, _ *http.Request) {
+	if s.hist == nil {
+		httpError(w, http.StatusNotFound,
+			errors.New("metrics history is disabled on this server"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.hist.History())
+}
+
+// TracePage is the body of GET /jobs/{id}/trace: the assembled span tree
+// rooted at the span the client named in its traceparent header.
+type TracePage struct {
+	ID        string `json:"id"`
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id"`
+	State     string `json:"state"`
+	Spans     int    `json:"spans"`
+	// Dropped counts spans evicted from the bounded buffer; evicted
+	// spans' children re-attach to the root, so the tree stays connected.
+	Dropped uint64              `json:"dropped,omitempty"`
+	Root    *telemetry.SpanNode `json:"root"`
+}
+
+// handleTrace serves a job's span tree — live or settled — as JSON, or
+// as Chrome trace_event JSON with ?format=chrome for about://tracing
+// and Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = j.trace.WriteChrome(w)
+		return
+	}
+	spans, dropped := j.trace.Snapshot()
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, TracePage{
+		ID:        j.id,
+		RequestID: j.requestID,
+		TraceID:   j.trace.Context().TraceID,
+		State:     state,
+		Spans:     len(spans),
+		Dropped:   dropped,
+		Root:      j.trace.Tree(),
+	})
 }
 
 // resolveCells expands a spec into its (config, workload) cells at submit
@@ -900,7 +1093,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, ctx, err := s.newJob(spec, tenant, total, obslog.RequestID(r.Context()))
+	tc, _ := telemetry.TraceContextFrom(r.Context())
+	j, ctx, err := s.newJob(spec, tenant, total, obslog.RequestID(r.Context()), tc)
 	if err != nil {
 		s.rejected.With("draining").Inc()
 		w.Header().Set("Retry-After", "10")
@@ -923,6 +1117,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.journalAccepted(j)
 	s.event(j, EventAccepted, spec.Kind)
 	launch := func() {
+		// The admission span covers acceptance to slot grant — for a
+		// queued job, the time spent waiting behind the active set.
+		j.trace.Add("", "admission", "server", j.created, time.Now(), nil)
 		s.event(j, EventAdmitted, "")
 		go s.runJob(ctx, j, body)
 	}
@@ -955,15 +1152,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // refined once the search knows its effective target). Registration and
 // the drain re-check share one critical section so Drain's WaitGroup
 // membership is exact.
-func (s *Server) newJob(spec JobSpec, tenant string, total int, requestID string) (*job, context.Context, error) {
+func (s *Server) newJob(spec JobSpec, tenant string, total int, requestID string, tc telemetry.TraceContext) (*job, context.Context, error) {
 	if requestID == "" {
 		requestID = obslog.NewRequestID()
 	}
-	ctx, cancel := s.jobContext(spec, requestID)
+	if !tc.Valid() {
+		tc = telemetry.NewTraceContext()
+	}
 	j := &job{
 		spec: spec, tenant: tenant, requestID: requestID,
-		cancel: cancel, state: "pending", total: total, created: time.Now(),
+		state: "pending", total: total, created: time.Now(),
 	}
+	// The execute span's ID is minted before anything runs: engine spans
+	// recorded while the job executes parent to it, and settle closes it
+	// under the same ID.
+	j.trace = telemetry.NewJobTrace(tc, s.traceSpanCap)
+	j.execSpan = j.trace.NewSpanID()
+	ctx, cancel := s.jobContext(spec, requestID, j)
+	j.cancel = cancel
 	j.tl = newTimeline(j.created, s.timelineCap)
 	s.mu.Lock()
 	if s.draining.Load() {
@@ -993,10 +1199,13 @@ func (s *Server) jobLogger(j *job) *obslog.Logger {
 
 // jobContext builds a job's execution context: canceled by DELETE or
 // POST cancel, bounded by the job's deadline when one applies, and
-// carrying the job's correlation ID so engine- and search-level records
-// tie back to the originating request.
-func (s *Server) jobContext(spec JobSpec, requestID string) (context.Context, context.CancelFunc) {
+// carrying the job's correlation IDs — request ID, trace identity, and
+// the span buffer with the execute span as parent — so engine- and
+// search-level records tie back to the originating request.
+func (s *Server) jobContext(spec JobSpec, requestID string, j *job) (context.Context, context.CancelFunc) {
 	base := obslog.WithRequestID(context.Background(), requestID)
+	base = telemetry.WithTraceContext(base, j.trace.Context())
+	base = telemetry.WithSpan(base, j.trace, j.execSpan)
 	if d := s.deadlineFor(spec); d > 0 {
 		return context.WithTimeout(base, d)
 	}
@@ -1023,13 +1232,14 @@ func (s *Server) dropJob(j *job) {
 
 func (s *Server) journalAccepted(j *job) {
 	if err := s.jj.append(jobEvent{
-		ID:        j.id,
-		Event:     "accepted",
-		Tenant:    j.tenant,
-		RequestID: j.requestID,
-		Priority:  j.spec.Priority,
-		Spec:      &j.spec,
-		Created:   rfc3339(j.created),
+		ID:          j.id,
+		Event:       "accepted",
+		Tenant:      j.tenant,
+		RequestID:   j.requestID,
+		Traceparent: j.trace.Context().Traceparent(),
+		Priority:    j.spec.Priority,
+		Spec:        &j.spec,
+		Created:     rfc3339(j.created),
 	}); err != nil {
 		j.log.Error("journaling accept failed", obslog.Err(err))
 	}
@@ -1062,6 +1272,7 @@ func (s *Server) runJob(ctx context.Context, j *job, body func(context.Context, 
 func (s *Server) markRunning(j *job) {
 	j.mu.Lock()
 	j.state = "running"
+	j.started = time.Now()
 	j.mu.Unlock()
 	s.event(j, EventStarted, "")
 	if err := s.jj.append(jobEvent{ID: j.id, Event: "running"}); err != nil {
@@ -1095,6 +1306,7 @@ func (s *Server) settle(ctx context.Context, j *job, result any, err error) {
 	ev := jobEvent{ID: j.id, Event: j.state, Error: j.errmsg, Finished: rfc3339(j.finished)}
 	dur := j.finished.Sub(j.created)
 	kind, tenant, state, errmsg := j.spec.Kind, j.tenant, j.state, j.errmsg
+	started := j.started
 	if j.state == "done" {
 		if raw, merr := json.Marshal(j.result); merr == nil {
 			ev.Result = raw
@@ -1104,6 +1316,10 @@ func (s *Server) settle(ctx context.Context, j *job, result any, err error) {
 	}
 	j.mu.Unlock()
 
+	// The execute span closes under its pre-minted ID, so every engine
+	// span recorded mid-flight is already parented beneath it.
+	j.trace.AddWithID(j.execSpan, "", "execute", "server", started, j.finished,
+		map[string]string{"state": state, "kind": kind})
 	detail := state
 	if errmsg != "" {
 		detail = state + ": " + errmsg

@@ -69,6 +69,11 @@ const (
 	MetricServerSSEStreams = "hdsmt_server_sse_streams"
 	MetricServerSSEEvents  = "hdsmt_server_sse_events_total"
 	MetricServerJobEvents  = "hdsmt_server_job_events_total"
+
+	MetricServerHTTPResponses = "hdsmt_server_http_responses_total"
+	MetricTraceDropped        = "hdsmt_trace_events_dropped_total"
+	MetricSLOBurnRate         = "hdsmt_slo_burn_rate"
+	MetricSLOBreach           = "hdsmt_slo_breach"
 )
 
 // Counter is a monotonically increasing float64. The float representation
@@ -197,11 +202,12 @@ const (
 	kindGaugeFunc
 	kindHistogram
 	kindInfo
+	kindCounterFunc
 )
 
 func (k kind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindCounterFunc:
 		return "counter"
 	case kindHistogram:
 		return "histogram"
@@ -293,15 +299,49 @@ func (r *Registry) counterWith(name, help, label, value string) *Counter {
 
 // Gauge registers (or finds) an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	f := r.family(name, help, kindGauge, "", nil)
+	return r.gaugeWith(name, help, "", "")
+}
+
+// GaugeVec registers a labeled gauge family; With returns the series for
+// one label value.
+type GaugeVec struct {
+	r          *Registry
+	name, help string
+	label      string
+}
+
+// GaugeVec registers (or finds) a gauge family labeled by label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	r.family(name, help, kindGauge, label, nil)
+	return &GaugeVec{r: r, name: name, help: help, label: label}
+}
+
+// With returns the gauge series for one label value.
+func (gv *GaugeVec) With(value string) *Gauge {
+	return gv.r.gaugeWith(gv.name, gv.help, gv.label, value)
+}
+
+func (r *Registry) gaugeWith(name, help, label, value string) *Gauge {
+	f := r.family(name, help, kindGauge, label, nil)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if g, ok := f.series[""]; ok {
+	if g, ok := f.series[value]; ok {
 		return g.(*Gauge)
 	}
 	g := &Gauge{}
-	f.series[""] = g
+	f.series[value] = g
 	return g
+}
+
+// CounterFunc registers a counter whose value is sampled at snapshot
+// time — for monotone counts owned by another structure (a tracer's drop
+// count) that would be wasteful to mirror write-by-write.
+// Re-registration replaces the function, like GaugeFunc.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindCounterFunc, "", nil)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f.series[""] = fn
 }
 
 // GaugeFunc registers a gauge whose value is sampled at snapshot time.

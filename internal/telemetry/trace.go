@@ -17,12 +17,26 @@ import (
 // A nil *Tracer is the disabled state: every method no-ops after a single
 // pointer comparison and allocates nothing, so instrumented code guards
 // argument assembly with Enabled() and otherwise calls unconditionally.
+//
+// The event buffer is a bounded ring: a long-lived daemon tracing every
+// job would otherwise grow it forever. When full, the oldest events are
+// overwritten and counted (Dropped, exported as
+// hdsmt_trace_events_dropped_total via Register), so the export keeps the
+// most recent window of activity instead of OOMing the process.
 type Tracer struct {
 	start time.Time
+	cap   int
 
-	mu     sync.Mutex
-	events []traceEvent
+	mu      sync.Mutex
+	events  []traceEvent // ring storage, len == cap once full
+	head    int          // index of the oldest retained event
+	count   int
+	dropped uint64
 }
+
+// DefaultTraceCap is the event-ring bound of NewTracer: roughly a few
+// hundred thousand jobs' worth of spans, tens of MB at most.
+const DefaultTraceCap = 1 << 18
 
 // traceEvent is one Chrome trace_event. Complete events ("X") carry a
 // duration; instants ("i") mark a point; metadata ("M") names threads.
@@ -39,22 +53,55 @@ type traceEvent struct {
 }
 
 // NewTracer builds an enabled tracer; timestamps are relative to now.
+// The event ring is bounded at DefaultTraceCap; use NewTracerCap to
+// choose the bound.
 func NewTracer() *Tracer {
-	return &Tracer{start: time.Now()}
+	return NewTracerCap(DefaultTraceCap)
+}
+
+// NewTracerCap builds an enabled tracer retaining at most capacity
+// events (<= 0 means DefaultTraceCap).
+func NewTracerCap(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{start: time.Now(), cap: capacity}
+}
+
+// Dropped returns how many events the bounded ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Register exposes the tracer's drop count in reg as the counter
+// hdsmt_trace_events_dropped_total, so a daemon tracing under memory
+// pressure is observable instead of silently lossy.
+func (t *Tracer) Register(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc(MetricTraceDropped,
+		"trace events evicted from the bounded ring (export keeps the newest window)",
+		func() float64 { return float64(t.Dropped()) })
 }
 
 // Enabled reports whether spans are being recorded. Callers use it to
 // skip assembling argument maps for a disabled tracer.
 func (t *Tracer) Enabled() bool { return t != nil }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.events)
+	return t.count
 }
 
 func (t *Tracer) since(at time.Time) int64 { return at.Sub(t.start).Microseconds() }
@@ -62,7 +109,18 @@ func (t *Tracer) since(at time.Time) int64 { return at.Sub(t.start).Microseconds
 func (t *Tracer) append(ev traceEvent) {
 	ev.PID = 1
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	if t.cap <= 0 {
+		t.cap = DefaultTraceCap // zero-value Tracer from old constructors
+	}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+		t.count++
+	} else {
+		// Ring full: overwrite the oldest event and count the loss.
+		t.events[t.head] = ev
+		t.head = (t.head + 1) % t.cap
+		t.dropped++
+	}
 	t.mu.Unlock()
 }
 
@@ -142,8 +200,10 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		return fmt.Errorf("telemetry: nil tracer has no trace to write")
 	}
 	t.mu.Lock()
-	events := make([]traceEvent, len(t.events))
-	copy(events, t.events)
+	events := make([]traceEvent, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		events = append(events, t.events[(t.head+i)%len(t.events)])
+	}
 	t.mu.Unlock()
 	enc := json.NewEncoder(w)
 	return enc.Encode(struct {

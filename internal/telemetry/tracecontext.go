@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// HeaderTraceparent is the W3C trace-context header carrying the
+// distributed-trace identity of a request: internal/client stamps it on
+// every call, the server adopts (after strict validation) or mints one at
+// admission, and the job executes with it bound to its context, so the
+// span tree served at GET /jobs/{id}/trace is rooted at the span the
+// client chose — a fleet run stitches into one trace per request.
+const HeaderTraceparent = "traceparent"
+
+// TraceContext is the parsed identity of a traceparent header: the
+// 128-bit trace ID naming the whole request and the 64-bit span ID of the
+// caller's span, both lowercase hex. The zero value is invalid.
+type TraceContext struct {
+	TraceID string // 32 lowercase hex digits, not all zero
+	SpanID  string // 16 lowercase hex digits, not all zero
+}
+
+// Valid reports whether tc could round-trip through a traceparent header.
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the header value in W3C form,
+// "00-<trace-id>-<span-id>-01" (version 00, sampled flag set).
+func (tc TraceContext) Traceparent() string {
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+}
+
+// ParseTraceparent validates and parses a traceparent header. The rules
+// mirror the X-Request-ID sanitization stance: anything malformed —
+// wrong field count, bad lengths, uppercase or non-hex digits, all-zero
+// IDs, or the reserved version ff — is rejected outright (ok false) and
+// the caller mints a fresh context, so a hostile header can never reach
+// logs, SSE frames or the trace tree.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	// Fixed layout: 2 + 1 + 32 + 1 + 16 + 1 + 2 = 55 bytes. Longer values
+	// (future versions may append fields) are rejected rather than
+	// half-trusted.
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID, flags := h[:2], h[3:35], h[36:52], h[53:55]
+	if !isHexField(version) || version == "ff" || !isHexField(flags) {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: traceID, SpanID: spanID}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// isHexField reports whether s is entirely lowercase hex digits.
+func isHexField(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// isHexID reports whether s is n lowercase hex digits and not all zero.
+func isHexID(s string, n int) bool {
+	if len(s) != n || !isHexField(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+// tcCounter disambiguates minted IDs if the random source ever fails,
+// mirroring obslog's request-ID fallback.
+var tcCounter atomic.Uint64
+
+// NewTraceContext mints a trace identity: random trace and span IDs.
+// Trace IDs are correlation handles only — like request IDs, they never
+// enter cache keys or BENCH artifacts, so their randomness does not
+// threaten reproducibility.
+func NewTraceContext() TraceContext {
+	var b [24]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// A broken entropy source must not take tracing down: fall back to
+		// the counter, still unique within the process.
+		n := tcCounter.Add(1)
+		return TraceContext{
+			TraceID: fmt.Sprintf("%032x", n),
+			SpanID:  fmt.Sprintf("%016x", n),
+		}
+	}
+	tc := TraceContext{
+		TraceID: hex.EncodeToString(b[:16]),
+		SpanID:  hex.EncodeToString(b[16:]),
+	}
+	if !tc.Valid() { // astronomically unlikely all-zero draw
+		return NewTraceContext()
+	}
+	return tc
+}
+
+type traceCtxKey int
+
+const (
+	traceContextKey traceCtxKey = iota
+	jobTraceKey
+)
+
+// WithTraceContext returns a context carrying the request's trace
+// identity (invalid contexts are not stored).
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceContextKey, tc)
+}
+
+// TraceContextFrom extracts the trace identity bound to ctx.
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(traceContextKey).(TraceContext)
+	return tc, ok
+}
+
+// spanRef is what WithSpan stores: the job's span buffer plus the span ID
+// that children created under this context should parent to.
+type spanRef struct {
+	jt     *JobTrace
+	parent string
+}
+
+// WithSpan binds a job's span buffer and the current parent span ID to
+// ctx, so downstream layers (the engine, most importantly) record their
+// spans into the right tree under the right parent without any API
+// surface between the layers beyond the context they already share.
+func WithSpan(ctx context.Context, jt *JobTrace, parent string) context.Context {
+	if jt == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, jobTraceKey, spanRef{jt: jt, parent: parent})
+}
+
+// SpanFrom extracts the span buffer and parent span ID bound to ctx; a
+// nil JobTrace means no trace is attached and recording should no-op.
+func SpanFrom(ctx context.Context) (*JobTrace, string) {
+	if ctx == nil {
+		return nil, ""
+	}
+	ref, _ := ctx.Value(jobTraceKey).(spanRef)
+	return ref.jt, ref.parent
+}

@@ -1,0 +1,179 @@
+package tshist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hdsmt/internal/telemetry"
+)
+
+// SLO declares one service-level objective evaluated against the
+// sampler's windowed history. Two shapes exist:
+//
+//   - availability: Threshold 0. Good events are non-5xx HTTP responses;
+//     the objective is the good ratio (0.999 = "three nines").
+//   - latency: Threshold > 0 and Kind names a job kind. Good events are
+//     jobs of that kind completing within Threshold seconds; the
+//     objective is the good ratio (0.95 = "p95 under the threshold").
+//
+// Burn rate is the classic SRE quantity: the bad fraction over a window
+// divided by the budget (1 - objective). Burn 1 spends the error budget
+// exactly at its sustainable pace; burn 14.4 spends a 30-day budget in
+// two days.
+type SLO struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind,omitempty"`
+	Objective float64 `json:"objective"`
+	Threshold float64 `json:"threshold_seconds,omitempty"`
+}
+
+// Alerting thresholds, per the multi-window multi-burn-rate recipe: a
+// page needs both the 5m and 1m windows burning fast (sustained AND
+// still happening); a warn needs 30m and 5m burning moderately.
+const (
+	PageBurn = 14.4
+	WarnBurn = 6.0
+)
+
+// AvailabilitySLO declares the service-wide non-5xx objective.
+func AvailabilitySLO(objective float64) SLO {
+	return SLO{Name: "availability", Objective: objective}
+}
+
+// LatencySLO declares that 95% of jobs of kind complete within
+// threshold seconds.
+func LatencySLO(kind string, threshold float64) SLO {
+	return SLO{
+		Name:      "latency-" + kind,
+		Kind:      kind,
+		Objective: 0.95,
+		Threshold: threshold,
+	}
+}
+
+// ParseLatencyTargets parses the -slo-latency flag form
+// "kind=seconds[,kind=seconds...]" into LatencySLO declarations,
+// deterministically ordered by kind.
+func ParseLatencyTargets(spec string) ([]SLO, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	targets := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("tshist: bad latency target %q (want kind=seconds)", part)
+		}
+		sec, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || sec <= 0 {
+			return nil, fmt.Errorf("tshist: bad latency target %q: seconds must be a positive number", part)
+		}
+		targets[kv[0]] = sec
+	}
+	kinds := make([]string, 0, len(targets))
+	for k := range targets {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	slos := make([]SLO, 0, len(kinds))
+	for _, k := range kinds {
+		slos = append(slos, LatencySLO(k, targets[k]))
+	}
+	return slos, nil
+}
+
+// BurnWindow is one window's burn-rate evaluation.
+type BurnWindow struct {
+	Events      float64 `json:"events"`
+	BadFraction float64 `json:"bad_fraction"`
+	Burn        float64 `json:"burn"`
+}
+
+// SLOStatus is one SLO's current evaluation across all windows.
+// Status is "ok", "warn", "page", or "no-data" (no events in the 5m
+// window — a silent service burns nothing). Breach is true for warn and
+// page: the bit the acceptance test watches flip.
+type SLOStatus struct {
+	SLO
+	Windows map[string]BurnWindow `json:"windows"`
+	Status  string                `json:"status"`
+	Breach  bool                  `json:"breach"`
+}
+
+func noDataStatus(slo SLO) SLOStatus {
+	st := SLOStatus{SLO: slo, Windows: map[string]BurnWindow{}, Status: "no-data"}
+	for _, w := range Windows {
+		st.Windows[w.Name] = BurnWindow{}
+	}
+	return st
+}
+
+// evaluate computes one SLO's burn across all windows. baseline maps a
+// window span to its delta base point (the sampler's ring lookup).
+func evaluate(slo SLO, latest point, baseline func(time.Duration) point) SLOStatus {
+	st := SLOStatus{SLO: slo, Windows: map[string]BurnWindow{}}
+	budget := 1 - slo.Objective
+	for _, w := range Windows {
+		base := baseline(w.Span)
+		events, bad := slo.eventCounts(latest, base)
+		bw := BurnWindow{Events: events}
+		if events > 0 {
+			bw.BadFraction = bad / events
+			if budget > 0 {
+				bw.Burn = bw.BadFraction / budget
+			}
+		}
+		st.Windows[w.Name] = bw
+	}
+	switch {
+	case st.Windows["5m"].Events == 0:
+		st.Status = "no-data"
+	case st.Windows["5m"].Burn >= PageBurn && st.Windows["1m"].Burn >= PageBurn:
+		st.Status, st.Breach = "page", true
+	case st.Windows["30m"].Burn >= WarnBurn && st.Windows["5m"].Burn >= WarnBurn:
+		st.Status, st.Breach = "warn", true
+	default:
+		st.Status = "ok"
+	}
+	return st
+}
+
+// eventCounts returns (total, bad) events between base and latest for
+// this SLO's shape.
+func (slo SLO) eventCounts(latest, base point) (events, bad float64) {
+	if slo.Threshold <= 0 {
+		reqs, errs := responseDeltas(latest, base)
+		return reqs, errs
+	}
+	d := histDelta(latest, base, seriesKey(telemetry.MetricServerJobSeconds, slo.Kind))
+	total := d.total()
+	good := d.countAtOrBelow(slo.Threshold)
+	return float64(total), float64(total - good)
+}
+
+// publish republishes the SLO gauges from a freshly computed history:
+// hdsmt_slo_burn_rate{slo="name:window"} and
+// hdsmt_slo_breach{slo="name"} (0 ok/no-data, 1 warn, 2 page). Plain
+// gauges set here — not gauge functions — so scraping /metrics never
+// re-enters the sampler.
+func (s *Sampler) publish(h History) {
+	if s.burn == nil {
+		return
+	}
+	for _, st := range h.SLOs {
+		for _, w := range Windows {
+			s.burn.With(st.Name + ":" + w.Name).Set(st.Windows[w.Name].Burn)
+		}
+		level := 0.0
+		switch st.Status {
+		case "warn":
+			level = 1
+		case "page":
+			level = 2
+		}
+		s.breach.With(st.Name).Set(level)
+	}
+}
