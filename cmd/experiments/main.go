@@ -25,28 +25,30 @@ import (
 
 func main() {
 	var (
-		budget    = flag.Uint64("budget", 30_000, "measured instructions per thread")
-		warmup    = flag.Uint64("warmup", 10_000, "warm-up instructions per thread")
-		oracle    = flag.Uint64("oracle", 0, "oracle search budget (0 = same as -budget)")
-		maxOracle = flag.Int("maxoracle", 96, "cap on oracle mappings searched (0 = exhaustive)")
-		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		list      = flag.Bool("list", false, "list workloads (Tables 2-3) and exit")
-		areaOnly  = flag.Bool("area", false, "print area figures (Fig. 2b, Fig. 3) and exit")
-		only      = flag.String("figure", "", "run a single sub-figure: 4a|4b|4c (5a-c derive from the same runs)")
-		detail    = flag.Bool("detail", false, "also print per-workload measurements")
-		ablate    = flag.Bool("ablate", false, "run the design-choice ablations and exit")
-		csvDir    = flag.String("csv", "", "also write per-figure CSV files into this directory")
-		perfOut   = flag.String("perf", "", "measure simulator throughput (optimized vs reference stepping), write a perf trajectory report to this JSON file, and exit")
-		perfReps  = flag.Int("perfreps", 5, "repetitions per cell for -perf")
-		searchOut = flag.String("search", "", "run the search-efficiency benchmark (metaheuristics vs exhaustive enumeration), write the report to this JSON file, and exit")
-		searchSd  = flag.Int64("searchseed", 1, "random seed for -search")
-		paretoOut = flag.String("pareto", "", "run the multi-objective benchmark (fronts, hypervolume trajectories, seeded priors, per-class specialization), write the report to this JSON file, and exit")
-		paretoSd  = flag.Int64("paretoseed", 1, "random seed for -pareto")
-		powerOut  = flag.String("power", "", "run the power-model benchmark (per-machine EPI/ED/ED², the 4-objective ipc/area/fairness/energy front, NSGA-II/PACO hypervolume trajectories), write the report to this JSON file, and exit")
-		powerSd   = flag.Int64("powerseed", 1, "random seed for -power")
-		powerFull = flag.Bool("powerfull", false, "run -power at full scale (exhaustive 4-objective front over the whole enriched space; default is the CI-sized short mode)")
-		tracePath = flag.String("tracepath", "", "write a Chrome trace_event JSON of every engine job to this file (open in chrome://tracing or Perfetto)")
-		quiet     = flag.Bool("quiet", false, "suppress the periodic progress line on stderr")
+		budget      = flag.Uint64("budget", 30_000, "measured instructions per thread")
+		warmup      = flag.Uint64("warmup", 10_000, "warm-up instructions per thread")
+		oracle      = flag.Uint64("oracle", 0, "oracle search budget (0 = same as -budget)")
+		maxOracle   = flag.Int("maxoracle", 96, "cap on oracle mappings searched (0 = exhaustive)")
+		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		list        = flag.Bool("list", false, "list workloads (Tables 2-3) and exit")
+		areaOnly    = flag.Bool("area", false, "print area figures (Fig. 2b, Fig. 3) and exit")
+		only        = flag.String("figure", "", "run a single sub-figure: 4a|4b|4c (5a-c derive from the same runs)")
+		detail      = flag.Bool("detail", false, "also print per-workload measurements")
+		ablate      = flag.Bool("ablate", false, "run the design-choice ablations and exit")
+		csvDir      = flag.String("csv", "", "also write per-figure CSV files into this directory")
+		perfOut     = flag.String("perf", "", "measure simulator throughput (optimized vs reference stepping), write a perf trajectory report to this JSON file, and exit")
+		perfReps    = flag.Int("perfreps", 5, "repetitions per cell for -perf")
+		searchOut   = flag.String("search", "", "run the search-efficiency benchmark (metaheuristics vs exhaustive enumeration), write the report to this JSON file, and exit")
+		searchSd    = flag.Int64("searchseed", 1, "random seed for -search")
+		paretoOut   = flag.String("pareto", "", "run the multi-objective benchmark (fronts, hypervolume trajectories, seeded priors, per-class specialization), write the report to this JSON file, and exit")
+		paretoSd    = flag.Int64("paretoseed", 1, "random seed for -pareto")
+		sampledOut  = flag.String("sampled", "", "run the sampled-simulation benchmark (systematic sampling vs exact on the HEUR basket: error, interval coverage, speedup), write the report to this JSON file, and exit")
+		sampledReps = flag.Int("sampledreps", 3, "timing repetitions per pass for -sampled")
+		powerOut    = flag.String("power", "", "run the power-model benchmark (per-machine EPI/ED/ED², the 4-objective ipc/area/fairness/energy front, NSGA-II/PACO hypervolume trajectories), write the report to this JSON file, and exit")
+		powerSd     = flag.Int64("powerseed", 1, "random seed for -power")
+		powerFull   = flag.Bool("powerfull", false, "run -power at full scale (exhaustive 4-objective front over the whole enriched space; default is the CI-sized short mode)")
+		tracePath   = flag.String("tracepath", "", "write a Chrome trace_event JSON of every engine job to this file (open in chrome://tracing or Perfetto)")
+		quiet       = flag.Bool("quiet", false, "suppress the periodic progress line on stderr")
 	)
 	flag.Parse()
 	obsInit(*tracePath, *quiet)
@@ -72,6 +74,13 @@ func main() {
 	}
 	if *paretoOut != "" {
 		if err := writeParetoReport(*paretoOut, *paretoSd); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sampledOut != "" {
+		if err := writeSampledReport(*sampledOut, *sampledReps); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,236 @@
+package branch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Checkpoint states for the sampled-simulation functional warmer: each
+// predictor structure can snapshot its full microarchitectural state into a
+// plain struct, restore it bit-identically, and round-trip through a
+// deterministic little-endian binary encoding. Snapshots are deep copies —
+// mutating the structure afterwards never aliases into a taken state.
+
+// PredictorState is a bit-exact snapshot of a Predictor.
+type PredictorState struct {
+	Weights [numPerceptrons][historyLen + 1]int8
+	Local   [localTableSize]uint16
+	Global  []uint32
+	Stats   PredStats
+}
+
+// Snapshot captures the predictor's tables, histories, and statistics.
+func (p *Predictor) Snapshot() *PredictorState {
+	s := &PredictorState{
+		Weights: p.weights,
+		Local:   p.local,
+		Global:  append([]uint32(nil), p.global...),
+		Stats:   p.stats,
+	}
+	return s
+}
+
+// Restore overwrites the predictor with a previously taken snapshot. The
+// snapshot must come from a predictor serving the same thread count.
+func (p *Predictor) Restore(s *PredictorState) {
+	if len(s.Global) != len(p.global) {
+		panic(fmt.Sprintf("branch: predictor snapshot for %d threads restored into %d", len(s.Global), len(p.global)))
+	}
+	p.weights = s.Weights
+	p.local = s.Local
+	copy(p.global, s.Global)
+	p.stats = s.Stats
+}
+
+// MarshalBinary encodes the state deterministically (fixed-width
+// little-endian, fields in declaration order).
+func (s *PredictorState) MarshalBinary() ([]byte, error) {
+	dst := make([]byte, 0, len(s.Weights)*(historyLen+1)+2*len(s.Local)+4*len(s.Global)+32)
+	for i := range s.Weights {
+		for _, w := range s.Weights[i] {
+			dst = append(dst, byte(w))
+		}
+	}
+	for _, h := range s.Local {
+		dst = binary.LittleEndian.AppendUint16(dst, h)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Global)))
+	for _, g := range s.Global {
+		dst = binary.LittleEndian.AppendUint32(dst, g)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, s.Stats.Lookups)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Stats.Mispredicts)
+	return dst, nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary.
+func (s *PredictorState) UnmarshalBinary(src []byte) error {
+	fixed := len(s.Weights)*(historyLen+1) + 2*len(s.Local) + 4
+	if len(src) < fixed {
+		return fmt.Errorf("branch: predictor state truncated (%d bytes)", len(src))
+	}
+	for i := range s.Weights {
+		for j := range s.Weights[i] {
+			s.Weights[i][j] = int8(src[0])
+			src = src[1:]
+		}
+	}
+	for i := range s.Local {
+		s.Local[i] = binary.LittleEndian.Uint16(src)
+		src = src[2:]
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	src = src[4:]
+	if len(src) != 4*n+16 {
+		return fmt.Errorf("branch: predictor state has %d trailing bytes, want %d", len(src), 4*n+16)
+	}
+	s.Global = make([]uint32, n)
+	for i := range s.Global {
+		s.Global[i] = binary.LittleEndian.Uint32(src)
+		src = src[4:]
+	}
+	s.Stats.Lookups = binary.LittleEndian.Uint64(src)
+	s.Stats.Mispredicts = binary.LittleEndian.Uint64(src[8:])
+	return nil
+}
+
+// BTBState is a bit-exact snapshot of a BTB. Entries holds the sets
+// flattened in set-major order.
+type BTBState struct {
+	Entries []btbEntry
+	Ways    int
+	Stamp   uint64
+	Stats   BTBStats
+}
+
+// Snapshot captures the BTB's contents, LRU stamps, and statistics.
+func (b *BTB) Snapshot() *BTBState {
+	ways := 0
+	if len(b.sets) > 0 {
+		ways = len(b.sets[0])
+	}
+	s := &BTBState{Entries: make([]btbEntry, 0, len(b.sets)*ways), Ways: ways, Stamp: b.stamp, Stats: b.stats}
+	for _, set := range b.sets {
+		s.Entries = append(s.Entries, set...)
+	}
+	return s
+}
+
+// Restore overwrites the BTB with a previously taken snapshot; geometry
+// must match.
+func (b *BTB) Restore(s *BTBState) {
+	ways := 0
+	if len(b.sets) > 0 {
+		ways = len(b.sets[0])
+	}
+	if s.Ways != ways || len(s.Entries) != len(b.sets)*ways {
+		panic("branch: BTB snapshot geometry mismatch")
+	}
+	for i, set := range b.sets {
+		copy(set, s.Entries[i*ways:(i+1)*ways])
+	}
+	b.stamp = s.Stamp
+	b.stats = s.Stats
+}
+
+// MarshalBinary encodes the state deterministically.
+func (s *BTBState) MarshalBinary() ([]byte, error) {
+	dst := make([]byte, 0, 8+len(s.Entries)*25+32)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Entries)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Ways))
+	for _, e := range s.Entries {
+		dst = binary.LittleEndian.AppendUint64(dst, e.tag)
+		dst = binary.LittleEndian.AppendUint64(dst, e.target)
+		dst = binary.LittleEndian.AppendUint64(dst, e.lru)
+		v := byte(0)
+		if e.valid {
+			v = 1
+		}
+		dst = append(dst, v)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, s.Stamp)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Stats.Lookups)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Stats.Hits)
+	return dst, nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary.
+func (s *BTBState) UnmarshalBinary(src []byte) error {
+	if len(src) < 8 {
+		return fmt.Errorf("branch: BTB state truncated (%d bytes)", len(src))
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	s.Ways = int(binary.LittleEndian.Uint32(src[4:]))
+	src = src[8:]
+	if len(src) != n*25+24 {
+		return fmt.Errorf("branch: BTB state has %d bytes for %d entries", len(src), n)
+	}
+	s.Entries = make([]btbEntry, n)
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		e.tag = binary.LittleEndian.Uint64(src)
+		e.target = binary.LittleEndian.Uint64(src[8:])
+		e.lru = binary.LittleEndian.Uint64(src[16:])
+		e.valid = src[24] != 0
+		src = src[25:]
+	}
+	s.Stamp = binary.LittleEndian.Uint64(src)
+	s.Stats.Lookups = binary.LittleEndian.Uint64(src[8:])
+	s.Stats.Hits = binary.LittleEndian.Uint64(src[16:])
+	return nil
+}
+
+// RASState is a bit-exact snapshot of a RAS.
+type RASState struct {
+	Stack []uint64
+	Top   int
+	Next  int
+}
+
+// Snapshot captures the stack contents and cursor positions.
+func (r *RAS) Snapshot() *RASState {
+	return &RASState{Stack: append([]uint64(nil), r.stack...), Top: r.top, Next: r.next}
+}
+
+// Restore overwrites the RAS with a previously taken snapshot; capacity
+// must match.
+func (r *RAS) Restore(s *RASState) {
+	if len(s.Stack) != len(r.stack) {
+		panic("branch: RAS snapshot capacity mismatch")
+	}
+	copy(r.stack, s.Stack)
+	r.top = s.Top
+	r.next = s.Next
+}
+
+// MarshalBinary encodes the state deterministically.
+func (s *RASState) MarshalBinary() ([]byte, error) {
+	dst := make([]byte, 0, 4+8*len(s.Stack)+16)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Stack)))
+	for _, a := range s.Stack {
+		dst = binary.LittleEndian.AppendUint64(dst, a)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Top))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Next))
+	return dst, nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary.
+func (s *RASState) UnmarshalBinary(src []byte) error {
+	if len(src) < 4 {
+		return fmt.Errorf("branch: RAS state truncated (%d bytes)", len(src))
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	src = src[4:]
+	if len(src) != 8*n+16 {
+		return fmt.Errorf("branch: RAS state has %d bytes for %d entries", len(src), n)
+	}
+	s.Stack = make([]uint64, n)
+	for i := range s.Stack {
+		s.Stack[i] = binary.LittleEndian.Uint64(src)
+		src = src[8:]
+	}
+	s.Top = int(binary.LittleEndian.Uint64(src))
+	s.Next = int(binary.LittleEndian.Uint64(src[8:]))
+	return nil
+}

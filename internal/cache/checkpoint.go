@@ -1,0 +1,316 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Checkpoint states for the sampled-simulation functional warmer: caches
+// and TLBs snapshot their full tag/LRU/index state into plain structs that
+// restore bit-identically and round-trip through a deterministic
+// little-endian binary encoding. Snapshots are deep copies.
+
+// CacheState is a bit-exact snapshot of a Cache. Ways holds the sets
+// flattened in set-major order.
+type CacheState struct {
+	Ways      []way
+	Assoc     int
+	Stamp     uint64
+	BankCycle []uint64
+	BankUsed  []int
+	Stats     Stats
+}
+
+// Snapshot captures the cache's tags, LRU stamps, bank accounting, and
+// statistics.
+func (c *Cache) Snapshot() *CacheState {
+	s := &CacheState{
+		Ways:      make([]way, 0, len(c.sets)*c.cfg.Assoc),
+		Assoc:     c.cfg.Assoc,
+		Stamp:     c.stamp,
+		BankCycle: append([]uint64(nil), c.bankCycle...),
+		BankUsed:  append([]int(nil), c.bankUsed...),
+		Stats:     c.stats,
+	}
+	for _, set := range c.sets {
+		s.Ways = append(s.Ways, set...)
+	}
+	return s
+}
+
+// Restore overwrites the cache with a previously taken snapshot; geometry
+// must match.
+func (c *Cache) Restore(s *CacheState) {
+	if s.Assoc != c.cfg.Assoc || len(s.Ways) != len(c.sets)*c.cfg.Assoc ||
+		len(s.BankCycle) != len(c.bankCycle) || len(s.BankUsed) != len(c.bankUsed) {
+		panic(fmt.Sprintf("cache %s: snapshot geometry mismatch", c.cfg.Name))
+	}
+	for i, set := range c.sets {
+		copy(set, s.Ways[i*c.cfg.Assoc:(i+1)*c.cfg.Assoc])
+	}
+	c.stamp = s.Stamp
+	copy(c.bankCycle, s.BankCycle)
+	copy(c.bankUsed, s.BankUsed)
+	c.stats = s.Stats
+}
+
+// appendWay / decodeWay are the shared 17-byte way encoding.
+func appendWay(dst []byte, w way) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, w.tag)
+	dst = binary.LittleEndian.AppendUint64(dst, w.lru)
+	v := byte(0)
+	if w.valid {
+		v = 1
+	}
+	return append(dst, v)
+}
+
+func decodeWay(src []byte) (way, []byte) {
+	w := way{
+		tag:   binary.LittleEndian.Uint64(src),
+		lru:   binary.LittleEndian.Uint64(src[8:]),
+		valid: src[16] != 0,
+	}
+	return w, src[17:]
+}
+
+const wayBytes = 17
+
+func appendStats(dst []byte, s Stats) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, s.Accesses)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Misses)
+	return binary.LittleEndian.AppendUint64(dst, s.BankConflicts)
+}
+
+func decodeStats(src []byte) (Stats, []byte) {
+	s := Stats{
+		Accesses:      binary.LittleEndian.Uint64(src),
+		Misses:        binary.LittleEndian.Uint64(src[8:]),
+		BankConflicts: binary.LittleEndian.Uint64(src[16:]),
+	}
+	return s, src[24:]
+}
+
+// MarshalBinary encodes the state deterministically (fixed-width
+// little-endian, fields in declaration order).
+func (s *CacheState) MarshalBinary() ([]byte, error) {
+	dst := make([]byte, 0, 16+len(s.Ways)*wayBytes+12*len(s.BankCycle)+40)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Ways)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Assoc))
+	for _, w := range s.Ways {
+		dst = appendWay(dst, w)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, s.Stamp)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.BankCycle)))
+	for i := range s.BankCycle {
+		dst = binary.LittleEndian.AppendUint64(dst, s.BankCycle[i])
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.BankUsed[i]))
+	}
+	return appendStats(dst, s.Stats), nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary.
+func (s *CacheState) UnmarshalBinary(src []byte) error {
+	if len(src) < 8 {
+		return fmt.Errorf("cache: cache state truncated (%d bytes)", len(src))
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	s.Assoc = int(binary.LittleEndian.Uint32(src[4:]))
+	src = src[8:]
+	if len(src) < n*wayBytes+12 {
+		return fmt.Errorf("cache: cache state truncated for %d ways", n)
+	}
+	s.Ways = make([]way, n)
+	for i := range s.Ways {
+		s.Ways[i], src = decodeWay(src)
+	}
+	s.Stamp = binary.LittleEndian.Uint64(src)
+	banks := int(binary.LittleEndian.Uint32(src[8:]))
+	src = src[12:]
+	if len(src) != banks*16+24 {
+		return fmt.Errorf("cache: cache state has %d bytes for %d banks", len(src), banks)
+	}
+	s.BankCycle = make([]uint64, banks)
+	s.BankUsed = make([]int, banks)
+	for i := 0; i < banks; i++ {
+		s.BankCycle[i] = binary.LittleEndian.Uint64(src)
+		s.BankUsed[i] = int(binary.LittleEndian.Uint64(src[8:]))
+		src = src[16:]
+	}
+	s.Stats, _ = decodeStats(src)
+	return nil
+}
+
+// TLBState is a bit-exact snapshot of a TLB, including the intrusive LRU
+// list and the open-addressing page index, so a restore reproduces the
+// exact victim sequence and probe chains of the original.
+type TLBState struct {
+	Entries    []way
+	Prev, Next []int32
+	Head, Tail int32
+	FillNext   int32
+	Stamp      uint64
+	Keys       []uint64
+	Vals       []int32
+	Stats      Stats
+}
+
+// Snapshot captures the TLB's full state.
+func (t *TLB) Snapshot() *TLBState {
+	return &TLBState{
+		Entries:  append([]way(nil), t.entries...),
+		Prev:     append([]int32(nil), t.prev...),
+		Next:     append([]int32(nil), t.next...),
+		Head:     t.head,
+		Tail:     t.tail,
+		FillNext: t.fillNext,
+		Stamp:    t.stamp,
+		Keys:     append([]uint64(nil), t.keys...),
+		Vals:     append([]int32(nil), t.vals...),
+		Stats:    t.stats,
+	}
+}
+
+// Restore overwrites the TLB with a previously taken snapshot; geometry
+// must match.
+func (t *TLB) Restore(s *TLBState) {
+	if len(s.Entries) != len(t.entries) || len(s.Keys) != len(t.keys) {
+		panic("cache: TLB snapshot geometry mismatch")
+	}
+	copy(t.entries, s.Entries)
+	copy(t.prev, s.Prev)
+	copy(t.next, s.Next)
+	t.head, t.tail = s.Head, s.Tail
+	t.fillNext = s.FillNext
+	t.stamp = s.Stamp
+	copy(t.keys, s.Keys)
+	copy(t.vals, s.Vals)
+	t.stats = s.Stats
+}
+
+// MarshalBinary encodes the state deterministically.
+func (s *TLBState) MarshalBinary() ([]byte, error) {
+	dst := make([]byte, 0, 8+len(s.Entries)*(wayBytes+8)+len(s.Keys)*12+64)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Entries)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Keys)))
+	for _, w := range s.Entries {
+		dst = appendWay(dst, w)
+	}
+	for i := range s.Prev {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Prev[i]))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Next[i]))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Head))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Tail))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.FillNext))
+	dst = binary.LittleEndian.AppendUint64(dst, s.Stamp)
+	for i := range s.Keys {
+		dst = binary.LittleEndian.AppendUint64(dst, s.Keys[i])
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Vals[i]))
+	}
+	return appendStats(dst, s.Stats), nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary.
+func (s *TLBState) UnmarshalBinary(src []byte) error {
+	if len(src) < 8 {
+		return fmt.Errorf("cache: TLB state truncated (%d bytes)", len(src))
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	slots := int(binary.LittleEndian.Uint32(src[4:]))
+	src = src[8:]
+	if len(src) != n*(wayBytes+8)+20+slots*12+24 {
+		return fmt.Errorf("cache: TLB state has %d bytes for %d entries / %d slots", len(src), n, slots)
+	}
+	s.Entries = make([]way, n)
+	for i := range s.Entries {
+		s.Entries[i], src = decodeWay(src)
+	}
+	s.Prev = make([]int32, n)
+	s.Next = make([]int32, n)
+	for i := 0; i < n; i++ {
+		s.Prev[i] = int32(binary.LittleEndian.Uint32(src))
+		s.Next[i] = int32(binary.LittleEndian.Uint32(src[4:]))
+		src = src[8:]
+	}
+	s.Head = int32(binary.LittleEndian.Uint32(src))
+	s.Tail = int32(binary.LittleEndian.Uint32(src[4:]))
+	s.FillNext = int32(binary.LittleEndian.Uint32(src[8:]))
+	s.Stamp = binary.LittleEndian.Uint64(src[12:])
+	src = src[20:]
+	s.Keys = make([]uint64, slots)
+	s.Vals = make([]int32, slots)
+	for i := 0; i < slots; i++ {
+		s.Keys[i] = binary.LittleEndian.Uint64(src)
+		s.Vals[i] = int32(binary.LittleEndian.Uint32(src[8:]))
+		src = src[12:]
+	}
+	s.Stats, _ = decodeStats(src)
+	return nil
+}
+
+// HierarchyState is a bit-exact snapshot of a Hierarchy: every cache level
+// plus both TLBs. It is the memory-side half of a sampling interval
+// checkpoint.
+type HierarchyState struct {
+	L1I, L1D, L2 *CacheState
+	ITLB, DTLB   *TLBState
+}
+
+// Snapshot captures the full hierarchy.
+func (h *Hierarchy) Snapshot() *HierarchyState {
+	return &HierarchyState{
+		L1I:  h.L1I.Snapshot(),
+		L1D:  h.L1D.Snapshot(),
+		L2:   h.L2.Snapshot(),
+		ITLB: h.ITLB.Snapshot(),
+		DTLB: h.DTLB.Snapshot(),
+	}
+}
+
+// Restore overwrites the hierarchy with a previously taken snapshot.
+func (h *Hierarchy) Restore(s *HierarchyState) {
+	h.L1I.Restore(s.L1I)
+	h.L1D.Restore(s.L1D)
+	h.L2.Restore(s.L2)
+	h.ITLB.Restore(s.ITLB)
+	h.DTLB.Restore(s.DTLB)
+}
+
+// MarshalBinary encodes each component with a length prefix.
+func (s *HierarchyState) MarshalBinary() ([]byte, error) {
+	var dst []byte
+	for _, m := range []interface{ MarshalBinary() ([]byte, error) }{s.L1I, s.L1D, s.L2, s.ITLB, s.DTLB} {
+		b, err := m.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+		dst = append(dst, b...)
+	}
+	return dst, nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary.
+func (s *HierarchyState) UnmarshalBinary(src []byte) error {
+	s.L1I, s.L1D, s.L2 = &CacheState{}, &CacheState{}, &CacheState{}
+	s.ITLB, s.DTLB = &TLBState{}, &TLBState{}
+	for _, u := range []interface{ UnmarshalBinary([]byte) error }{s.L1I, s.L1D, s.L2, s.ITLB, s.DTLB} {
+		if len(src) < 4 {
+			return fmt.Errorf("cache: hierarchy state truncated")
+		}
+		n := int(binary.LittleEndian.Uint32(src))
+		src = src[4:]
+		if len(src) < n {
+			return fmt.Errorf("cache: hierarchy state component truncated")
+		}
+		if err := u.UnmarshalBinary(src[:n]); err != nil {
+			return err
+		}
+		src = src[n:]
+	}
+	if len(src) != 0 {
+		return fmt.Errorf("cache: hierarchy state has %d trailing bytes", len(src))
+	}
+	return nil
+}

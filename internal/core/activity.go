@@ -102,6 +102,53 @@ func (a Activity) sub(base Activity) Activity {
 	return out
 }
 
+// subInto is sub with caller-provided Pipes backing, for callers that take
+// deltas inside a steady-state loop (the sampled-execution interval loop)
+// and must not allocate. pipes must have len(a.Pipes) capacity.
+func (a Activity) subInto(base Activity, pipes []PipeActivity) Activity {
+	scalarA, scalarB := a, base
+	scalarA.Pipes, scalarB.Pipes = nil, nil
+	out := scalarA.sub(scalarB)
+	pipes = pipes[:0]
+	for i := range a.Pipes {
+		var b PipeActivity
+		if i < len(base.Pipes) {
+			b = base.Pipes[i]
+		}
+		pipes = append(pipes, a.Pipes[i].sub(b))
+	}
+	out.Pipes = pipes
+	return out
+}
+
+// addInto accumulates a into dst field-wise, growing dst.Pipes on first use
+// (end-of-run aggregation, not a stepping-loop path).
+func addInto(dst *Activity, a Activity) {
+	dst.Fetched += a.Fetched
+	dst.ICacheReads += a.ICacheReads
+	dst.BranchLookups += a.BranchLookups
+	dst.Decoded += a.Decoded
+	dst.RenameReads += a.RenameReads
+	dst.RenameWrites += a.RenameWrites
+	dst.RegReads += a.RegReads
+	dst.RegWrites += a.RegWrites
+	dst.DCacheReads += a.DCacheReads
+	dst.DCacheWrites += a.DCacheWrites
+	dst.L2Accesses += a.L2Accesses
+	if len(dst.Pipes) < len(a.Pipes) {
+		dst.Pipes = append(dst.Pipes, make([]PipeActivity, len(a.Pipes)-len(dst.Pipes))...)
+	}
+	for i := range a.Pipes {
+		p := &dst.Pipes[i]
+		p.FetchBufWrites += a.Pipes[i].FetchBufWrites
+		for k := 0; k < QueueKinds; k++ {
+			p.QueueWrites[k] += a.Pipes[i].QueueWrites[k]
+			p.QueueReads[k] += a.Pipes[i].QueueReads[k]
+			p.FUOps[k] += a.Pipes[i].FUOps[k]
+		}
+	}
+}
+
 // clone returns a deep copy (the warm-up baseline snapshot must not alias
 // the live counters' Pipes slice).
 func (a Activity) clone() Activity {

@@ -15,6 +15,7 @@ import (
 	"hdsmt/internal/isa"
 	"hdsmt/internal/pipeline"
 	"hdsmt/internal/regfile"
+	"hdsmt/internal/trace"
 )
 
 // frontLatency is the fetch-to-issue distance in cycles implied by the
@@ -103,6 +104,15 @@ type Processor struct {
 	baseStats    Stats
 	baseThread   []ThreadStats
 	baseActivity Activity
+
+	// Sampled-execution scratch (see sampled.go), reused across sampling
+	// units so the interval loop stays allocation-free.
+	sampleScratch     []uint64
+	sampleWarmScratch []uint64
+	samplePipeScratch []PipeActivity
+	sampleCommitted   []uint64
+	sampleCtl         []trace.ControlFunc
+	sampleUnit        uint64
 
 	stats Stats
 	// activity holds the per-unit access counters behind the energy model
@@ -318,6 +328,11 @@ type Results struct {
 	// Activity is the measured-phase per-unit access counters feeding the
 	// activity-based energy model (sim.EnergyOf).
 	Activity Activity
+
+	// Sampled carries the systematic-sampling estimate when the run used
+	// RunSampled (see sampled.go); nil for exact runs, and omitted from
+	// JSON so exact-run encodings are unchanged.
+	Sampled *SampleSummary `json:",omitempty"`
 }
 
 // Run simulates until one thread retires maxPerThread measured instructions

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -79,6 +80,58 @@ func TestRequestKey(t *testing.T) {
 			t.Errorf("variant %d does not change the key", i)
 		}
 		seen[v.Key()] = true
+	}
+}
+
+// TestSampledRequestKeys pins the sampling-parameter keying: a sampled and
+// a full run of the same genotype are distinct jobs, every sampling
+// parameter participates in the key, and exact requests' keys — and
+// therefore every existing disk cache and journal — are untouched by the
+// new fields.
+func TestSampledRequestKeys(t *testing.T) {
+	full := testRequest(1)
+	sampled := testRequest(1)
+	sampled.SamplePeriod, sampled.SampleDetail, sampled.SampleWarm = 50_000, 2_000, 1_000
+
+	if full.Key() == sampled.Key() {
+		t.Fatal("sampled and full runs of the same genotype share a key")
+	}
+	seen := map[string]bool{full.Key(): true, sampled.Key(): true}
+	for _, mut := range []func(*engine.Request){
+		func(r *engine.Request) { r.SamplePeriod = 60_000 },
+		func(r *engine.Request) { r.SampleDetail = 1_000 },
+		func(r *engine.Request) { r.SampleWarm = 500 },
+	} {
+		v := sampled
+		mut(&v)
+		if seen[v.Key()] {
+			t.Errorf("sampling-parameter change %+v does not change the key", v.Sample())
+		}
+		seen[v.Key()] = true
+	}
+
+	// Exact requests must serialize without the sampling fields, so their
+	// keys predate the fields' existence.
+	b, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("sample")) {
+		t.Errorf("exact request encoding mentions sampling: %s", b)
+	}
+
+	// And the engine must treat the two as separate jobs: both execute.
+	var executed atomic.Uint64
+	eng, err := engine.New(fakeRunner(&executed), engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.RunBatch(context.Background(), []engine.Request{full, sampled, full, sampled}); err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != 2 {
+		t.Errorf("executed %d simulations, want 2 (sampled and full memoized separately, repeats served from cache)", got)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"hdsmt/internal/config"
+	"hdsmt/internal/core"
 	"hdsmt/internal/mapping"
 	"hdsmt/internal/workload"
 )
@@ -39,6 +40,22 @@ type Request struct {
 	// 0 keeps the static mapping. omitempty keeps static requests' keys —
 	// and therefore every existing disk cache and journal — unchanged.
 	Remap uint64 `json:"remap,omitempty"`
+	// SamplePeriod/SampleDetail/SampleWarm, when SamplePeriod is nonzero,
+	// select sampled execution (core.RunSampled) with these parameters.
+	// Every sampling parameter participates in the key: a sampled estimate
+	// and a full run of the same design point — or two sampled runs at
+	// different operating points — are different jobs and memoize
+	// separately. omitempty keeps exact requests' keys, and therefore every
+	// existing disk cache and journal, unchanged.
+	SamplePeriod uint64 `json:"sample_period,omitempty"`
+	SampleDetail uint64 `json:"sample_detail,omitempty"`
+	SampleWarm   uint64 `json:"sample_warm,omitempty"`
+}
+
+// Sample returns the request's sampling parameters in core's terms; the
+// zero value (Enabled() == false) selects exact execution.
+func (r Request) Sample() core.SampleParams {
+	return core.SampleParams{Period: r.SamplePeriod, Detail: r.SampleDetail, Warm: r.SampleWarm}
 }
 
 // Key returns the request's content-addressed identity: a hex SHA-256 of
@@ -65,6 +82,9 @@ func (r Request) String() string {
 	}
 	if r.Remap != 0 {
 		s += fmt.Sprintf(" remap=%d", r.Remap)
+	}
+	if r.SamplePeriod != 0 {
+		s += fmt.Sprintf(" sampled=%d/%d+%d", r.SamplePeriod, r.SampleDetail, r.SampleWarm)
 	}
 	return s
 }

@@ -1,0 +1,61 @@
+package metrics
+
+import "strings"
+
+// The margin-of-error channel: sampled simulations produce estimates with
+// a 95% confidence interval, and the interval travels with the estimate
+// through every layer that passes Values around — search scores, Pareto
+// candidates, report exporters — without any of those layers growing a
+// second map. A metric's margin is stored under the companion key
+// "<key>.moe". The suffixed keys are invalid metric keys by convention
+// (the registry never registers them), Finalize ignores them, and Values'
+// sorted marshaling keeps each margin textually adjacent to its metric in
+// every report.
+
+// moeSuffix marks a companion margin-of-error entry.
+const moeSuffix = ".moe"
+
+// MoEKey returns the companion key carrying the 95% margin of error for
+// the metric named key.
+func MoEKey(key string) string { return key + moeSuffix }
+
+// IsMoEKey reports whether key names a margin-of-error companion entry
+// rather than a metric value. Layers that enumerate Values as metrics
+// (objective extraction, metric listings) skip these.
+func IsMoEKey(key string) bool { return strings.HasSuffix(key, moeSuffix) }
+
+// BaseKey returns the metric key a companion entry belongs to; for a
+// non-companion key it returns the key unchanged.
+func BaseKey(key string) string { return strings.TrimSuffix(key, moeSuffix) }
+
+// SetMoE records the 95% margin of error for the metric named key.
+// Non-positive margins record nothing: an exact measurement has no
+// companion entry at all, so exact results marshal byte-identically to
+// those produced before the channel existed.
+func SetMoE(v Values, key string, moe float64) {
+	if moe > 0 {
+		v[MoEKey(key)] = moe
+	}
+}
+
+// MoEOf returns the recorded 95% margin of error for the metric named key.
+// ok is false when the value is exact (no companion entry).
+func MoEOf(v Values, key string) (moe float64, ok bool) {
+	moe, ok = v[MoEKey(key)]
+	return moe, ok
+}
+
+// RelMoE returns the margin as a fraction of the metric's value, or 0 for
+// exact values and degenerate (non-positive) estimates — the conservative
+// reading a comparison policy wants.
+func RelMoE(v Values, key string) float64 {
+	moe, ok := MoEOf(v, key)
+	if !ok {
+		return 0
+	}
+	x := v[key]
+	if x <= 0 {
+		return 0
+	}
+	return moe / x
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import "testing"
+
+func TestMoEChannel(t *testing.T) {
+	v := Values{"ipc": 2.5}
+	if _, ok := MoEOf(v, "ipc"); ok {
+		t.Error("exact value reports a margin")
+	}
+	SetMoE(v, "ipc", 0.1)
+	if moe, ok := MoEOf(v, "ipc"); !ok || moe != 0.1 {
+		t.Errorf("MoEOf = %v,%v after SetMoE(0.1)", moe, ok)
+	}
+	if got := RelMoE(v, "ipc"); got != 0.04 {
+		t.Errorf("RelMoE = %v, want 0.04", got)
+	}
+	if RelMoE(v, "area") != 0 {
+		t.Error("absent metric has nonzero relative margin")
+	}
+
+	// Non-positive margins record nothing: exact results stay byte-identical.
+	w := Values{"ipc": 2.5}
+	SetMoE(w, "ipc", 0)
+	SetMoE(w, "ipc", -1)
+	if len(w) != 1 {
+		t.Errorf("zero/negative margins left companion entries: %v", w)
+	}
+
+	if !IsMoEKey("ipc.moe") || IsMoEKey("ipc") {
+		t.Error("IsMoEKey misclassifies")
+	}
+	if BaseKey("ipc.moe") != "ipc" || BaseKey("energy") != "energy" {
+		t.Error("BaseKey misresolves")
+	}
+	if MoEKey("energy") != "energy.moe" {
+		t.Error("MoEKey misbuilds")
+	}
+
+	// Companion keys are not metrics: no registered key carries the suffix,
+	// and Finalize must ignore companions rather than derive from them.
+	for _, m := range All() {
+		if IsMoEKey(m.Key) {
+			t.Errorf("registry contains a companion key %q", m.Key)
+		}
+	}
+	u := Values{"ipc": 2.0, "area": 100}
+	SetMoE(u, "ipc", 0.2)
+	Finalize(u)
+	if _, ok := u["per_area.moe"]; ok {
+		t.Error("Finalize invented a margin for a derived metric")
+	}
+	if u["per_area"] != 0.02 {
+		t.Errorf("per_area = %v, want 0.02", u["per_area"])
+	}
+}
+
+func TestMoEMarshalAdjacent(t *testing.T) {
+	v := Values{"ipc": 2.5}
+	SetMoE(v, "ipc", 0.125)
+	b, err := v.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(b), `{"ipc":2.5,"ipc.moe":0.125}`; got != want {
+		t.Errorf("marshaled %s, want %s", got, want)
+	}
+}

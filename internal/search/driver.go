@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"hdsmt/internal/core"
 	"hdsmt/internal/engine"
 	"hdsmt/internal/metrics"
 	"hdsmt/internal/pareto"
@@ -70,6 +71,16 @@ type Options struct {
 	// improved). Purely observational: the Result carries the same ledger,
 	// so a nil registry loses nothing but live visibility.
 	Telemetry *telemetry.Registry
+	// Sample, when enabled (Period > 0), triages first visits with sampled
+	// simulations at these parameters: every candidate is first scored from
+	// the cheap sampled estimates, and only those whose optimistic bound —
+	// point estimate shifted by its 95% margin in the improving direction —
+	// could displace the scalar incumbent or enter the Pareto archive are
+	// re-simulated in full before they settle. Incumbents and archive
+	// members are therefore always exact measurements; scores settled from
+	// the triage pass carry their margins as metric companions in Values
+	// (metrics.SetMoE), so consumers can see how trustworthy they are.
+	Sample core.SampleParams
 }
 
 // TrajectoryPoint is one recorded machine: the incumbent of a best-so-far
@@ -161,6 +172,13 @@ type Result struct {
 	Simulations  uint64  `json:"simulations"`
 	Submitted    uint64  `json:"submitted"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Triaged counts candidates first scored from sampled simulations
+	// (Options.Sample); Promoted is the subset whose optimistic estimate
+	// warranted a full re-simulation before settling. Both zero on exact
+	// runs.
+	Triaged  int `json:"triaged,omitempty"`
+	Promoted int `json:"promoted,omitempty"`
 
 	// RestoredFront counts archive members seeded from Options.ArchivePath
 	// before the strategy ran (0 on fresh runs).
@@ -434,7 +452,7 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 		s.res.Evaluations++
 		s.telEvals.Inc()
 		j := job{pos: len(scores), cand: cand, charge: s.res.Evaluations}
-		if j.cells, err = s.submitCells(ctx, cand); err != nil {
+		if j.cells, err = s.submitCells(ctx, cand, s.opts.Sample.Enabled()); err != nil {
 			return nil, err
 		}
 		inflight[key] = true
@@ -451,10 +469,18 @@ func (s *evalState) evaluate(ctx context.Context, pts []Point) ([]Score, error) 
 // shared run plus — when an objective's metric needs them — one alone-run
 // baseline per benchmark (AloneRequest on the ForThreads-normalized
 // configuration, like the shared run, so keys match across callers).
-func (s *evalState) submitCells(ctx context.Context, cand Candidate) ([]cellTickets, error) {
+// sampled selects the sampled triage pass; the settle pass always runs
+// exact, whatever the caller put in Options.Sim.
+func (s *evalState) submitCells(ctx context.Context, cand Candidate, sampled bool) ([]cellTickets, error) {
+	simOpt := s.opts.Sim
+	if sampled {
+		simOpt.Sample = s.opts.Sample
+	} else {
+		simOpt.Sample = core.SampleParams{}
+	}
 	var cells []cellTickets
 	for _, w := range s.space.Workloads {
-		req, err := sim.NewRequest(cand.Cfg, w, s.opts.Sim, cand.Policy, cand.Remap)
+		req, err := sim.NewRequest(cand.Cfg, w, simOpt, cand.Policy, cand.Remap)
 		if err != nil {
 			return nil, fmt.Errorf("search: %s on %s: %w", cand.Name(), w.Name, err)
 		}
@@ -464,7 +490,7 @@ func (s *evalState) submitCells(ctx context.Context, cand Candidate) ([]cellTick
 		}
 		if s.needsAlone {
 			for b := range w.Benchmarks {
-				tk, err := s.submit(ctx, sim.AloneRequest(req.Cfg, w, b, s.opts.Sim))
+				tk, err := s.submit(ctx, sim.AloneRequest(req.Cfg, w, b, simOpt))
 				if err != nil {
 					return nil, err
 				}
@@ -492,18 +518,79 @@ func (s *evalState) submit(ctx context.Context, req engine.Request) (*engine.Tic
 	return tk, nil
 }
 
-// settleJob waits for one candidate's simulations and assembles its score:
-// the base metrics — harmonic-mean IPC over the workloads, area, mean
-// energy per instruction from the runs' activity counters, mean harmonic
-// fairness when an objective prices its alone runs in — then every
-// derivable registered metric (metrics.Finalize), and the gain vector over
-// the run's objectives. A run whose objective metric cannot be produced
-// (e.g. energy over results journaled before activity counters existed)
-// fails loudly rather than archiving zeros.
+// settleJob produces one candidate's settled score. On exact runs it just
+// assembles the simulations' metrics. Under the sampled triage policy
+// (Options.Sample) the charged cells were sampled estimates: the score is
+// assembled with its margins, and when its optimistic bound could displace
+// the scalar incumbent or enter the archive, the candidate is re-simulated
+// in full and the exact score settles instead — the coarse pass spends the
+// search budget, the accurate pass is reserved for points that matter.
 func (s *evalState) settleJob(ctx context.Context, j job) (Score, error) {
+	sc, err := s.assembleScore(ctx, j)
+	if err != nil || !s.opts.Sample.Enabled() {
+		return sc, err
+	}
+	s.res.Triaged++
+	if !s.promotable(sc) {
+		return sc, nil
+	}
+	s.res.Promoted++
+	if j.cells, err = s.submitCells(ctx, j.cand, false); err != nil {
+		return Score{}, err
+	}
+	return s.assembleScore(ctx, j)
+}
+
+// promotable judges a sampled triage score by its optimistic bound — every
+// objective shifted by its 95% margin in the improving direction. Scalar
+// runs promote when the bound beats the incumbent; multi-objective runs
+// promote when no archive member dominates it (mirroring Archive.Add's
+// rejection rule, so a non-promoted point provably could not have entered).
+func (s *evalState) promotable(sc Score) bool {
+	if !sc.Feasible {
+		return false
+	}
+	if len(s.objs) == 0 {
+		best := s.res.Best
+		optimistic := sc.Metric("per_area") * (1 + metrics.RelMoE(sc.Values, "per_area"))
+		return best == nil || optimistic > best.Metric("per_area")
+	}
+	raw := make(pareto.Vector, len(s.objs))
+	for i, o := range s.objs {
+		v := objectiveValue(sc, o.Key)
+		rel := metrics.RelMoE(sc.Values, o.Key)
+		if o.Sense == pareto.Minimize {
+			v *= 1 - rel
+		} else {
+			v *= 1 + rel
+		}
+		raw[i] = v
+	}
+	g := pareto.Gain(s.objs, raw)
+	for _, m := range s.archive.Members() {
+		if pareto.GainDominates(pareto.Gain(s.objs, m.Vector), g) {
+			return false
+		}
+	}
+	return true
+}
+
+// assembleScore waits for one candidate's simulations and assembles its
+// score: the base metrics — harmonic-mean IPC over the workloads, area,
+// mean energy per instruction from the runs' activity counters, mean
+// harmonic fairness when an objective prices its alone runs in — then
+// every derivable registered metric (metrics.Finalize), and the gain
+// vector over the run's objectives. Sampled results additionally settle
+// their 95% margins into the Values companion channel (metrics.SetMoE),
+// propagated conservatively: the worst per-workload relative margin, with
+// one factor per sampled estimate entering a derived ratio. A run whose
+// objective metric cannot be produced (e.g. energy over results journaled
+// before activity counters existed) fails loudly rather than archiving
+// zeros.
+func (s *evalState) assembleScore(ctx context.Context, j job) (Score, error) {
 	sc := Score{Settled: true, Feasible: true, Values: metrics.Values{"area": j.cand.Area}}
 	ipcs := make([]float64, len(j.cells))
-	fairSum, energySum := 0.0, 0.0
+	fairSum, energySum, rel := 0.0, 0.0, 0.0
 	energyOK := true
 	for k, cell := range j.cells {
 		shared, err := cell.shared.Wait(ctx)
@@ -511,6 +598,11 @@ func (s *evalState) settleJob(ctx context.Context, j job) (Score, error) {
 			return Score{}, fmt.Errorf("search: evaluating %s: %w", j.cand.Name(), err)
 		}
 		ipcs[k] = shared.IPC
+		if sp := shared.Sampled; sp != nil && sp.IPCMean > 0 {
+			if r := sp.IPCMoE / sp.IPCMean; r > rel {
+				rel = r
+			}
+		}
 		if energyOK {
 			// Price energy from the shared run's activity counters. The
 			// counters cost nothing extra, so energy is computed for every
@@ -548,6 +640,21 @@ func (s *evalState) settleJob(ctx context.Context, j job) (Score, error) {
 		sc.Values["fairness"] = fairSum / float64(len(j.cells))
 	}
 	metrics.Finalize(sc.Values)
+	if rel > 0 {
+		// The worst per-workload relative margin bounds the aggregate's
+		// (the harmonic mean's relative error never exceeds its worst
+		// component). Derived ratios take one factor per sampled input:
+		// per_area divides by exact area, ed stacks energy on ipc, ed²
+		// another ipc. Fairness mixes the sampled shared run with exact
+		// alone baselines, so one factor covers it.
+		for key, factors := range map[string]float64{
+			"ipc": 1, "energy": 1, "fairness": 1, "per_area": 1, "ed": 2, "ed2": 3,
+		} {
+			if v, ok := sc.Values[key]; ok {
+				metrics.SetMoE(sc.Values, key, v*rel*factors)
+			}
+		}
+	}
 	if len(s.objs) > 0 {
 		raw := make(pareto.Vector, len(s.objs))
 		for i, o := range s.objs {

@@ -1,0 +1,117 @@
+package search
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"hdsmt/internal/core"
+	"hdsmt/internal/metrics"
+	"hdsmt/internal/pareto"
+)
+
+// testTriageParams fits the tiny test simulation budget: 4 sampled units
+// of 500 detailed instructions per 2 000-instruction period.
+func testTriageParams() core.SampleParams {
+	return core.SampleParams{Period: 2_000, Detail: 500, Warm: 500}
+}
+
+// noCompanions asserts a settled point carries only exact values — the
+// incumbent/archive contract of the triage policy.
+func noCompanions(t *testing.T, label string, v metrics.Values) {
+	t.Helper()
+	for key := range v {
+		if metrics.IsMoEKey(key) {
+			t.Errorf("%s carries sampled margin %q = %v; incumbents and archive members must settle exact",
+				label, key, v[key])
+		}
+	}
+}
+
+// TestSampledTriageScalar pins the accuracy/budget policy on a scalar
+// search: every charged candidate is triaged with sampled simulations,
+// only promising ones are re-simulated in full, and the incumbent
+// trajectory holds exact measurements only.
+func TestSampledTriageScalar(t *testing.T) {
+	sp := smallSpace(t)
+	r := newTestRunner(t)
+	res, err := NewDriver(r).Search(context.Background(), sp, Random{},
+		Options{Budget: 12, Seed: 5, Sim: testSimOptions(), Sample: testTriageParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no feasible point found")
+	}
+	if res.Triaged != res.Evaluations {
+		t.Errorf("triaged %d of %d charged evaluations, want all", res.Triaged, res.Evaluations)
+	}
+	if res.Promoted < 1 || res.Promoted > res.Triaged {
+		t.Errorf("promoted %d of %d triaged, want within [1, triaged]", res.Promoted, res.Triaged)
+	}
+	for _, tp := range res.Trajectory {
+		noCompanions(t, "incumbent "+tp.Name(), tp.Values)
+	}
+
+	// An exact run under the same seed visits the same candidates; the
+	// triage run must not settle a *better* incumbent than full simulation
+	// supports (its incumbent is exact, so it appears in the exact run's
+	// reachable set).
+	exact, err := NewDriver(newTestRunner(t)).Search(context.Background(), sp, Random{},
+		Options{Budget: 12, Seed: 5, Sim: testSimOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Triaged != 0 || exact.Promoted != 0 {
+		t.Errorf("exact run reports triage counters: %d/%d", exact.Triaged, exact.Promoted)
+	}
+	if res.Best.Metric("per_area") > exact.Best.Metric("per_area")+1e-12 {
+		t.Errorf("triaged incumbent %.6f beats the exact run's %.6f — settled estimates leaked into the trajectory",
+			res.Best.Metric("per_area"), exact.Best.Metric("per_area"))
+	}
+}
+
+// TestSampledTriageMultiObjective: archive members settle exact, the front
+// invariant holds, and the run reproduces byte for byte.
+func TestSampledTriageMultiObjective(t *testing.T) {
+	objs, err := pareto.Parse("ipc,area")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := smallSpace(t)
+	run := func() *Result {
+		r := newTestRunner(t)
+		res, err := NewDriver(r).Search(context.Background(), sp, Random{},
+			Options{Budget: 10, Seed: 7, Sim: testSimOptions(),
+				Objectives: objs, Sample: testTriageParams()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	if err := CheckFront(objs, res.Front); err != nil {
+		t.Error(err)
+	}
+	for _, tp := range res.Front {
+		noCompanions(t, "front member "+tp.Name(), tp.Values)
+	}
+	if res.Triaged != res.Evaluations || res.Promoted < 1 {
+		t.Errorf("triage ledger %d/%d over %d evaluations", res.Promoted, res.Triaged, res.Evaluations)
+	}
+
+	a, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("same seed, different triaged-run JSON:\n%s\n%s", a, b)
+	}
+}

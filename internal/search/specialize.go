@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hdsmt/internal/config"
+	"hdsmt/internal/core"
 	"hdsmt/internal/metrics"
 	"hdsmt/internal/workload"
 )
@@ -114,8 +115,11 @@ func (d *Driver) scorePoint(ctx context.Context, sp *Space, tp TrajectoryPoint, 
 		objs:       opts.Objectives,
 		needsAlone: needsAloneRuns(opts.Objectives),
 	}
+	// Re-scoring is a settling act: always exact, whatever triage policy
+	// the original search ran under.
+	state.opts.Sample = core.SampleParams{}
 	j := job{cand: cand, charge: 0}
-	if j.cells, err = state.submitCells(ctx, cand); err != nil {
+	if j.cells, err = state.submitCells(ctx, cand, false); err != nil {
 		return nil, err
 	}
 	sc, err := state.settleJob(ctx, j)

@@ -85,6 +85,9 @@ func simulate(ctx context.Context, req engine.Request) (core.Results, error) {
 	if err != nil {
 		return core.Results{}, err
 	}
+	if sp := req.Sample(); sp.Enabled() {
+		return p.RunSampled(req.Budget, sp)
+	}
 	return p.Run(req.Budget)
 }
 
@@ -118,6 +121,18 @@ func newRequest(cfg config.Microarch, w workload.Workload, m mapping.Mapping, bu
 	}
 }
 
+// withSample stamps sampling parameters onto a request when opt enables
+// sampled execution; the exact path leaves the request — and its cache key —
+// untouched.
+func withSample(req engine.Request, opt Options) engine.Request {
+	if opt.Sample.Enabled() {
+		req.SamplePeriod = opt.Sample.Period
+		req.SampleDetail = opt.Sample.Detail
+		req.SampleWarm = opt.Sample.Warm
+	}
+	return req
+}
+
 // NewRequest assembles the engine job for one design point: cfg on w under
 // the default (§2.1 heuristic) mapping, with an optional fetch-policy
 // override and an optional dynamic-remap interval. A policy equal to the
@@ -135,7 +150,7 @@ func NewRequest(cfg config.Microarch, w workload.Workload, opt Options, policy s
 	if err != nil {
 		return engine.Request{}, err
 	}
-	req := newRequest(cfg, w, m, opt.Budget, opt.Warmup)
+	req := withSample(newRequest(cfg, w, m, opt.Budget, opt.Warmup), opt)
 	if policy != "" && policy != defaultPolicyName(cfg) {
 		req.Policy = policy
 	}

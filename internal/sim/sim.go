@@ -45,6 +45,13 @@ type Options struct {
 	// Runner methods ignore it — a shared Runner's concurrency is fixed
 	// by engine.Options.Workers at construction.
 	Parallel int
+	// Sample, when enabled (Period > 0), runs simulations in sampled mode:
+	// short detailed intervals at the given period with functional
+	// fast-forward between them (core.RunSampled). Results carry a
+	// SampleSummary with a 95% confidence interval, and request keys
+	// include the sampling parameters, so sampled and exact runs of the
+	// same design point memoize separately.
+	Sample core.SampleParams
 }
 
 // DefaultOptions returns the scaled defaults.
@@ -124,13 +131,15 @@ func Specs(w workload.Workload) ([]core.ThreadSpec, error) {
 	return specs, nil
 }
 
-// Run simulates workload w on cfg under the given thread mapping.
+// Run simulates workload w on cfg under the given thread mapping. When
+// opt.Sample is enabled the run is sampled (core.RunSampled) and the
+// results carry a SampleSummary.
 func Run(cfg config.Microarch, w workload.Workload, m mapping.Mapping, opt Options) (core.Results, error) {
 	specs, err := Specs(w)
 	if err != nil {
 		return core.Results{}, err
 	}
-	return runSpecs(cfg, specs, m, opt.Warmup, opt.Budget)
+	return runSpecs(cfg, specs, m, opt)
 }
 
 // RunReference is Run on the core's naive reference stepping path (no
@@ -155,16 +164,19 @@ func RunReference(cfg config.Microarch, w workload.Workload, m mapping.Mapping, 
 	return p.Run(opt.Budget)
 }
 
-func runSpecs(cfg config.Microarch, specs []core.ThreadSpec, m mapping.Mapping, warmup, budget uint64) (core.Results, error) {
+func runSpecs(cfg config.Microarch, specs []core.ThreadSpec, m mapping.Mapping, opt Options) (core.Results, error) {
 	opts := append([]core.Option{}, testCoreOptions...)
-	if warmup > 0 {
-		opts = append(opts, core.WithWarmup(warmup))
+	if opt.Warmup > 0 {
+		opts = append(opts, core.WithWarmup(opt.Warmup))
 	}
 	p, err := core.New(cfg, specs, m, opts...)
 	if err != nil {
 		return core.Results{}, err
 	}
-	return p.Run(budget)
+	if opt.Sample.Enabled() {
+		return p.RunSampled(opt.Budget, opt.Sample)
+	}
+	return p.Run(opt.Budget)
 }
 
 // DefaultMapping returns the mapping used when the caller supplies none:

@@ -118,6 +118,80 @@ func (s *Stream) NextInto(dst *isa.Instruction) {
 	s.cur = next
 }
 
+// ControlFunc observes a control-flow instruction the stream advances
+// past: its class, PC, resolved target (0 for a not-taken branch) and
+// direction. Advance calls it so a simulator can keep branch structures
+// warm through a skip without materializing the stream.
+type ControlFunc func(class isa.Class, pc, target uint64, taken bool)
+
+// Advance skips n instructions: execution counts, the call stack and
+// control flow advance exactly as n Next calls would, but no instruction
+// is materialized — no effective addresses, no register fields, no struct
+// writes. Memory instructions skip their address hash entirely, so this
+// runs several times faster than Next. It is the unwarmed fast-forward
+// path of sampled execution; a Stream that Advances past a region yields
+// the identical sequence afterwards. When ctl is non-nil it receives
+// every control-flow instruction in order.
+func (s *Stream) Advance(n uint64, ctl ControlFunc) {
+	for ; n > 0; n-- {
+		if s.cur < 0 {
+			panic("trace: stream escaped the program")
+		}
+		st := s.prog.insts[s.cur]
+		count := s.counts[st.Index]
+		s.counts[st.Index]++
+		s.seq++
+
+		next := s.prog.fallIdx[s.cur]
+		switch st.Class {
+		case isa.Branch:
+			var taken bool
+			if st.Kind == BranchLoop {
+				taken = count%uint64(st.Period) != uint64(st.Period-1)
+			} else {
+				taken = Mix3Float(s.seed, st.PC, count) < st.TakenProb
+			}
+			var target uint64
+			if taken {
+				next = s.prog.targetIdx[s.cur]
+				target = st.Target
+			}
+			if ctl != nil {
+				ctl(isa.Branch, st.PC, target, taken)
+			}
+		case isa.Jump:
+			next = s.prog.targetIdx[s.cur]
+			if ctl != nil {
+				ctl(isa.Jump, st.PC, st.Target, true)
+			}
+		case isa.Call:
+			if len(s.callStack) == maxCallDepth {
+				copy(s.callStack, s.callStack[1:])
+				s.callStack = s.callStack[:maxCallDepth-1]
+			}
+			s.callStack = append(s.callStack, frame{pc: st.PC + isa.InstrBytes, next: next})
+			next = s.prog.targetIdx[s.cur]
+			if ctl != nil {
+				ctl(isa.Call, st.PC, st.Target, true)
+			}
+		case isa.Return:
+			target := s.prog.Blocks[0].Start()
+			if n := len(s.callStack); n > 0 {
+				f := s.callStack[n-1]
+				s.callStack = s.callStack[:n-1]
+				target = f.pc
+				next = f.next
+			} else {
+				next = 0
+			}
+			if ctl != nil {
+				ctl(isa.Return, st.PC, target, true)
+			}
+		}
+		s.cur = next
+	}
+}
+
 // Materialize mints a dynamic instance of st: it resolves the branch
 // direction and effective address for the count-th execution of the static
 // instruction. The fetch engine reuses it to synthesize wrong-path

@@ -21,6 +21,31 @@ func TestStreamDeterminism(t *testing.T) {
 	}
 }
 
+// TestStreamAdvanceEquivalence: Advance(n) leaves the stream in exactly
+// the state n Next calls would — the instructions generated afterwards are
+// identical, at every alignment relative to loops, calls and returns.
+func TestStreamAdvanceEquivalence(t *testing.T) {
+	p := mustBuild(t, testParams(1))
+	for _, skip := range []uint64{1, 7, 64, 500, 4_096, 33_333} {
+		a := NewStream(p, 99, 0x10000)
+		b := NewStream(p, 99, 0x10000)
+		for i := uint64(0); i < skip; i++ {
+			a.Next()
+		}
+		b.Advance(skip, nil)
+		if a.Seq() != b.Seq() {
+			t.Fatalf("skip %d: Seq %d vs %d", skip, a.Seq(), b.Seq())
+		}
+		for i := 0; i < 2000; i++ {
+			x, _ := a.Next()
+			y, _ := b.Next()
+			if x != y {
+				t.Fatalf("skip %d: streams diverged %d instructions later: %v vs %v", skip, i, &x, &y)
+			}
+		}
+	}
+}
+
 func TestStreamSeedsDiffer(t *testing.T) {
 	p := mustBuild(t, testParams(1))
 	a := NewStream(p, 1, 0)
